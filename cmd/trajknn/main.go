@@ -1,0 +1,120 @@
+// Command trajknn builds a TrajTree over a trajectory file and answers
+// k-nearest-neighbour queries under EDwP, printing the answers with query
+// statistics. Queries are database trajectories named by -query, or every
+// trajectory in a separate -queryfile.
+//
+// Usage:
+//
+//	trajgen -kind taxi -n 2000 -o db.csv
+//	trajknn -db db.csv -query 17 -k 10
+//	trajknn -db db.csv -queryfile probes.csv -k 5 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"trajmatch"
+)
+
+func main() {
+	var (
+		dbPath    = flag.String("db", "", "database file (csv or ndjson by extension)")
+		queryID   = flag.Int("query", -1, "ID of a database trajectory to use as the query")
+		queryFile = flag.String("queryfile", "", "file of query trajectories")
+		k         = flag.Int("k", 10, "number of neighbours")
+		theta     = flag.Float64("theta", 0.8, "TrajTree θ (diversity drop threshold)")
+		vps       = flag.Int("vps", 80, "vantage points per node")
+		verify    = flag.Bool("verify", false, "cross-check against a sequential scan")
+		cumula    = flag.Bool("cumulative", false, "use cumulative EDwP instead of EDwPavg")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		fatalf("-db is required")
+	}
+
+	db := readFile(*dbPath)
+	t0 := time.Now()
+	idx, err := trajmatch.NewIndex(db, trajmatch.IndexOptions{
+		Theta:      *theta,
+		NumVPs:     *vps,
+		Cumulative: *cumula,
+		Parallel:   true,
+		Seed:       1,
+	})
+	if err != nil {
+		fatalf("build: %v", err)
+	}
+	fmt.Printf("built %v in %v\n", idx, time.Since(t0).Round(time.Millisecond))
+
+	var queries []*trajmatch.Trajectory
+	switch {
+	case *queryFile != "":
+		queries = readFile(*queryFile)
+		for i, q := range queries {
+			q.ID = 1_000_000 + i // avoid colliding with database IDs
+		}
+	case *queryID >= 0:
+		q := idx.Lookup(*queryID)
+		if q == nil {
+			fatalf("trajectory %d not in database", *queryID)
+		}
+		queries = []*trajmatch.Trajectory{q}
+	default:
+		fatalf("give -query or -queryfile")
+	}
+
+	for _, q := range queries {
+		t0 := time.Now()
+		res, st := idx.KNN(q, *k)
+		elapsed := time.Since(t0)
+		fmt.Printf("query %d (%d points): %d results in %v "+
+			"(dist calls %d, bounds %d, visited %d, pruned %d)\n",
+			q.ID, q.NumPoints(), len(res), elapsed.Round(time.Microsecond),
+			st.DistanceCalls, st.LowerBoundCalls, st.NodesVisited, st.NodesPruned)
+		for rank, r := range res {
+			fmt.Printf("  %2d. trajectory %-6d dist %.6g\n", rank+1, r.Traj.ID, r.Dist)
+		}
+		if *verify {
+			want := idx.KNNBrute(q, *k)
+			ok := len(want) == len(res)
+			for i := 0; ok && i < len(res); i++ {
+				if diff := res[i].Dist - want[i].Dist; diff > 1e-9 || diff < -1e-9 {
+					ok = false
+				}
+			}
+			if ok {
+				fmt.Println("  verified against sequential scan ✓")
+			} else {
+				fmt.Println("  MISMATCH against sequential scan ✗")
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func readFile(path string) []*trajmatch.Trajectory {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	var db []*trajmatch.Trajectory
+	if strings.HasSuffix(path, ".ndjson") || strings.HasSuffix(path, ".jsonl") {
+		db, err = trajmatch.ReadNDJSON(f)
+	} else {
+		db, err = trajmatch.ReadCSV(f)
+	}
+	if err != nil {
+		fatalf("parse %s: %v", path, err)
+	}
+	return db
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "trajknn: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package trajmatch_test
+
+import (
+	"fmt"
+
+	"trajmatch"
+)
+
+// The Appendix-A trajectories of the paper: EDwP accumulates the cheapest
+// replacement/insert edits, and deliberately violates the triangle
+// inequality (Theorem 1).
+func ExampleEDwP() {
+	t1 := trajmatch.FromXY(1, 0, 0, 0, 1)
+	t2 := trajmatch.FromXY(2, 0, 0, 0, 1, 0, 2)
+	t3 := trajmatch.FromXY(3, 0, 0, 0, 1, 0, 2, 0, 3)
+	fmt.Println(trajmatch.EDwP(t1, t2))
+	fmt.Println(trajmatch.EDwP(t2, t3))
+	fmt.Println(trajmatch.EDwP(t1, t3))
+	// Output:
+	// 1
+	// 1
+	// 4
+}
+
+// Re-sampling a trajectory never changes its EDwP distances: the insert
+// edits split segments at projected points, so only the shape matters.
+func ExampleEDwPAvg() {
+	coarse := trajmatch.NewTrajectory(1, []trajmatch.STPoint{
+		trajmatch.P(0, 0, 0), trajmatch.P(100, 0, 50),
+	})
+	fine := trajmatch.NewTrajectory(2, []trajmatch.STPoint{
+		trajmatch.P(0, 0, 0), trajmatch.P(25, 0, 12.5), trajmatch.P(50, 0, 25),
+		trajmatch.P(75, 0, 37.5), trajmatch.P(100, 0, 50),
+	})
+	fmt.Println(trajmatch.EDwPAvg(coarse, fine))
+	// Output:
+	// 0
+}
+
+// EDwPSub finds the best-matching contiguous sub-trajectory, skipping the
+// host's prefix and suffix for free (Eq. 6).
+func ExampleEDwPSub() {
+	query := trajmatch.FromXY(1, 5, 5, 8, 5)
+	host := trajmatch.FromXY(2, 0, 0, 5, 5, 8, 5, 20, 5)
+	fmt.Println(trajmatch.EDwPSub(query, host))
+	fmt.Printf("global: %v\n", trajmatch.EDwP(query, host) > 0)
+	// Output:
+	// 0
+	// global: true
+}
+
+// AlignEDwP exposes the optimal edit script; its costs sum to the distance.
+func ExampleAlignEDwP() {
+	a := trajmatch.FromXY(1, 0, 0, 0, 1)
+	b := trajmatch.FromXY(2, 0, 0, 0, 1, 0, 2)
+	dist, edits := trajmatch.AlignEDwP(a, b)
+	fmt.Println(dist, len(edits))
+	for _, e := range edits {
+		fmt.Println(e.Kind, e.Cost)
+	}
+	// Output:
+	// 1 2
+	// ins← 0
+	// rep 1
+}
+
+// NewIndex bulk-loads a TrajTree; KNN answers are exact.
+func ExampleNewIndex() {
+	db := []*trajmatch.Trajectory{
+		trajmatch.FromXY(1, 0, 0, 10, 0),
+		trajmatch.FromXY(2, 0, 1, 10, 1),
+		trajmatch.FromXY(3, 0, 50, 10, 50),
+		trajmatch.FromXY(4, 0, 51, 10, 51),
+	}
+	idx, err := trajmatch.NewIndex(db, trajmatch.IndexOptions{Seed: 1, LeafSize: 2})
+	if err != nil {
+		panic(err)
+	}
+	res, _ := idx.KNN(trajmatch.FromXY(9, 0, 2, 10, 2), 2)
+	fmt.Println(res[0].Traj.ID, res[1].Traj.ID)
+	// Output:
+	// 2 1
+}

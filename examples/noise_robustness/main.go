@@ -1,0 +1,53 @@
+// noise_robustness: Section V-C as an application. Inject each of the
+// paper's four sampling-noise models into a taxi database and measure how
+// much every metric's k-NN ranking drifts (Spearman correlation against the
+// clean ranking, computed exactly as the paper prescribes).
+package main
+
+import (
+	"fmt"
+
+	"trajmatch"
+	"trajmatch/internal/eval"
+)
+
+func main() {
+	sc := eval.Scale{TaxiN: 150, Queries: 4, Folds: 5, ASLInstances: 8, Seed: 1}
+	fmt.Printf("database: %d synthetic taxi trips; k = 10; %d queries averaged\n\n",
+		sc.TaxiN, sc.Queries)
+
+	kinds := []struct {
+		name string
+		kind eval.NoiseKind
+		pct  float64
+	}{
+		{"inter-trajectory sampling (Fig. 5b)", eval.NoiseInter, 0.25},
+		{"intra-trajectory sampling (Fig. 5d)", eval.NoiseIntra, 0.25},
+		{"phase variation (Fig. 5f)", eval.NoisePhase, 0.25},
+		{"perturbation (Fig. 5h)", eval.NoisePerturb, 0.25},
+	}
+	for _, nz := range kinds {
+		ss := eval.RobustnessVsK(sc, nz.kind, nz.pct, []int{10})
+		fmt.Printf("%s at %.0f%% noise:\n", nz.name, nz.pct*100)
+		for _, s := range ss {
+			bar := ""
+			n := int(s.Y[0] * 40)
+			for i := 0; i < n; i++ {
+				bar += "█"
+			}
+			fmt.Printf("  %-6s %6.3f %s\n", s.Name, s.Y[0], bar)
+		}
+		fmt.Println()
+	}
+	fmt.Println("1.0 = ranking unchanged by the noise. EDwP's projections absorb")
+	fmt.Println("re-sampling exactly, so its correlation stays at the top.")
+
+	// The same robustness, shown on a single concrete pair.
+	db := trajmatch.GenerateTaxi(trajmatch.DefaultTaxiConfig(1))
+	orig := db[0]
+	dense := trajmatch.InterNoise(db, 1.0, 3)[0]
+	fmt.Printf("\nconcrete pair: trip resampled %d → %d points: EDwP = %.6f, EDR = %.0f\n",
+		orig.NumPoints(), dense.NumPoints(),
+		trajmatch.EDwP(orig, dense),
+		trajmatch.MetricEDR{Eps: 60}.Dist(orig, dense))
+}

@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"trajmatch/internal/traj"
+)
+
+// DISSIM is the dissimilarity of Frentzos, Gratsias and Theodoridis (ICDE
+// 2007): the integral over time of the Euclidean distance between the two
+// (linearly interpolated) moving objects,
+//
+//	DISSIM(T1,T2) = ∫ dist(T1(t), T2(t)) dt
+//
+// evaluated over the common lifespan and approximated — as in the original
+// paper — by the trapezoidal rule over the union of both trajectories'
+// sample timestamps. Because the mapping is one-to-one in time, DISSIM
+// cannot absorb local time shifts (Table I).
+type DISSIM struct{}
+
+// Name implements Metric.
+func (DISSIM) Name() string { return "DISSIM" }
+
+// Dist implements Metric.
+func (DISSIM) Dist(a, b *traj.Trajectory) float64 {
+	if a.NumPoints() == 0 || b.NumPoints() == 0 {
+		return math.Inf(1)
+	}
+	start := math.Max(a.Points[0].T, b.Points[0].T)
+	end := math.Min(a.Points[len(a.Points)-1].T, b.Points[len(b.Points)-1].T)
+	if end < start {
+		// Disjoint lifespans: fall back to the distance at the nearest
+		// instants, scaled by zero duration — the original definition is
+		// undefined here; we return the gap distance so that ordering
+		// remains sensible.
+		return a.At(start).Dist(b.At(start))
+	}
+	ts := timestampUnion(a, b, start, end)
+	var sum float64
+	for i := 1; i < len(ts); i++ {
+		d0 := a.At(ts[i-1]).Dist(b.At(ts[i-1]))
+		d1 := a.At(ts[i]).Dist(b.At(ts[i]))
+		sum += (d0 + d1) / 2 * (ts[i] - ts[i-1])
+	}
+	if len(ts) == 1 {
+		return a.At(ts[0]).Dist(b.At(ts[0]))
+	}
+	return sum
+}
+
+// timestampUnion merges both trajectories' timestamps clipped to
+// [start, end], deduplicated and sorted, always including the boundaries.
+func timestampUnion(a, b *traj.Trajectory, start, end float64) []float64 {
+	ts := make([]float64, 0, a.NumPoints()+b.NumPoints()+2)
+	ts = append(ts, start, end)
+	for _, p := range a.Points {
+		if p.T > start && p.T < end {
+			ts = append(ts, p.T)
+		}
+	}
+	for _, p := range b.Points {
+		if p.T > start && p.T < end {
+			ts = append(ts, p.T)
+		}
+	}
+	sort.Float64s(ts)
+	out := ts[:1]
+	for _, t := range ts[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"math"
+
+	"trajmatch/internal/traj"
+)
+
+// DTW is Dynamic Time Warping (Yi, Jagadish, Faloutsos; ICDE 1998) over the
+// sampled points with Euclidean ground distance and unconstrained warping
+// window. It handles local time shifts through many-to-one point mappings
+// but, as Section II argues, remains tied to the sampled points.
+type DTW struct{}
+
+// Name implements Metric.
+func (DTW) Name() string { return "DTW" }
+
+// Dist implements Metric. Cost is O(n·m) time, O(m) space.
+func (DTW) Dist(a, b *traj.Trajectory) float64 {
+	P, Q := a.Points, b.Points
+	n, m := len(P), len(Q)
+	if n == 0 && m == 0 {
+		return 0
+	}
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			d := P[i].Dist(Q[j])
+			switch {
+			case i == 0 && j == 0:
+				cur[j] = d
+			case i == 0:
+				cur[j] = cur[j-1] + d
+			case j == 0:
+				cur[j] = prev[j] + d
+			default:
+				best := prev[j-1]
+				if prev[j] < best {
+					best = prev[j]
+				}
+				if cur[j-1] < best {
+					best = cur[j-1]
+				}
+				cur[j] = best + d
+			}
+		}
+		prev, cur = cur, prev
+		for k := range cur {
+			cur[k] = inf
+		}
+	}
+	return prev[m-1]
+}

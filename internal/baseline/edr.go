@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"trajmatch/internal/traj"
+)
+
+// EDR is Edit Distance on Real sequence (Chen, Özsu, Oria; SIGMOD 2005).
+// The subsequence cost is 0 when two points match within the spatial
+// threshold Eps and 1 otherwise; insertions and deletions cost 1. The
+// distance is the integer edit count, exactly the quantity used in the
+// paper's Fig. 1 walk-throughs.
+type EDR struct {
+	// Eps is the spatial matching threshold ε.
+	Eps float64
+}
+
+// Name implements Metric.
+func (EDR) Name() string { return "EDR" }
+
+// Dist implements Metric.
+func (e EDR) Dist(a, b *traj.Trajectory) float64 {
+	return float64(e.edits(a.Points, b.Points, -1))
+}
+
+// DistEarlyAbandon computes EDR but returns early with a value > bound as
+// soon as the distance probably exceeds bound (bound < 0 disables). The EDR
+// index uses this to cut off hopeless candidates.
+func (e EDR) DistEarlyAbandon(a, b *traj.Trajectory, bound int) float64 {
+	return float64(e.edits(a.Points, b.Points, bound))
+}
+
+func (e EDR) edits(P, Q []traj.Point, bound int) int {
+	n, m := len(P), len(Q)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= m; j++ {
+			sub := 1
+			if P[i-1].Dist(Q[j-1]) <= e.Eps {
+				sub = 0
+			}
+			v := prev[j-1] + sub
+			if prev[j]+1 < v {
+				v = prev[j] + 1
+			}
+			if cur[j-1]+1 < v {
+				v = cur[j-1] + 1
+			}
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if bound >= 0 && rowMin > bound {
+			return rowMin // every completion is at least this expensive
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}

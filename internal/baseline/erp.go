@@ -1,0 +1,46 @@
+package baseline
+
+import (
+	"math"
+
+	"trajmatch/internal/traj"
+)
+
+// ERP is Edit distance with Real Penalty (Chen, Ng; VLDB 2004): an edit
+// distance whose gap cost is the distance to a fixed reference point g,
+// which makes it a true metric. GX/GY default to the origin, the reference
+// the original paper recommends after centring the data.
+type ERP struct {
+	// GX, GY locate the gap reference point g.
+	GX, GY float64
+}
+
+// Name implements Metric.
+func (ERP) Name() string { return "ERP" }
+
+// Dist implements Metric.
+func (e ERP) Dist(a, b *traj.Trajectory) float64 {
+	P, Q := a.Points, b.Points
+	n, m := len(P), len(Q)
+	g := traj.P(e.GX, e.GY, 0)
+	if n == 0 && m == 0 {
+		return 0
+	}
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	prev[0] = 0
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] + Q[j-1].Dist(g)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = prev[0] + P[i-1].Dist(g)
+		for j := 1; j <= m; j++ {
+			match := prev[j-1] + P[i-1].Dist(Q[j-1])
+			gapP := prev[j] + P[i-1].Dist(g)
+			gapQ := cur[j-1] + Q[j-1].Dist(g)
+			cur[j] = math.Min(match, math.Min(gapP, gapQ))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}

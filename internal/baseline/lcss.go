@@ -1,0 +1,52 @@
+package baseline
+
+import (
+	"math"
+
+	"trajmatch/internal/traj"
+)
+
+// LCSS is the Longest Common Sub-Sequence similarity of Vlachos, Gunopoulos
+// and Kollios (ICDE 2002): two points "match" when they are within the
+// spatial threshold Eps (Euclidean, following the host paper's usage), and
+// the distance is 1 − LCSS/min(n,m) so that 0 means every point of the
+// shorter trajectory matches.
+type LCSS struct {
+	// Eps is the spatial matching threshold ε.
+	Eps float64
+}
+
+// Name implements Metric.
+func (LCSS) Name() string { return "LCSS" }
+
+// Dist implements Metric.
+func (l LCSS) Dist(a, b *traj.Trajectory) float64 {
+	P, Q := a.Points, b.Points
+	n, m := len(P), len(Q)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return 1
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if P[i-1].Dist(Q[j-1]) <= l.Eps {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for k := range cur {
+			cur[k] = 0
+		}
+	}
+	lcs := prev[m]
+	den := math.Min(float64(n), float64(m))
+	return 1 - float64(lcs)/den
+}

@@ -1,0 +1,57 @@
+// Package baseline implements the trajectory distance functions the paper
+// compares EDwP against (Table I): DTW, LCSS, ERP, EDR, DISSIM and the
+// model-driven assignment MA, plus three classical extras (lock-step L2,
+// discrete Fréchet, Hausdorff) used in ablations. Each metric is a small
+// value type satisfying Metric, so the evaluation harness can sweep over
+// them uniformly.
+package baseline
+
+import (
+	"trajmatch/internal/core"
+	"trajmatch/internal/traj"
+)
+
+// Metric is a trajectory distance function. Implementations must be
+// stateless (safe for concurrent use) value types.
+type Metric interface {
+	// Name returns the short display name used in experiment tables.
+	Name() string
+	// Dist returns the distance between two trajectories. Smaller is more
+	// similar. The scale is metric-specific; only the induced ranking is
+	// comparable across metrics.
+	Dist(a, b *traj.Trajectory) float64
+}
+
+// EDwP adapts the core package's distance to the Metric interface. The
+// paper's experiments use the length-normalised form (Eq. 4), which is the
+// default here.
+type EDwP struct {
+	// Cumulative switches to the unnormalised distance when true.
+	Cumulative bool
+}
+
+// Name implements Metric.
+func (e EDwP) Name() string { return "EDwP" }
+
+// Dist implements Metric.
+func (e EDwP) Dist(a, b *traj.Trajectory) float64 {
+	if e.Cumulative {
+		return core.Distance(a, b)
+	}
+	return core.AvgDistance(a, b)
+}
+
+// All returns the full benchmark suite with the given matching threshold
+// for the threshold-dependent metrics (ε for LCSS/EDR, derived gap for
+// ERP/MA), in the order the paper lists them.
+func All(eps float64) []Metric {
+	return []Metric{
+		EDwP{},
+		DTW{},
+		LCSS{Eps: eps},
+		ERP{},
+		EDR{Eps: eps},
+		DISSIM{},
+		DefaultMA(eps),
+	}
+}

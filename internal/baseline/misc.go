@@ -1,0 +1,109 @@
+package baseline
+
+import (
+	"math"
+
+	"trajmatch/internal/traj"
+)
+
+// Lockstep is the basic Lp-norm model Section I opens with: a one-to-one
+// alignment of the i-th samples, summed with Euclidean ground distance.
+// Trajectories of different sample counts are at infinite distance, the
+// behaviour that motivates everything else in the paper.
+type Lockstep struct{}
+
+// Name implements Metric.
+func (Lockstep) Name() string { return "L2" }
+
+// Dist implements Metric.
+func (Lockstep) Dist(a, b *traj.Trajectory) float64 {
+	if len(a.Points) != len(b.Points) {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := range a.Points {
+		sum += a.Points[i].Dist(b.Points[i])
+	}
+	return sum
+}
+
+// Frechet is the discrete Fréchet distance (the classical "dog leash"
+// measure over sampled points), included as an ablation comparator.
+type Frechet struct{}
+
+// Name implements Metric.
+func (Frechet) Name() string { return "Frechet" }
+
+// Dist implements Metric.
+func (Frechet) Dist(a, b *traj.Trajectory) float64 {
+	P, Q := a.Points, b.Points
+	n, m := len(P), len(Q)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			d := P[i].Dist(Q[j])
+			switch {
+			case i == 0 && j == 0:
+				cur[j] = d
+			case i == 0:
+				cur[j] = math.Max(cur[j-1], d)
+			case j == 0:
+				cur[j] = math.Max(prev[j], d)
+			default:
+				best := prev[j-1]
+				if prev[j] < best {
+					best = prev[j]
+				}
+				if cur[j-1] < best {
+					best = cur[j-1]
+				}
+				cur[j] = math.Max(best, d)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// Hausdorff is the symmetric Hausdorff distance between the two sampled
+// point sets against the opposite polyline (segments, not just samples),
+// an order-free comparator used in ablations.
+type Hausdorff struct{}
+
+// Name implements Metric.
+func (Hausdorff) Name() string { return "Hausdorff" }
+
+// Dist implements Metric.
+func (Hausdorff) Dist(a, b *traj.Trajectory) float64 {
+	return math.Max(directed(a, b), directed(b, a))
+}
+
+func directed(a, b *traj.Trajectory) float64 {
+	var worst float64
+	for _, p := range a.Points {
+		best := math.Inf(1)
+		if b.NumSegments() == 0 {
+			for _, q := range b.Points {
+				if d := p.Dist(q); d < best {
+					best = d
+				}
+			}
+		}
+		for i := 0; i < b.NumSegments(); i++ {
+			if d := b.Segment(i).Spatial().DistTo(p.XY()); d < best {
+				best = d
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmatch/internal/traj"
+)
+
+func TestUniformDistanceBasics(t *testing.T) {
+	tr := traj.FromXY(0, 0, 0, 5, 0, 5, 5)
+	if d := UniformDistance(tr, tr); d != 0 {
+		t.Errorf("UniformDistance(T,T) = %v", d)
+	}
+	rng := rand.New(rand.NewSource(25))
+	for it := 0; it < 60; it++ {
+		a := randomSmoothTraj(rng, 2+rng.Intn(8))
+		b := randomSmoothTraj(rng, 2+rng.Intn(8))
+		d1, d2 := UniformDistance(a, b), UniformDistance(b, a)
+		if d1 < 0 || math.IsNaN(d1) {
+			t.Fatalf("invalid distance %v", d1)
+		}
+		if math.Abs(d1-d2) > 1e-6*(1+d1) {
+			t.Fatalf("asymmetric: %v vs %v", d1, d2)
+		}
+	}
+}
+
+// The ablation's point (Section II.2 / Fig. 1(b)): without Coverage, a pair
+// that agrees over a long sparse stretch but disagrees at a few dense
+// samples can be misordered against a pair that agrees at the dense samples
+// and diverges over the long stretch. Coverage weighting fixes the
+// ordering.
+func TestCoverageFixesIntraTrajectoryOrdering(t *testing.T) {
+	// Dense shared prefix, long diverging tail...
+	divergent := [2]*traj.Trajectory{
+		traj.New(0, []traj.Point{
+			traj.P(0, 0, 0), traj.P(1, 0, 1), traj.P(2, 0, 2), traj.P(3, 0, 3),
+			traj.P(3, 300, 303),
+		}),
+		traj.New(1, []traj.Point{
+			traj.P(0, 0, 0), traj.P(1, 0, 1), traj.P(2, 0, 2), traj.P(3, 0, 3),
+			traj.P(303, 0, 303),
+		}),
+	}
+	// ...versus: noisy dense prefix (each dense sample off by 2), identical
+	// long tail.
+	noisyPrefix := [2]*traj.Trajectory{
+		traj.New(2, []traj.Point{
+			traj.P(0, 0, 0), traj.P(1, 0, 1), traj.P(2, 0, 2), traj.P(3, 0, 3),
+			traj.P(3, 300, 303),
+		}),
+		traj.New(3, []traj.Point{
+			traj.P(0, 2, 0), traj.P(1, 2, 1), traj.P(2, 2, 2), traj.P(3, 2, 3),
+			traj.P(3, 300, 303),
+		}),
+	}
+	// Ground truth: the noisy-prefix pair travels together for 300 of ~303
+	// units; the divergent pair separates for 300 units. With Coverage,
+	// EDwP orders them correctly.
+	covNoisy := Distance(noisyPrefix[0], noisyPrefix[1])
+	covDiv := Distance(divergent[0], divergent[1])
+	if covNoisy >= covDiv {
+		t.Errorf("Coverage-weighted EDwP misordered: noisy-prefix %v vs divergent %v", covNoisy, covDiv)
+	}
+	// The divergent pair must dominate by a large factor under coverage.
+	if covDiv < 10*covNoisy {
+		t.Errorf("coverage did not amplify the divergent pair: %v vs %v", covDiv, covNoisy)
+	}
+	// Without Coverage the two pairs are much closer together — the dense
+	// disagreements weigh as much as the long divergence.
+	uniNoisy := UniformDistance(noisyPrefix[0], noisyPrefix[1])
+	uniDiv := UniformDistance(divergent[0], divergent[1])
+	covRatio := covDiv / covNoisy
+	uniRatio := uniDiv / uniNoisy
+	if covRatio <= uniRatio {
+		t.Errorf("coverage should sharpen the separation: cov ratio %v, uniform ratio %v", covRatio, uniRatio)
+	}
+}
+
+func TestUniformVsCoverageSamplingInvariance(t *testing.T) {
+	// Both variants keep the re-sampling invariance (that comes from
+	// projections, not coverage).
+	orig := traj.New(0, []traj.Point{traj.P(0, 0, 0), traj.P(10, 0, 10), traj.P(10, 10, 20)})
+	dense := traj.Resample(orig, 1.0)
+	if d := UniformDistance(orig, dense); d > 1e-9 {
+		t.Errorf("UniformDistance not sampling-invariant: %v", d)
+	}
+}

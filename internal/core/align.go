@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math"
+
+	"trajmatch/internal/traj"
+)
+
+// EditKind identifies one of the paper's edit operations as realised by the
+// dynamic program.
+type EditKind int
+
+const (
+	// Rep is a replacement: the remainder of T1's current segment is
+	// matched with the remainder of T2's current segment.
+	Rep EditKind = iota
+	// InsLeft is an insert into T1 (the paper's ins(T1, T2)): T2's segment
+	// is matched against a piece of T1's current segment, ending at the
+	// projection of T2's next sample onto it.
+	InsLeft
+	// InsRight is an insert into T2 (ins(T2, T1)).
+	InsRight
+)
+
+// String returns a human-readable name for the edit kind.
+func (k EditKind) String() string {
+	switch k {
+	case Rep:
+		return "rep"
+	case InsLeft:
+		return "ins←"
+	case InsRight:
+		return "ins→"
+	}
+	return "?"
+}
+
+// Edit is one step of an optimal EDwP alignment. APiece and BPiece are the
+// spatio-temporal pieces of the two trajectories consumed by the step;
+// projected (non-sampled) endpoints carry interpolated timestamps. I and J
+// are the segment indices the pieces belong to. Cost is the step's
+// rep × Coverage contribution.
+type Edit struct {
+	Kind   EditKind
+	I, J   int
+	APiece [2]traj.Point
+	BPiece [2]traj.Point
+	Cost   float64
+}
+
+// Align computes the global EDwP distance together with an optimal edit
+// script. The script's costs sum to the returned distance. Align uses full
+// O(n·m) matrices; use Distance when only the value is needed.
+func Align(t1, t2 *traj.Trajectory) (float64, []Edit) {
+	P, Q := t1.Points, t2.Points
+	n, m := len(P), len(Q)
+	if n <= 1 && m <= 1 {
+		return 0, nil
+	}
+	if n <= 1 || m <= 1 {
+		return math.Inf(1), nil
+	}
+
+	inf := math.Inf(1)
+	// cost[(i*m+j)*nL+layer]
+	cost := make([]float64, n*m*nL)
+	for k := range cost {
+		cost[k] = inf
+	}
+	at := func(i, j, l int) int { return (i*m+j)*nL + l }
+	cost[at(0, 0, lS)] = 0
+
+	relax := func(idx int, c float64) {
+		if c < cost[idx] {
+			cost[idx] = c
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			for layer := 0; layer < nL; layer++ {
+				c := cost[at(i, j, layer)]
+				if math.IsInf(c, 1) {
+					continue
+				}
+				h1, h2 := heads(P, Q, i, j, layer)
+				if i < n-1 && j < m-1 {
+					relax(at(i+1, j+1, lS), c+repCost(h1, P[i+1].XY(), h2, Q[j+1].XY()))
+				}
+				if j < m-1 {
+					p := h1
+					if i < n-1 {
+						p = seg(P[i], P[i+1]).Closest(Q[j+1].XY())
+					}
+					relax(at(i, j+1, lI1), c+repCost(h1, p, h2, Q[j+1].XY()))
+				}
+				if i < n-1 {
+					qq := h2
+					if j < m-1 {
+						qq = seg(Q[j], Q[j+1]).Closest(P[i+1].XY())
+					}
+					relax(at(i+1, j, lI2), c+repCost(h1, P[i+1].XY(), h2, qq))
+				}
+			}
+		}
+	}
+
+	// Terminal: best layer at (n-1, m-1).
+	bestL, bestC := lS, cost[at(n-1, m-1, lS)]
+	for l := lI1; l <= lI2; l++ {
+		if c := cost[at(n-1, m-1, l)]; c < bestC {
+			bestC, bestL = c, l
+		}
+	}
+	if math.IsInf(bestC, 1) {
+		return bestC, nil
+	}
+
+	edits := traceback(P, Q, cost, n, m, bestL, bestC)
+	return bestC, edits
+}
+
+// stPoint reconstructs the spatio-temporal point for a head position of
+// state (i, j, layer) on trajectory side 1 or 2.
+func stHeads(P, Q []traj.Point, i, j, layer int) (traj.Point, traj.Point) {
+	n, m := len(P), len(Q)
+	a, b := P[i], Q[j]
+	switch layer {
+	case lI1:
+		if i < n-1 {
+			e := traj.Segment{S1: P[i], S2: P[i+1]}
+			a = e.Project(Q[j].XY())
+		}
+	case lI2:
+		if j < m-1 {
+			e := traj.Segment{S1: Q[j], S2: Q[j+1]}
+			b = e.Project(P[i].XY())
+		}
+	}
+	return a, b
+}
+
+// traceback walks the cost matrix backwards from (n-1, m-1, layer),
+// emitting the edit script in forward order.
+func traceback(P, Q []traj.Point, cost []float64, n, m, layer int, _ float64) []Edit {
+	at := func(i, j, l int) int { return (i*m+j)*nL + l }
+	var rev []Edit
+	i, j := n-1, m-1
+	const eps = 1e-7
+	for i > 0 || j > 0 {
+		c := cost[at(i, j, layer)]
+		found := false
+		// Predecessors by entry layer.
+		switch layer {
+		case lS:
+			// Entered by REP from (i-1, j-1, σ).
+			if i > 0 && j > 0 {
+				for _, pl := range [...]int{lS, lI1, lI2} {
+					pc := cost[at(i-1, j-1, pl)]
+					if math.IsInf(pc, 1) {
+						continue
+					}
+					h1, h2 := heads(P, Q, i-1, j-1, pl)
+					step := repCost(h1, P[i].XY(), h2, Q[j].XY())
+					if approxEq(pc+step, c, eps) {
+						a, b := stHeads(P, Q, i-1, j-1, pl)
+						rev = append(rev, Edit{
+							Kind: Rep, I: i - 1, J: j - 1,
+							APiece: [2]traj.Point{a, P[i]},
+							BPiece: [2]traj.Point{b, Q[j]},
+							Cost:   step,
+						})
+						i, j, layer = i-1, j-1, pl
+						found = true
+						break
+					}
+				}
+			}
+		case lI1:
+			// Entered by INS1 from (i, j-1, σ).
+			if j > 0 {
+				for _, pl := range [...]int{lS, lI1, lI2} {
+					pc := cost[at(i, j-1, pl)]
+					if math.IsInf(pc, 1) {
+						continue
+					}
+					h1, h2 := heads(P, Q, i, j-1, pl)
+					p := h1
+					var pst traj.Point
+					if i < n-1 {
+						e := traj.Segment{S1: P[i], S2: P[i+1]}
+						pst = e.Project(Q[j].XY())
+						p = pst.XY()
+					} else {
+						pst = P[n-1]
+					}
+					step := repCost(h1, p, h2, Q[j].XY())
+					if approxEq(pc+step, c, eps) {
+						a, b := stHeads(P, Q, i, j-1, pl)
+						rev = append(rev, Edit{
+							Kind: InsLeft, I: i, J: j - 1,
+							APiece: [2]traj.Point{a, pst},
+							BPiece: [2]traj.Point{b, Q[j]},
+							Cost:   step,
+						})
+						j, layer = j-1, pl
+						found = true
+						break
+					}
+				}
+			}
+		case lI2:
+			// Entered by INS2 from (i-1, j, σ).
+			if i > 0 {
+				for _, pl := range [...]int{lS, lI1, lI2} {
+					pc := cost[at(i-1, j, pl)]
+					if math.IsInf(pc, 1) {
+						continue
+					}
+					h1, h2 := heads(P, Q, i-1, j, pl)
+					qq := h2
+					var qst traj.Point
+					if j < m-1 {
+						e := traj.Segment{S1: Q[j], S2: Q[j+1]}
+						qst = e.Project(P[i].XY())
+						qq = qst.XY()
+					} else {
+						qst = Q[m-1]
+					}
+					step := repCost(h1, P[i].XY(), h2, qq)
+					if approxEq(pc+step, c, eps) {
+						a, b := stHeads(P, Q, i-1, j, pl)
+						rev = append(rev, Edit{
+							Kind: InsRight, I: i - 1, J: j,
+							APiece: [2]traj.Point{a, P[i]},
+							BPiece: [2]traj.Point{b, qst},
+							Cost:   step,
+						})
+						i, layer = i-1, pl
+						found = true
+						break
+					}
+				}
+			}
+		}
+		if !found {
+			// Numerical mismatch; abort rather than loop forever.
+			break
+		}
+	}
+	// Reverse into forward order.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+func approxEq(a, b, eps float64) bool {
+	d := math.Abs(a - b)
+	if d <= eps {
+		return true
+	}
+	return d <= eps*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+
+	"trajmatch/internal/geom"
+	"trajmatch/internal/traj"
+)
+
+// Boxes abstracts a trajectory box sequence (package tbox implements it).
+// Using an interface here keeps the dependency arrow pointing from the
+// index structures to the distance function, never back.
+type Boxes interface {
+	// Len returns the number of st-boxes in the sequence.
+	Len() int
+	// Rect returns the spatial extent of the i-th box.
+	Rect(i int) geom.Rect
+}
+
+// LowerBound returns an admissible lower bound on EDwP(q, T) for every
+// trajectory T summarised by the box sequence b — the operational form of
+// the paper's EDwPsub(Q, tBoxSeq) (Theorem 2).
+//
+// The bound assigns each segment of q to one box, monotonically in box
+// order, and charges 2·dist(segment, box) × length(segment); boxes may be
+// skipped freely (the paper's free prefix/suffix skipping, extended to
+// interior boxes, which is what makes the bound provably admissible under
+// arbitrary re-partitioning of members — see DESIGN.md §2). Cost is
+// O(len(q) · b.Len()).
+//
+// Admissibility sketch: fix a member T and an optimal EDwP(q, T) alignment.
+// Every edit matches a piece of q's segment i against geometry of T lying
+// inside some box k (construction invariant), so its rep cost is at least
+// 2·dist(e_i, box_k) and its coverage at least the q-side piece length.
+// Summing over the pieces of segment i and taking the best single box of
+// the (monotone) run it spans yields exactly one path of this DP.
+func LowerBound(q *traj.Trajectory, b Boxes) float64 {
+	n := q.NumSegments()
+	nb := b.Len()
+	if n == 0 || nb == 0 {
+		return 0
+	}
+	inf := math.Inf(1)
+	// dp[j] = min cost having consumed segments < i, currently at box j.
+	dp := make([]float64, nb)
+	nxt := make([]float64, nb)
+	for j := range dp {
+		dp[j] = 0 // free skip of any box prefix
+	}
+	for i := 0; i < n; i++ {
+		e := q.Segment(i).Spatial()
+		l := e.Length()
+		for j := range nxt {
+			nxt[j] = inf
+		}
+		bestSoFar := inf
+		for j := 0; j < nb; j++ {
+			// Pass boxes freely: entering box j can come from any j' <= j.
+			if dp[j] < bestSoFar {
+				bestSoFar = dp[j]
+			}
+			if math.IsInf(bestSoFar, 1) {
+				continue
+			}
+			c := bestSoFar + 2*b.Rect(j).DistToSegment(e)*l
+			if c < nxt[j] {
+				nxt[j] = c
+			}
+		}
+		dp, nxt = nxt, dp
+	}
+	best := inf
+	for j := 0; j < nb; j++ {
+		if dp[j] < best {
+			best = dp[j] // free skip of any box suffix
+		}
+	}
+	return best
+}
+
+// AssignSegments maps each segment of t to one box of b, monotonically in
+// box order, minimising the total enlargement this trajectory would cause:
+// the cost of assigning segment i to box j is the area growth of box j when
+// extended to cover the segment. It returns one box index per segment.
+//
+// This realises the paper's createTBoxSeq(T, B) merge step: the alignment
+// determines which boxes absorb which pieces of the new trajectory while
+// keeping every point of the trajectory inside its assigned box — the
+// containment invariant that LowerBound's admissibility rests on.
+func AssignSegments(t *traj.Trajectory, b Boxes) []int {
+	n := t.NumSegments()
+	nb := b.Len()
+	if n == 0 || nb == 0 {
+		return nil
+	}
+	inf := math.Inf(1)
+	cost := make([][]float64, n)
+	from := make([][]int, n)
+	growCache := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, nb)
+		from[i] = make([]int, nb)
+		growCache[i] = make([]float64, nb)
+		e := t.Segment(i).Spatial()
+		for j := 0; j < nb; j++ {
+			r := b.Rect(j)
+			u := r.ExtendPoint(e.A).ExtendPoint(e.B)
+			growCache[i][j] = u.Area() - r.Area()
+			cost[i][j] = inf
+			from[i][j] = -1
+		}
+	}
+	for j := 0; j < nb; j++ {
+		cost[0][j] = growCache[0][j]
+	}
+	for i := 1; i < n; i++ {
+		// prefix min over cost[i-1][0..j]
+		best := inf
+		bestJ := -1
+		for j := 0; j < nb; j++ {
+			if cost[i-1][j] < best {
+				best = cost[i-1][j]
+				bestJ = j
+			}
+			if best < inf {
+				cost[i][j] = best + growCache[i][j]
+				from[i][j] = bestJ
+			}
+		}
+	}
+	// Terminal: best column in last row.
+	bestJ := 0
+	for j := 1; j < nb; j++ {
+		if cost[n-1][j] < cost[n-1][bestJ] {
+			bestJ = j
+		}
+	}
+	out := make([]int, n)
+	j := bestJ
+	for i := n - 1; i >= 0; i-- {
+		out[i] = j
+		if i > 0 {
+			j = from[i][j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+// Package core implements Edit Distance with Projections (EDwP), the
+// paper's primary contribution: a threshold-free trajectory distance that
+// adapts to inconsistent sampling rates through dynamic interpolation.
+//
+// The distance is realised as a layered dynamic program over the sample
+// points of the two trajectories. Layer S holds states where both aligned
+// heads sit on sampled points; layers I1 and I2 hold states entered through
+// an insert edit, where one head is the projection of the other
+// trajectory's last consumed sample onto the current segment — the
+// non-sampled interpolated points the paper's ins(·,·) operation creates.
+// Every transition charges the paper's rep(·,·) cost weighted by Coverage
+// (Eqs. 2–3), so larger segments dominate the distance.
+//
+// The same machinery, with free skipping of the second argument's prefix
+// and suffix plus a "stopped" layer that lets the second trajectory end at
+// any sample, yields PrefixDist and EDwPsub (Eqs. 5–6). Their box
+// generalisation (the Theorem-2 lower bound that powers the TrajTree index)
+// lives in boxes.go.
+package core
+
+import (
+	"math"
+
+	"trajmatch/internal/geom"
+	"trajmatch/internal/traj"
+)
+
+// layer indices of the dynamic program.
+const (
+	lS    = 0 // both heads at sample points
+	lI1   = 1 // T1's head is a projected (inserted) point
+	lI2   = 2 // T2's head is a projected (inserted) point
+	lStop = 3 // T2 has ended at sample j (sub/prefix modes only)
+	nL    = 4
+)
+
+// alignMode selects which affixes of the second trajectory are free.
+type alignMode int
+
+const (
+	modeGlobal alignMode = iota // EDwP: both trajectories consumed in full
+	modePrefix                  // PrefixDist: t may end early (Eq. 5)
+	modeSub                     // EDwPsub: t may start late and end early (Eq. 6)
+)
+
+// Distance returns the cumulative EDwP distance between two trajectories.
+//
+// Following the paper's definition, it returns 0 when both trajectories
+// have no segments and +Inf when exactly one of them has none.
+func Distance(t1, t2 *traj.Trajectory) float64 {
+	return run(t1.Points, t2.Points, modeGlobal)
+}
+
+// AvgDistance returns the length-normalised EDwP of Eq. 4:
+// EDwP(T1,T2) / (length(T1)+length(T2)). When both trajectories have zero
+// spatial length the result is 0 if EDwP is 0 and +Inf otherwise.
+func AvgDistance(t1, t2 *traj.Trajectory) float64 {
+	d := Distance(t1, t2)
+	sum := t1.Length() + t2.Length()
+	if sum == 0 {
+		if d == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return d / sum
+}
+
+// SubDistance returns EDwPsub(q, t): the cost of the best alignment of the
+// whole of q against any contiguous sub-trajectory of t (Eq. 6). It is
+// asymmetric; prefixes and suffixes of t are skipped free of charge.
+func SubDistance(q, t *traj.Trajectory) float64 {
+	return run(q.Points, t.Points, modeSub)
+}
+
+// PrefixDistance returns PrefixDist(q, t) of Eq. 5: all of q aligned
+// against any prefix of t (only t's suffix may be skipped).
+func PrefixDistance(q, t *traj.Trajectory) float64 {
+	return run(q.Points, t.Points, modePrefix)
+}
+
+// seg returns the spatial segment between two st-points.
+func seg(a, b traj.Point) geom.Segment { return geom.Seg(a.XY(), b.XY()) }
+
+// heads returns the aligned head positions of state (i, j, layer).
+// P and Q are the sample points of the two trajectories.
+func heads(P, Q []traj.Point, i, j, layer int) (h1, h2 geom.Point) {
+	n, m := len(P), len(Q)
+	h1 = P[i].XY()
+	h2 = Q[j].XY()
+	switch layer {
+	case lI1:
+		if i < n-1 {
+			h1 = seg(P[i], P[i+1]).Closest(Q[j].XY())
+		}
+	case lI2:
+		if j < m-1 {
+			h2 = seg(Q[j], Q[j+1]).Closest(P[i].XY())
+		}
+	}
+	return h1, h2
+}
+
+// repCost is rep(e1, e2) × Coverage(e1, e2) for the pieces
+// [h1, a1] on T1 and [h2, a2] on T2 (Eqs. 2–3).
+func repCost(h1, a1, h2, a2 geom.Point) float64 {
+	return (h1.Dist(h2) + a1.Dist(a2)) * (h1.Dist(a1) + h2.Dist(a2))
+}
+
+// run executes the forward DP with rolling rows. The inner loop is the
+// hottest code in the repository: per cell it computes the four projection
+// points shared by every layer's transitions once, then relaxes the three
+// (or four, in sub/prefix modes) outgoing edges of each layer.
+func run(P, Q []traj.Point, mode alignMode) float64 {
+	n, m := len(P), len(Q)
+	if n <= 1 {
+		if m <= 1 || mode != modeGlobal {
+			return 0 // PrefixDist(∅,·)=0 and EDwPsub(∅,·)=0; EDwP(∅,∅)=0
+		}
+		return math.Inf(1)
+	}
+	if m <= 1 {
+		return math.Inf(1)
+	}
+
+	px := make([]geom.Point, n)
+	for i, p := range P {
+		px[i] = p.XY()
+	}
+	qx := make([]geom.Point, m)
+	for j, p := range Q {
+		qx[j] = p.XY()
+	}
+
+	inf := math.Inf(1)
+	cur := make([]float64, m*nL)
+	next := make([]float64, m*nL)
+	for k := range cur {
+		cur[k] = inf
+		next[k] = inf
+	}
+	cur[0*nL+lS] = 0
+	if mode == modeSub {
+		for j := 0; j < m; j++ {
+			cur[j*nL+lS] = 0 // free skip of t's prefix
+		}
+	}
+
+	best := inf
+	for i := 0; i < n; i++ {
+		last1 := i == n-1
+		var e1 geom.Segment
+		var pNext geom.Point
+		if !last1 {
+			e1 = geom.Segment{A: px[i], B: px[i+1]}
+			pNext = px[i+1]
+		}
+		for j := 0; j < m; j++ {
+			base := j * nL
+			c0, c1, c2, c3 := cur[base+lS], cur[base+lI1], cur[base+lI2], cur[base+lStop]
+			if c0 == inf && c1 == inf && c2 == inf && c3 == inf {
+				continue
+			}
+			last2 := j == m-1
+			var e2 geom.Segment
+			var qNext geom.Point
+			if !last2 {
+				e2 = geom.Segment{A: qx[j], B: qx[j+1]}
+				qNext = qx[j+1]
+			}
+			// Shared per-cell geometry.
+			h1I1 := px[i]
+			if !last1 {
+				h1I1 = e1.Closest(qx[j]) // head of layer I1
+			}
+			h2I2 := qx[j]
+			if !last2 {
+				h2I2 = e2.Closest(px[i]) // head of layer I2
+			}
+			proj1 := px[i] // INS1 split point on q's segment
+			if !last2 {
+				if !last1 {
+					proj1 = e1.Closest(qNext)
+				} else {
+					proj1 = px[n-1]
+				}
+			}
+			proj2 := qx[j] // INS2 split point on t's segment
+			if !last1 {
+				if !last2 {
+					proj2 = e2.Closest(pNext)
+				} else {
+					proj2 = qx[m-1]
+				}
+			}
+
+			// Endpoint-pair distances shared by every layer's transitions.
+			var dRep, dIns1, dIns2 float64
+			if !last1 && !last2 {
+				dRep = pNext.Dist(qNext)
+			}
+			if !last2 {
+				dIns1 = proj1.Dist(qNext)
+			}
+			if !last1 {
+				dIns2 = pNext.Dist(proj2)
+			}
+
+			for layer := 0; layer < nL; layer++ {
+				c := cur[base+layer]
+				if c == inf {
+					continue
+				}
+				h1, h2 := px[i], qx[j]
+				switch layer {
+				case lI1:
+					h1 = h1I1
+				case lI2:
+					h2 = h2I2
+				}
+				if last1 {
+					// q consumed. Global mode also requires t consumed.
+					if mode != modeGlobal || last2 {
+						if c < best {
+							best = c
+						}
+					}
+				}
+				if layer == lStop {
+					// t has ended at sample j: q's remaining segments
+					// replace against the zero-length tail.
+					if !last1 {
+						cost := c + (h1.Dist(h2)+pNext.Dist(h2))*h1.Dist(pNext)
+						if idx := base + lStop; cost < next[idx] {
+							next[idx] = cost
+						}
+					}
+					continue
+				}
+				// Per-layer distance terms, shared across the transitions.
+				dh := h1.Dist(h2)
+				var cov1 float64 // remaining piece of q's segment
+				if !last1 {
+					cov1 = h1.Dist(pNext)
+				}
+				var cov2 float64 // remaining piece of t's segment
+				if !last2 {
+					cov2 = h2.Dist(qNext)
+				}
+				// REP: consume the rest of both current segments.
+				if !last1 && !last2 {
+					cost := c + (dh+dRep)*(cov1+cov2)
+					if idx := base + nL + lS; cost < next[idx] {
+						next[idx] = cost
+					}
+				}
+				// INS1: consume t's segment against part of q's segment
+				// (or against q's zero-length tail).
+				if !last2 {
+					cost := c + (dh+dIns1)*(h1.Dist(proj1)+cov2)
+					if idx := base + nL + lI1; cost < cur[idx] {
+						cur[idx] = cost
+					}
+				}
+				// INS2: consume q's segment against part of t's segment
+				// (or against t's zero-length tail when t is exhausted).
+				if !last1 {
+					cost := c + (dh+dIns2)*(cov1+h2.Dist(proj2))
+					if idx := base + lI2; cost < next[idx] {
+						next[idx] = cost
+					}
+				}
+				// Stop t at sample j (sub/prefix only, from sample-aligned
+				// layers): q's next segment replaces against the tail.
+				if mode != modeGlobal && (layer == lS || layer == lI1) && !last1 && !last2 {
+					qj := qx[j]
+					cost := c + (h1.Dist(qj)+pNext.Dist(qj))*cov1
+					if idx := base + lStop; cost < next[idx] {
+						next[idx] = cost
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+		for k := range next {
+			next[k] = inf
+		}
+	}
+	return best
+}

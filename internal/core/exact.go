@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+
+	"trajmatch/internal/geom"
+	"trajmatch/internal/traj"
+)
+
+// ExactDistance evaluates the paper's EDwP recursion directly, with
+// memoisation over continuous alignment heads: unlike Distance's array DP,
+// inserts here project onto the *remaining* part of the current segment,
+// exactly as the mutating ins(·,·) operation prescribes. The state space
+// grows with the number of distinct projection chains, so this evaluator is
+// intended as a test oracle for short trajectories; Distance is the
+// production implementation.
+func ExactDistance(t1, t2 *traj.Trajectory) float64 {
+	P, Q := t1.Points, t2.Points
+	n, m := len(P), len(Q)
+	if n <= 1 && m <= 1 {
+		return 0
+	}
+	if n <= 1 || m <= 1 {
+		return math.Inf(1)
+	}
+	e := &exactEval{P: P, Q: Q, memo: make(map[exactKey]float64)}
+	return e.eval(0, P[0].XY(), 0, Q[0].XY())
+}
+
+type exactKey struct {
+	i, j     int
+	h1x, h1y float64
+	h2x, h2y float64
+}
+
+type exactEval struct {
+	P, Q []traj.Point
+	memo map[exactKey]float64
+}
+
+// eval returns the cheapest cost to finish the alignment from heads
+// (h1 within segment i of P, h2 within segment j of Q). i == len(P)-1 means
+// P is down to its zero-length tail at h1 (and likewise for Q).
+func (e *exactEval) eval(i int, h1 geom.Point, j int, h2 geom.Point) float64 {
+	n, m := len(e.P), len(e.Q)
+	if i == n-1 && j == m-1 {
+		return 0
+	}
+	k := exactKey{i, j, h1.X, h1.Y, h2.X, h2.Y}
+	if v, ok := e.memo[k]; ok {
+		return v
+	}
+	// Mark in-progress to cut cycles (zero-progress transitions are skipped
+	// below, so any cycle would be zero-progress and can be priced +Inf).
+	e.memo[k] = math.Inf(1)
+
+	best := math.Inf(1)
+	relax := func(c float64) {
+		if c < best {
+			best = c
+		}
+	}
+
+	// REP: consume both remainders.
+	switch {
+	case i < n-1 && j < m-1:
+		a1, a2 := e.P[i+1].XY(), e.Q[j+1].XY()
+		relax(repCost(h1, a1, h2, a2) + e.eval(i+1, a1, j+1, a2))
+	case i == n-1 && j < m-1:
+		// P exhausted: its zero-length tail replaces against Q's remainder.
+		a2 := e.Q[j+1].XY()
+		relax(repCost(h1, h1, h2, a2) + e.eval(i, h1, j+1, a2))
+	case i < n-1 && j == m-1:
+		a1 := e.P[i+1].XY()
+		relax(repCost(h1, a1, h2, h2) + e.eval(i+1, a1, j, h2))
+	}
+
+	// INS1: split P's remainder at the projection of Q's next sample, match
+	// the first part with Q's remainder.
+	if j < m-1 && i < n-1 {
+		rem := geom.Seg(h1, e.P[i+1].XY())
+		p := rem.Closest(e.Q[j+1].XY())
+		a2 := e.Q[j+1].XY()
+		if p != h1 || a2 != h2 { // skip zero-progress
+			relax(repCost(h1, p, h2, a2) + e.eval(i, p, j+1, a2))
+		}
+	}
+	// INS2: symmetric.
+	if i < n-1 && j < m-1 {
+		rem := geom.Seg(h2, e.Q[j+1].XY())
+		q := rem.Closest(e.P[i+1].XY())
+		a1 := e.P[i+1].XY()
+		if q != h2 || a1 != h1 {
+			relax(repCost(h1, a1, h2, q) + e.eval(i+1, a1, j, q))
+		}
+	}
+
+	e.memo[k] = best
+	return best
+}

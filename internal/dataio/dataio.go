@@ -1,0 +1,149 @@
+// Package dataio reads and writes trajectory databases in two plain
+// formats: a point-per-row CSV (id,x,y,t[,label]) compatible with common
+// GPS trace dumps, and newline-delimited JSON with one trajectory per line.
+// The cmd/ tools use it to move datasets between runs.
+package dataio
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"trajmatch/internal/traj"
+)
+
+// WriteCSV writes db as point-per-row CSV with the header
+// id,x,y,t,label. Points of one trajectory appear consecutively in time
+// order.
+func WriteCSV(w io.Writer, db []*traj.Trajectory) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "x", "y", "t", "label"}); err != nil {
+		return err
+	}
+	for _, t := range db {
+		id := strconv.Itoa(t.ID)
+		label := strconv.Itoa(t.Label)
+		for _, p := range t.Points {
+			rec := []string{
+				id,
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Y, 'g', -1, 64),
+				strconv.FormatFloat(p.T, 'g', -1, 64),
+				label,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the format WriteCSV produces. The label column is
+// optional; rows of one trajectory need not be contiguous but must be
+// time-ordered within each id. Trajectories are returned sorted by ID.
+func ReadCSV(r io.Reader) ([]*traj.Trajectory, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	start := 0
+	if len(rows[0]) > 0 && rows[0][0] == "id" {
+		start = 1
+	}
+	byID := make(map[int]*traj.Trajectory)
+	for ln, row := range rows[start:] {
+		if len(row) < 4 {
+			return nil, fmt.Errorf("dataio: row %d: want at least 4 fields, got %d", ln+start+1, len(row))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataio: row %d: bad id %q", ln+start+1, row[0])
+		}
+		x, err1 := strconv.ParseFloat(row[1], 64)
+		y, err2 := strconv.ParseFloat(row[2], 64)
+		ts, err3 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("dataio: row %d: bad coordinates", ln+start+1)
+		}
+		t := byID[id]
+		if t == nil {
+			t = traj.New(id, nil)
+			byID[id] = t
+		}
+		if len(row) >= 5 {
+			if lbl, err := strconv.Atoi(row[4]); err == nil {
+				t.Label = lbl
+			}
+		}
+		t.Points = append(t.Points, traj.P(x, y, ts))
+	}
+	out := make([]*traj.Trajectory, 0, len(byID))
+	for _, t := range byID {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// jsonTraj is the NDJSON wire form.
+type jsonTraj struct {
+	ID     int          `json:"id"`
+	Label  int          `json:"label,omitempty"`
+	Points [][3]float64 `json:"points"`
+}
+
+// WriteNDJSON writes one JSON object per line per trajectory.
+func WriteNDJSON(w io.Writer, db []*traj.Trajectory) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range db {
+		jt := jsonTraj{ID: t.ID, Label: t.Label, Points: make([][3]float64, len(t.Points))}
+		for i, p := range t.Points {
+			jt.Points[i] = [3]float64{p.X, p.Y, p.T}
+		}
+		if err := enc.Encode(&jt); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses the format WriteNDJSON produces, skipping blank lines.
+func ReadNDJSON(r io.Reader) ([]*traj.Trajectory, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var out []*traj.Trajectory
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var jt jsonTraj
+		if err := json.Unmarshal(raw, &jt); err != nil {
+			return nil, fmt.Errorf("dataio: line %d: %w", line, err)
+		}
+		t := traj.New(jt.ID, make([]traj.Point, len(jt.Points)))
+		t.Label = jt.Label
+		for i, p := range jt.Points {
+			t.Points[i] = traj.P(p[0], p[1], p[2])
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

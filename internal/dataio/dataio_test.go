@@ -1,0 +1,103 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trajmatch/internal/synth"
+	"trajmatch/internal/traj"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := synth.Taxi(synth.DefaultTaxi(8))
+	db[3].Label = 7
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(db) {
+		t.Fatalf("round trip: %d trajectories, want %d", len(got), len(db))
+	}
+	for i := range db {
+		if !traj.Equal(db[i], got[i]) {
+			t.Fatalf("trajectory %d altered by round trip", i)
+		}
+		if got[i].Label != db[i].Label {
+			t.Errorf("trajectory %d label %d, want %d", i, got[i].Label, db[i].Label)
+		}
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	db := synth.ASL(synth.ASLConfig{NumClasses: 3, Instances: 2, Points: 10, Jitter: 0.01, Seed: 9})
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(db) {
+		t.Fatalf("round trip: %d trajectories, want %d", len(got), len(db))
+	}
+	for i := range db {
+		if !traj.Equal(db[i], got[i]) || got[i].Label != db[i].Label {
+			t.Fatalf("trajectory %d altered by round trip", i)
+		}
+	}
+}
+
+func TestReadCSVWithoutHeaderOrLabel(t *testing.T) {
+	in := "0,1,2,3\n0,4,5,6\n1,0,0,0\n1,1,1,1\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d trajectories", len(got))
+	}
+	if got[0].Points[1] != traj.P(4, 5, 6) {
+		t.Errorf("point = %v", got[0].Points[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("id,x,y,t\nnope,1,2,3\n")); err == nil {
+		t.Error("bad id accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("id,x,y,t\n0,a,2,3\n")); err == nil {
+		t.Error("bad coordinate accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("0,1\n")); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestReadNDJSONSkipsBlankAndRejectsGarbage(t *testing.T) {
+	in := `{"id":1,"points":[[0,0,0],[1,1,1]]}` + "\n\n" + `{"id":2,"points":[[2,2,2],[3,3,3]]}` + "\n"
+	got, err := ReadNDJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d trajectories", len(got))
+	}
+	if _, err := ReadNDJSON(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if got, err := ReadCSV(strings.NewReader("")); err != nil || len(got) != 0 {
+		t.Errorf("empty CSV: %v, %v", got, err)
+	}
+	if got, err := ReadNDJSON(strings.NewReader("")); err != nil || len(got) != 0 {
+		t.Errorf("empty NDJSON: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package dtwindex answers exact k-NN queries under DTW, re-creating the
+// lineage the paper's Related Work starts from ("initial efforts on
+// indexing trajectory retrieval were primarily directed towards indexing
+// DTW" — Yi et al. and Keogh's exact indexing). Envelope bounds do not
+// transfer directly to unequal-length 2-D trajectories, so this index uses
+// two admissible bounds that do:
+//
+//   - the corner bound (LB_Kim style): DTW always matches first with first
+//     and last with last, so dist(q₁,t₁) + dist(qₙ,tₘ) never exceeds it;
+//   - the MBR bound: every query point participates in at least one matched
+//     pair, so Σᵢ dist(qᵢ, MBR(T)) never exceeds DTW(Q,T).
+//
+// Candidates are visited in bound order with an early-abandoning DTW whose
+// row minima cut off once the running k-th best is exceeded.
+package dtwindex
+
+import (
+	"sort"
+
+	"trajmatch/internal/geom"
+	"trajmatch/internal/pqueue"
+	"trajmatch/internal/traj"
+)
+
+// Index holds the database with one precomputed MBR per trajectory.
+type Index struct {
+	db   []*traj.Trajectory
+	mbrs []geom.Rect
+}
+
+// New builds the index.
+func New(db []*traj.Trajectory) *Index {
+	ix := &Index{db: db, mbrs: make([]geom.Rect, len(db))}
+	for i, t := range db {
+		ix.mbrs[i] = t.Bounds()
+	}
+	return ix
+}
+
+// lowerBound returns max(corner bound, MBR bound) for db[i].
+func (ix *Index) lowerBound(q *traj.Trajectory, i int) float64 {
+	t := ix.db[i]
+	if q.NumPoints() == 0 || t.NumPoints() == 0 {
+		return 0
+	}
+	corner := q.Points[0].Dist(t.Points[0]) +
+		q.Points[len(q.Points)-1].Dist(t.Points[len(t.Points)-1])
+	var mbr float64
+	r := ix.mbrs[i]
+	for _, p := range q.Points {
+		mbr += r.DistToPoint(p.XY())
+	}
+	if mbr > corner {
+		return mbr
+	}
+	return corner
+}
+
+// Result is one k-NN answer under DTW.
+type Result struct {
+	Traj *traj.Trajectory
+	Dist float64
+}
+
+// Stats reports per-query work.
+type Stats struct {
+	FullComputations, Pruned int
+}
+
+// KNN returns the exact DTW k-nearest neighbours of q, sorted ascending.
+func (ix *Index) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
+	var st Stats
+	if k <= 0 || len(ix.db) == 0 {
+		return nil, st
+	}
+	type cand struct {
+		i  int
+		lb float64
+	}
+	cands := make([]cand, len(ix.db))
+	for i := range ix.db {
+		cands[i] = cand{i, ix.lowerBound(q, i)}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
+
+	ans := pqueue.NewTopK[*traj.Trajectory](k)
+	for _, c := range cands {
+		if worst, full := ans.Worst(); full && c.lb >= worst {
+			st.Pruned++
+			continue
+		}
+		bound := -1.0
+		if worst, full := ans.Worst(); full {
+			bound = worst
+		}
+		st.FullComputations++
+		d := dtwEarlyAbandon(q.Points, ix.db[c.i].Points, bound)
+		ans.Offer(ix.db[c.i], d)
+	}
+	items := ans.Items()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Traj: it.Value, Dist: it.Priority}
+	}
+	return out, st
+}
+
+// KNNBrute is the unpruned scan for verification.
+func (ix *Index) KNNBrute(q *traj.Trajectory, k int) []Result {
+	ans := pqueue.NewTopK[*traj.Trajectory](k)
+	for _, t := range ix.db {
+		ans.Offer(t, dtwEarlyAbandon(q.Points, t.Points, -1))
+	}
+	items := ans.Items()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Traj: it.Value, Dist: it.Priority}
+	}
+	return out
+}
+
+// dtwEarlyAbandon computes DTW with Euclidean ground distance, abandoning
+// as soon as a whole row exceeds bound (bound < 0 disables). DTW costs only
+// accumulate, so the abandoned value is itself a valid lower bound > bound.
+func dtwEarlyAbandon(P, Q []traj.Point, bound float64) float64 {
+	n, m := len(P), len(Q)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return 1e308
+	}
+	inf := 1e308
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for i := 0; i < n; i++ {
+		rowMin := inf
+		for j := 0; j < m; j++ {
+			d := P[i].Dist(Q[j])
+			switch {
+			case i == 0 && j == 0:
+				cur[j] = d
+			case i == 0:
+				cur[j] = cur[j-1] + d
+			case j == 0:
+				cur[j] = prev[j] + d
+			default:
+				best := prev[j-1]
+				if prev[j] < best {
+					best = prev[j]
+				}
+				if cur[j-1] < best {
+					best = cur[j-1]
+				}
+				cur[j] = best + d
+			}
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if bound >= 0 && rowMin > bound {
+			return rowMin
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}

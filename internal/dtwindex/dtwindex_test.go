@@ -1,0 +1,106 @@
+package dtwindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmatch/internal/baseline"
+	"trajmatch/internal/synth"
+	"trajmatch/internal/traj"
+)
+
+func smallDB(n int) []*traj.Trajectory {
+	cfg := synth.DefaultTaxi(n)
+	cfg.CitySize = 3000
+	return synth.Taxi(cfg)
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	db := smallDB(80)
+	ix := New(db)
+	rng := rand.New(rand.NewSource(141))
+	for it := 0; it < 10; it++ {
+		q := db[rng.Intn(len(db))]
+		for _, k := range []int{1, 5, 10} {
+			got, _ := ix.KNN(q, k)
+			want := ix.KNNBrute(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results, want %d", k, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9*(1+want[i].Dist) {
+					t.Fatalf("k=%d rank %d: %v vs %v", k, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestDTWAgreesWithBaseline(t *testing.T) {
+	db := smallDB(20)
+	m := baseline.DTW{}
+	for i := 1; i < len(db); i++ {
+		a := dtwEarlyAbandon(db[0].Points, db[i].Points, -1)
+		b := m.Dist(db[0], db[i])
+		if math.Abs(a-b) > 1e-9*(1+b) {
+			t.Fatalf("index DTW %v != baseline DTW %v", a, b)
+		}
+	}
+}
+
+func TestLowerBoundAdmissible(t *testing.T) {
+	db := smallDB(40)
+	ix := New(db)
+	rng := rand.New(rand.NewSource(142))
+	for it := 0; it < 20; it++ {
+		q := db[rng.Intn(len(db))]
+		for i := range db {
+			lb := ix.lowerBound(q, i)
+			d := dtwEarlyAbandon(q.Points, db[i].Points, -1)
+			if lb > d+1e-9*(1+d) {
+				t.Fatalf("DTW lower bound %v exceeds distance %v", lb, d)
+			}
+		}
+	}
+}
+
+func TestEarlyAbandonCertifiesBound(t *testing.T) {
+	db := smallDB(30)
+	rng := rand.New(rand.NewSource(143))
+	for it := 0; it < 50; it++ {
+		a := db[rng.Intn(len(db))]
+		b := db[rng.Intn(len(db))]
+		full := dtwEarlyAbandon(a.Points, b.Points, -1)
+		if got := dtwEarlyAbandon(a.Points, b.Points, full); math.Abs(got-full) > 1e-9*(1+full) {
+			t.Fatalf("bound = true distance altered result: %v vs %v", got, full)
+		}
+		if full > 1 {
+			got := dtwEarlyAbandon(a.Points, b.Points, full/2)
+			if got <= full/2 {
+				t.Fatalf("abandoned value %v does not certify bound %v", got, full/2)
+			}
+		}
+	}
+}
+
+func TestPruningHappens(t *testing.T) {
+	db := smallDB(150)
+	ix := New(db)
+	_, st := ix.KNN(db[3], 5)
+	if st.Pruned == 0 {
+		t.Error("no candidates pruned")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	ix := New(nil)
+	if res, _ := ix.KNN(traj.FromXY(0, 0, 0, 1, 1), 3); len(res) != 0 {
+		t.Error("kNN over empty index returned results")
+	}
+	db := smallDB(4)
+	ix = New(db)
+	if res, _ := ix.KNN(db[0], 0); len(res) != 0 {
+		t.Error("k=0 returned results")
+	}
+}

@@ -1,0 +1,144 @@
+// Package edrindex implements an indexed k-NN evaluator for the EDR
+// distance, the competitor labelled "EDR" in Figs. 5(j) and 6(a). It
+// follows the pruning framework of the original EDR paper (Chen, Özsu,
+// Oria; SIGMOD 2005) with two admissible lower bounds — the sequence-length
+// difference and a grid-histogram mismatch count — and an early-abandoning
+// dynamic program ordered by those bounds (see DESIGN.md §3 for the
+// substitution note).
+package edrindex
+
+import (
+	"math"
+	"sort"
+
+	"trajmatch/internal/baseline"
+	"trajmatch/internal/pqueue"
+	"trajmatch/internal/traj"
+)
+
+// cellKey addresses an ε-grid cell.
+type cellKey struct{ cx, cy int }
+
+// Index answers EDR k-NN queries over a fixed database.
+type Index struct {
+	eps   float64
+	db    []*traj.Trajectory
+	grids []map[cellKey]int // per-trajectory ε-grid histograms
+	edr   baseline.EDR
+}
+
+// New builds the index: one ε-grid histogram per trajectory.
+func New(db []*traj.Trajectory, eps float64) *Index {
+	ix := &Index{eps: eps, db: db, edr: baseline.EDR{Eps: eps}}
+	ix.grids = make([]map[cellKey]int, len(db))
+	for i, t := range db {
+		ix.grids[i] = gridOf(t, eps)
+	}
+	return ix
+}
+
+func gridOf(t *traj.Trajectory, eps float64) map[cellKey]int {
+	g := make(map[cellKey]int, t.NumPoints())
+	for _, p := range t.Points {
+		g[cellKey{int(math.Floor(p.X / eps)), int(math.Floor(p.Y / eps))}]++
+	}
+	return g
+}
+
+// lowerBound returns an admissible lower bound on EDR(q, db[i]).
+func (ix *Index) lowerBound(q *traj.Trajectory, qGrid map[cellKey]int, i int) float64 {
+	n, m := q.NumPoints(), ix.db[i].NumPoints()
+	lenDiff := n - m
+	if lenDiff < 0 {
+		lenDiff = -lenDiff
+	}
+	// Histogram bound: a query point can only match a database point lying
+	// in its 3×3 cell neighbourhood; every query point without any such
+	// candidate forces at least one edit, and those edits are distinct.
+	unmatched := 0
+	tg := ix.grids[i]
+	for c, cnt := range qGrid {
+		found := false
+		for dx := -1; dx <= 1 && !found; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				if tg[cellKey{c.cx + dx, c.cy + dy}] > 0 {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			unmatched += cnt
+		}
+	}
+	if unmatched > lenDiff {
+		return float64(unmatched)
+	}
+	return float64(lenDiff)
+}
+
+// Result is one k-NN answer under EDR.
+type Result struct {
+	Traj *traj.Trajectory
+	Dist float64
+}
+
+// Stats reports how much work a query did.
+type Stats struct {
+	// FullComputations counts candidates whose EDR was evaluated (possibly
+	// abandoned early); Pruned counts candidates rejected by bounds alone.
+	FullComputations, Pruned int
+}
+
+// KNN returns the exact EDR k-nearest neighbours of q, sorted ascending.
+func (ix *Index) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
+	var st Stats
+	if k <= 0 || len(ix.db) == 0 {
+		return nil, st
+	}
+	qGrid := gridOf(q, ix.eps)
+	type cand struct {
+		i  int
+		lb float64
+	}
+	cands := make([]cand, len(ix.db))
+	for i := range ix.db {
+		cands[i] = cand{i, ix.lowerBound(q, qGrid, i)}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
+
+	ans := pqueue.NewTopK[*traj.Trajectory](k)
+	for _, c := range cands {
+		if worst, full := ans.Worst(); full && c.lb >= worst {
+			st.Pruned++
+			continue
+		}
+		bound := -1
+		if worst, full := ans.Worst(); full {
+			bound = int(worst)
+		}
+		st.FullComputations++
+		d := ix.edr.DistEarlyAbandon(q, ix.db[c.i], bound)
+		ans.Offer(ix.db[c.i], d)
+	}
+	items := ans.Items()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Traj: it.Value, Dist: it.Priority}
+	}
+	return out, st
+}
+
+// KNNBrute is the unpruned scan, used to verify exactness.
+func (ix *Index) KNNBrute(q *traj.Trajectory, k int) []Result {
+	ans := pqueue.NewTopK[*traj.Trajectory](k)
+	for _, t := range ix.db {
+		ans.Offer(t, ix.edr.Dist(q, t))
+	}
+	items := ans.Items()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Traj: it.Value, Dist: it.Priority}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package edrindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmatch/internal/synth"
+	"trajmatch/internal/traj"
+)
+
+func smallDB(n int) []*traj.Trajectory {
+	cfg := synth.DefaultTaxi(n)
+	cfg.CitySize = 3000
+	return synth.Taxi(cfg)
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	db := smallDB(80)
+	ix := New(db, 60)
+	rng := rand.New(rand.NewSource(101))
+	for it := 0; it < 10; it++ {
+		q := db[rng.Intn(len(db))]
+		for _, k := range []int{1, 5, 10} {
+			got, _ := ix.KNN(q, k)
+			want := ix.KNNBrute(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results, want %d", k, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+					t.Fatalf("k=%d rank %d: %v vs %v", k, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerBoundAdmissible(t *testing.T) {
+	db := smallDB(40)
+	ix := New(db, 60)
+	rng := rand.New(rand.NewSource(102))
+	for it := 0; it < 20; it++ {
+		q := db[rng.Intn(len(db))]
+		qGrid := gridOf(q, ix.eps)
+		for i := range db {
+			lb := ix.lowerBound(q, qGrid, i)
+			d := ix.edr.Dist(q, db[i])
+			if lb > d+1e-9 {
+				t.Fatalf("EDR lower bound %v exceeds distance %v", lb, d)
+			}
+		}
+	}
+}
+
+func TestPruningHappens(t *testing.T) {
+	db := smallDB(150)
+	ix := New(db, 60)
+	q := db[3]
+	_, st := ix.KNN(q, 5)
+	if st.Pruned == 0 {
+		t.Error("no candidates pruned; bounds ineffective")
+	}
+	if st.FullComputations >= len(db) {
+		t.Errorf("all %d candidates fully computed", st.FullComputations)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	ix := New(nil, 10)
+	if res, _ := ix.KNN(traj.FromXY(0, 0, 0, 1, 1), 5); len(res) != 0 {
+		t.Error("kNN over empty index returned results")
+	}
+	db := smallDB(5)
+	ix = New(db, 10)
+	if res, _ := ix.KNN(db[0], 0); len(res) != 0 {
+		t.Error("k=0 returned results")
+	}
+	res, _ := ix.KNN(db[0], 100)
+	if len(res) != 5 {
+		t.Errorf("k>n returned %d results", len(res))
+	}
+}

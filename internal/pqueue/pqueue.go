@@ -1,0 +1,111 @@
+// Package pqueue provides the small priority queues Algorithm 2 needs: a
+// generic min-queue for ordering index nodes by lower bound and a bounded
+// max-queue that maintains the running k-NN answer set.
+package pqueue
+
+import "container/heap"
+
+// Item pairs a payload with its priority.
+type Item[T any] struct {
+	Value    T
+	Priority float64
+}
+
+// Min is a minimum priority queue: Pop returns the item with the smallest
+// priority. The zero value is ready to use.
+type Min[T any] struct{ h minHeap[T] }
+
+// Push adds an item.
+func (q *Min[T]) Push(v T, priority float64) {
+	heap.Push(&q.h, Item[T]{Value: v, Priority: priority})
+}
+
+// Pop removes and returns the smallest-priority item. It panics when empty.
+func (q *Min[T]) Pop() Item[T] { return heap.Pop(&q.h).(Item[T]) }
+
+// Len returns the number of queued items.
+func (q *Min[T]) Len() int { return q.h.Len() }
+
+type minHeap[T any] []Item[T]
+
+func (h minHeap[T]) Len() int            { return len(h) }
+func (h minHeap[T]) Less(i, j int) bool  { return h[i].Priority < h[j].Priority }
+func (h minHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap[T]) Push(x interface{}) { *h = append(*h, x.(Item[T])) }
+func (h *minHeap[T]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// TopK maintains the k smallest-priority items seen so far (a bounded
+// max-heap). It is the ans queue of Algorithm 2.
+type TopK[T any] struct {
+	k int
+	h maxHeap[T]
+}
+
+// NewTopK returns a TopK that retains the k best (smallest priority) items.
+func NewTopK[T any](k int) *TopK[T] { return &TopK[T]{k: k} }
+
+// Offer inserts the item if it belongs in the current top k, evicting the
+// worst item when over capacity. It reports whether the item was kept.
+func (q *TopK[T]) Offer(v T, priority float64) bool {
+	if q.k <= 0 {
+		return false
+	}
+	if q.h.Len() < q.k {
+		heap.Push(&q.h, Item[T]{Value: v, Priority: priority})
+		return true
+	}
+	if priority >= q.h[0].Priority {
+		return false
+	}
+	q.h[0] = Item[T]{Value: v, Priority: priority}
+	heap.Fix(&q.h, 0)
+	return true
+}
+
+// Full reports whether k items are held.
+func (q *TopK[T]) Full() bool { return q.h.Len() >= q.k }
+
+// Worst returns the largest priority currently held, or +Inf semantics via
+// ok=false when fewer than k items are held.
+func (q *TopK[T]) Worst() (float64, bool) {
+	if q.h.Len() == 0 {
+		return 0, false
+	}
+	return q.h[0].Priority, q.h.Len() >= q.k
+}
+
+// Len returns the number of held items.
+func (q *TopK[T]) Len() int { return q.h.Len() }
+
+// Items returns the held items sorted by ascending priority.
+func (q *TopK[T]) Items() []Item[T] {
+	out := make([]Item[T], q.h.Len())
+	copy(out, q.h)
+	// Simple insertion sort suffices for k-sized slices.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Priority < out[j-1].Priority; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+type maxHeap[T any] []Item[T]
+
+func (h maxHeap[T]) Len() int            { return len(h) }
+func (h maxHeap[T]) Less(i, j int) bool  { return h[i].Priority > h[j].Priority }
+func (h maxHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap[T]) Push(x interface{}) { *h = append(*h, x.(Item[T])) }
+func (h *maxHeap[T]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

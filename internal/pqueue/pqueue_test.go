@@ -1,0 +1,96 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestMinOrdering(t *testing.T) {
+	var q Min[string]
+	q.Push("c", 3)
+	q.Push("a", 1)
+	q.Push("b", 2)
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		it := q.Pop()
+		if it.Value != w {
+			t.Errorf("popped %q, want %q", it.Value, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after draining", q.Len())
+	}
+}
+
+func TestMinRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var q Min[int]
+	var ps []float64
+	for i := 0; i < 500; i++ {
+		p := rng.Float64()
+		ps = append(ps, p)
+		q.Push(i, p)
+	}
+	sort.Float64s(ps)
+	for i := 0; i < 500; i++ {
+		if got := q.Pop().Priority; got != ps[i] {
+			t.Fatalf("pop %d: priority %v, want %v", i, got, ps[i])
+		}
+	}
+}
+
+func TestTopKKeepsSmallest(t *testing.T) {
+	q := NewTopK[int](3)
+	for i, p := range []float64{9, 1, 8, 2, 7, 3} {
+		q.Offer(i, p)
+	}
+	items := q.Items()
+	if len(items) != 3 {
+		t.Fatalf("kept %d items", len(items))
+	}
+	wantP := []float64{1, 2, 3}
+	for i, it := range items {
+		if it.Priority != wantP[i] {
+			t.Errorf("item %d priority %v, want %v", i, it.Priority, wantP[i])
+		}
+	}
+	if w, full := q.Worst(); !full || w != 3 {
+		t.Errorf("Worst = %v full=%v, want 3 true", w, full)
+	}
+}
+
+func TestTopKNotFull(t *testing.T) {
+	q := NewTopK[int](5)
+	q.Offer(1, 10)
+	if _, full := q.Worst(); full {
+		t.Error("reported full with 1/5 items")
+	}
+	if q.Full() {
+		t.Error("Full() true with 1/5 items")
+	}
+}
+
+func TestTopKRejectsWorse(t *testing.T) {
+	q := NewTopK[int](2)
+	if !q.Offer(0, 1) || !q.Offer(1, 2) {
+		t.Fatal("initial offers rejected")
+	}
+	if q.Offer(2, 5) {
+		t.Error("worse item accepted when full")
+	}
+	if !q.Offer(3, 0.5) {
+		t.Error("better item rejected")
+	}
+	items := q.Items()
+	if items[0].Priority != 0.5 || items[1].Priority != 1 {
+		t.Errorf("items = %v", items)
+	}
+}
+
+func TestTopKZero(t *testing.T) {
+	q := NewTopK[int](0)
+	if q.Offer(1, 1) {
+		t.Error("k=0 accepted an item")
+	}
+}

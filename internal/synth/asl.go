@@ -1,0 +1,160 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"trajmatch/internal/traj"
+)
+
+// ASLConfig parameterises the sign-language stand-in: NumClasses smooth
+// template curves ("signs"), each instantiated Instances times with jitter.
+type ASLConfig struct {
+	// NumClasses is the number of distinct signs (the real dataset has 98).
+	NumClasses int
+	// Instances is the number of recordings per sign.
+	Instances int
+	// Points is the number of samples per recording.
+	Points int
+	// Jitter is the instance noise standard deviation relative to the
+	// template extent (hand tremor + sensor noise).
+	Jitter float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+// DefaultASL mirrors the real corpus shape: 98 classes, 27 instances each.
+func DefaultASL() ASLConfig {
+	return ASLConfig{NumClasses: 98, Instances: 27, Points: 40, Jitter: 0.04, Seed: 2}
+}
+
+// ASL generates labelled gesture trajectories. Classes are smooth Bézier
+// templates in a 100×100 workspace; to make the task realistically hard —
+// real signs resemble one another — classes are derived from a small pool
+// of base shapes, so several classes share overall structure and differ in
+// detail. Each instance re-samples its class template with spatial jitter,
+// a random monotone time warp, a slight rigid motion and its own sampling
+// rate, the regime of the Fig. 5(a) classification experiment.
+func ASL(cfg ASLConfig) []*traj.Trajectory {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	numBases := cfg.NumClasses / 6
+	if numBases < 2 {
+		numBases = 2
+	}
+	bases := make([][]gpt, numBases)
+	for i := range bases {
+		bases[i] = basePolygon(rng)
+	}
+	out := make([]*traj.Trajectory, 0, cfg.NumClasses*cfg.Instances)
+	id := 0
+	for class := 0; class < cfg.NumClasses; class++ {
+		ctrl := perturbPolygon(bases[class%numBases], 7, rng)
+		tpl := bezier(ctrl)
+		for inst := 0; inst < cfg.Instances; inst++ {
+			t := instantiate(tpl, cfg, rng, id, class)
+			out = append(out, t)
+			id++
+		}
+	}
+	return out
+}
+
+// gpt is a control point of a gesture template.
+type gpt struct{ x, y float64 }
+
+// basePolygon draws 4–7 control points in the workspace.
+func basePolygon(rng *rand.Rand) []gpt {
+	n := 4 + rng.Intn(4)
+	ps := make([]gpt, n)
+	for i := range ps {
+		ps[i] = gpt{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	return ps
+}
+
+// perturbPolygon returns a copy with Gaussian noise of the given magnitude
+// on every control point — a class-level variation of a base shape.
+func perturbPolygon(ps []gpt, mag float64, rng *rand.Rand) []gpt {
+	out := make([]gpt, len(ps))
+	for i, p := range ps {
+		out[i] = gpt{p.x + rng.NormFloat64()*mag, p.y + rng.NormFloat64()*mag}
+	}
+	return out
+}
+
+// bezier returns the degree-(n−1) Bézier evaluator over the control points
+// (De Casteljau: smooth and cheap at these sizes).
+func bezier(ps []gpt) func(u float64) (x, y float64) {
+	n := len(ps)
+	return func(u float64) (float64, float64) {
+		bx := make([]float64, n)
+		by := make([]float64, n)
+		for i, p := range ps {
+			bx[i], by[i] = p.x, p.y
+		}
+		for m := n - 1; m > 0; m-- {
+			for i := 0; i < m; i++ {
+				bx[i] = bx[i]*(1-u) + bx[i+1]*u
+				by[i] = by[i]*(1-u) + by[i+1]*u
+			}
+		}
+		return bx[0], by[0]
+	}
+}
+
+func instantiate(tpl func(float64) (float64, float64), cfg ASLConfig, rng *rand.Rand, id, class int) *traj.Trajectory {
+	// Every recording differs from its template by a monotone time warp,
+	// a slight rigid motion (signers hold their hands differently), jitter
+	// and — on theme for the paper — its own sampling rate.
+	n := cfg.Points
+	if n > 6 {
+		n = n*6/10 + rng.Intn(n*8/10) // 0.6×..1.4× of the nominal rate
+	}
+	gamma := 0.6 + rng.Float64()*0.9
+	phase := rng.Float64() * 0.05
+	duration := 2 + rng.Float64()*2 // seconds, like a hand sign
+	angle := (rng.Float64() - 0.5) * 0.25
+	scale := 0.9 + rng.Float64()*0.2
+	sin, cos := math.Sin(angle), math.Cos(angle)
+	const cx, cy = 50, 50 // rotate about the workspace centre
+
+	pts := make([]traj.Point, n)
+	for i := range pts {
+		u := math.Pow(float64(i)/float64(n-1), gamma)
+		u = math.Min(1, u*(1-phase)+phase)
+		x, y := tpl(u)
+		x, y = x-cx, y-cy
+		x, y = scale*(x*cos-y*sin)+cx, scale*(x*sin+y*cos)+cy
+		x += rng.NormFloat64() * cfg.Jitter * 100
+		y += rng.NormFloat64() * cfg.Jitter * 100
+		pts[i] = traj.P(x, y, u*duration)
+	}
+	t := traj.New(id, pts)
+	t.Label = class
+	return t
+}
+
+// Classes returns the subset of db whose labels fall in the given class
+// set, the selection step of the Fig. 5(a) protocol.
+func Classes(db []*traj.Trajectory, classes map[int]bool) []*traj.Trajectory {
+	var out []*traj.Trajectory
+	for _, t := range db {
+		if classes[t.Label] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// PickClasses selects c random class labels out of [0, numClasses).
+func PickClasses(numClasses, c int, rng *rand.Rand) map[int]bool {
+	perm := rng.Perm(numClasses)
+	if c > numClasses {
+		c = numClasses
+	}
+	set := make(map[int]bool, c)
+	for _, cl := range perm[:c] {
+		set[cl] = true
+	}
+	return set
+}

@@ -1,0 +1,137 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"trajmatch/internal/traj"
+)
+
+// splitSegment inserts a point on segment i of t at the given fraction,
+// preserving the shape exactly (location and timestamp are interpolated).
+func splitSegment(t *traj.Trajectory, i int, frac float64) {
+	p := t.Segment(i).At(frac)
+	t.Points = append(t.Points, traj.Point{})
+	copy(t.Points[i+2:], t.Points[i+1:])
+	t.Points[i+1] = p
+}
+
+// pickSegments selects ⌈pct·n⌉ distinct segment indices among [lo, hi).
+func pickSegments(rng *rand.Rand, lo, hi int, pct float64) []int {
+	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
+	k := int(math.Ceil(pct * float64(n)))
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	idx := make([]int, k)
+	for i := 0; i < k; i++ {
+		idx[i] = lo + perm[i]
+	}
+	// Sort descending so successive splits don't shift later indices.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] > idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// Inter models inter-trajectory sampling-rate variance (Fig. 5(b,c)):
+// without altering the shape, it splits pct (0..1) of each trajectory's
+// segments by inserting an interpolated point, producing a database with a
+// higher sampling rate than the original.
+func Inter(db []*traj.Trajectory, pct float64, seed int64) []*traj.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*traj.Trajectory, len(db))
+	for i, t := range db {
+		c := t.Clone()
+		for _, s := range pickSegments(rng, 0, c.NumSegments(), pct) {
+			splitSegment(c, s, 0.25+rng.Float64()*0.5)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Intra models intra-trajectory variance (Fig. 5(d,e)): only segments in
+// the first half of each trajectory are split, so the sampling rate varies
+// within each trajectory.
+func Intra(db []*traj.Trajectory, pct float64, seed int64) []*traj.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*traj.Trajectory, len(db))
+	for i, t := range db {
+		c := t.Clone()
+		half := c.NumSegments() / 2
+		for _, s := range pickSegments(rng, 0, half, pct) {
+			splitSegment(c, s, 0.25+rng.Float64()*0.5)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Phase models sampling phase variation (Fig. 5(f,g)): the same pct of
+// segments is split in both output datasets, at different positions, so D1
+// and D2 have identical sampling rates and shapes but different recorded
+// samples.
+func Phase(db []*traj.Trajectory, pct float64, seed int64) (d1, d2 []*traj.Trajectory) {
+	rng := rand.New(rand.NewSource(seed))
+	d1 = make([]*traj.Trajectory, len(db))
+	d2 = make([]*traj.Trajectory, len(db))
+	for i, t := range db {
+		segs := pickSegments(rng, 0, t.NumSegments(), pct)
+		a, b := t.Clone(), t.Clone()
+		for _, s := range segs {
+			splitSegment(a, s, 0.2+rng.Float64()*0.3)
+			splitSegment(b, s, 0.5+rng.Float64()*0.3)
+		}
+		d1[i], d2[i] = a, b
+	}
+	return d1, d2
+}
+
+// Perturb models measurement noise for the threshold-dependency experiment
+// (Fig. 5(h,i)): pct of each trajectory's points move to a uniformly random
+// location within a circle of the given radius. The paper sets the radius
+// to the distance covered in 30 s at the dataset's average speed; use
+// PerturbRadius for that value.
+func Perturb(db []*traj.Trajectory, pct, radius float64, seed int64) []*traj.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*traj.Trajectory, len(db))
+	for i, t := range db {
+		c := t.Clone()
+		for j := range c.Points {
+			if rng.Float64() >= pct {
+				continue
+			}
+			// Uniform in the disc.
+			r := radius * math.Sqrt(rng.Float64())
+			th := rng.Float64() * 2 * math.Pi
+			c.Points[j].X += r * math.Cos(th)
+			c.Points[j].Y += r * math.Sin(th)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// PerturbRadius returns the paper's perturbation radius: the distance
+// travelled in horizon seconds at the database's average speed.
+func PerturbRadius(db []*traj.Trajectory, horizon float64) float64 {
+	var sum float64
+	var n int
+	for _, t := range db {
+		if s := t.AverageSpeed(); s > 0 {
+			sum += s
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n) * horizon
+}

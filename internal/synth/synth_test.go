@@ -1,0 +1,233 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmatch/internal/core"
+	"trajmatch/internal/traj"
+)
+
+func TestTaxiGeneratesValidTrips(t *testing.T) {
+	cfg := DefaultTaxi(50)
+	db := Taxi(cfg)
+	if len(db) != 50 {
+		t.Fatalf("generated %d trips, want 50", len(db))
+	}
+	ids := map[int]bool{}
+	for _, tr := range db {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trip %d invalid: %v", tr.ID, err)
+		}
+		if ids[tr.ID] {
+			t.Fatalf("duplicate trip ID %d", tr.ID)
+		}
+		ids[tr.ID] = true
+		if tr.Length() <= 0 {
+			t.Errorf("trip %d has zero length", tr.ID)
+		}
+		// Stays within the city (plus jitter slack).
+		b := tr.Bounds()
+		if b.Min.X < -100 || b.Max.X > cfg.CitySize+100 {
+			t.Errorf("trip %d escapes the city: %v", tr.ID, b)
+		}
+	}
+}
+
+func TestTaxiDeterministicPerSeed(t *testing.T) {
+	a := Taxi(DefaultTaxi(10))
+	b := Taxi(DefaultTaxi(10))
+	for i := range a {
+		if !traj.Equal(a[i], b[i]) {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	cfg := DefaultTaxi(10)
+	cfg.Seed = 99
+	c := Taxi(cfg)
+	same := true
+	for i := range a {
+		if !traj.Equal(a[i], c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestTaxiSamplingIsIrregular(t *testing.T) {
+	db := Taxi(DefaultTaxi(20))
+	varied := false
+	for _, tr := range db {
+		var prev float64
+		for i := 0; i < tr.NumSegments(); i++ {
+			dt := tr.Segment(i).Duration()
+			if i > 0 && math.Abs(dt-prev) > 1 {
+				varied = true
+			}
+			prev = dt
+		}
+	}
+	if !varied {
+		t.Error("all sampling intervals identical; generator should vary them")
+	}
+}
+
+func TestASLLabelsAndSimilarity(t *testing.T) {
+	cfg := ASLConfig{NumClasses: 5, Instances: 6, Points: 24, Jitter: 0.02, Seed: 3}
+	db := ASL(cfg)
+	if len(db) != 30 {
+		t.Fatalf("generated %d, want 30", len(db))
+	}
+	for _, tr := range db {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("instance %d invalid: %v", tr.ID, err)
+		}
+		if tr.Label < 0 || tr.Label >= 5 {
+			t.Fatalf("label %d out of range", tr.Label)
+		}
+	}
+	// Same-class instances should usually be closer (EDwPavg) than
+	// cross-class ones: compare mean within vs across for class 0.
+	var within, across []float64
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 12; j++ {
+			d := core.AvgDistance(db[i], db[j])
+			if db[j].Label == 0 {
+				within = append(within, d)
+			} else {
+				across = append(across, d)
+			}
+		}
+	}
+	mw, ma := mean(within), mean(across)
+	if mw >= ma {
+		t.Errorf("within-class mean %v not below cross-class mean %v", mw, ma)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestPickClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	set := PickClasses(98, 10, rng)
+	if len(set) != 10 {
+		t.Fatalf("picked %d classes", len(set))
+	}
+	db := ASL(ASLConfig{NumClasses: 4, Instances: 3, Points: 10, Jitter: 0.01, Seed: 5})
+	sel := Classes(db, map[int]bool{1: true, 3: true})
+	if len(sel) != 6 {
+		t.Fatalf("selected %d instances, want 6", len(sel))
+	}
+	for _, tr := range sel {
+		if tr.Label != 1 && tr.Label != 3 {
+			t.Errorf("selection includes label %d", tr.Label)
+		}
+	}
+}
+
+// Inter must preserve shape exactly (EDwP distance 0 to the original) while
+// increasing the point count.
+func TestInterPreservesShape(t *testing.T) {
+	db := Taxi(DefaultTaxi(10))
+	noisy := Inter(db, 0.5, 7)
+	for i := range db {
+		if noisy[i].NumPoints() <= db[i].NumPoints() {
+			t.Errorf("trip %d not densified", i)
+		}
+		if err := noisy[i].Validate(); err != nil {
+			t.Fatalf("noisy trip invalid: %v", err)
+		}
+		if d := core.Distance(db[i], noisy[i]); d > 1e-6 {
+			t.Errorf("Inter altered shape of trip %d: EDwP = %v", i, d)
+		}
+		if math.Abs(db[i].Length()-noisy[i].Length()) > 1e-6 {
+			t.Errorf("Inter altered length of trip %d", i)
+		}
+	}
+}
+
+func TestIntraSplitsOnlyFirstHalf(t *testing.T) {
+	db := Taxi(DefaultTaxi(10))
+	noisy := Intra(db, 1.0, 8) // split every first-half segment
+	for i := range db {
+		orig, got := db[i], noisy[i]
+		halfSegs := orig.NumSegments() / 2
+		wantPts := orig.NumPoints() + halfSegs
+		if got.NumPoints() != wantPts {
+			t.Errorf("trip %d: %d points, want %d", i, got.NumPoints(), wantPts)
+		}
+		// Second-half sample points must be untouched (suffix identical).
+		suffix := orig.Points[halfSegs:]
+		gotSuffix := got.Points[got.NumPoints()-len(suffix):]
+		for j := range suffix {
+			if suffix[j] != gotSuffix[j] {
+				t.Fatalf("trip %d: second half altered", i)
+			}
+		}
+	}
+}
+
+func TestPhasePairsSameRateDifferentSamples(t *testing.T) {
+	db := Taxi(DefaultTaxi(10))
+	d1, d2 := Phase(db, 0.4, 9)
+	for i := range db {
+		if d1[i].NumPoints() != d2[i].NumPoints() {
+			t.Errorf("trip %d: phase pair sizes differ: %d vs %d",
+				i, d1[i].NumPoints(), d2[i].NumPoints())
+		}
+		if traj.Equal(d1[i], d2[i]) {
+			t.Errorf("trip %d: phase pair identical", i)
+		}
+		// Both preserve the underlying shape.
+		if d := core.Distance(d1[i], d2[i]); d > 1e-6 {
+			t.Errorf("trip %d: phase variants differ in shape: %v", i, d)
+		}
+	}
+}
+
+func TestPerturbMovesWithinRadius(t *testing.T) {
+	db := Taxi(DefaultTaxi(10))
+	radius := PerturbRadius(db, 30)
+	if radius <= 0 {
+		t.Fatal("non-positive perturbation radius")
+	}
+	noisy := Perturb(db, 1.0, radius, 10)
+	moved := 0
+	for i := range db {
+		if noisy[i].NumPoints() != db[i].NumPoints() {
+			t.Fatalf("perturb changed point count")
+		}
+		for j := range db[i].Points {
+			d := db[i].Points[j].Dist(noisy[i].Points[j])
+			if d > radius+1e-9 {
+				t.Fatalf("point moved %v > radius %v", d, radius)
+			}
+			if d > 0 {
+				moved++
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("pct=1 perturbation moved nothing")
+	}
+}
+
+func TestPerturbZeroPct(t *testing.T) {
+	db := Taxi(DefaultTaxi(5))
+	noisy := Perturb(db, 0, 100, 11)
+	for i := range db {
+		if !traj.Equal(db[i], noisy[i]) {
+			t.Error("pct=0 perturbation altered data")
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package tbox implements the paper's trajectory bounding boxes
+// (Definitions 4–5): st-boxes and trajectory box sequences (tBoxSeqs), the
+// summaries TrajTree stores at its internal nodes.
+//
+// A Seq is created from a pivot trajectory (one box per segment, the
+// paper's createTBoxSeq(T)) and grows by absorbing further trajectories:
+// each new trajectory's segments are assigned to boxes monotonically in box
+// order, minimising volume growth — the merge step of Section IV-B — and
+// the boxes are extended to contain them. The package maintains the
+// containment invariant core.LowerBound's admissibility (Theorem 2) relies
+// on: every absorbed trajectory's geometry lies inside its assigned boxes,
+// in box order.
+package tbox
+
+import (
+	"fmt"
+	"math"
+
+	"trajmatch/internal/core"
+	"trajmatch/internal/geom"
+	"trajmatch/internal/traj"
+)
+
+// Box is an st-box (Definition 4): a spatial bounding rectangle together
+// with the minimum length of the segments it encloses.
+type Box struct {
+	Rect geom.Rect
+	// MinL is the minimum length over enclosed segment pieces.
+	MinL float64
+}
+
+// Seq is a trajectory box sequence (Definition 5).
+type Seq struct {
+	boxes []Box
+	count int // trajectories absorbed
+}
+
+var _ core.Boxes = (*Seq)(nil)
+
+// FromTrajectory creates the initial tBoxSeq of a pivot trajectory: one
+// st-box per st-segment. MaxBoxes (if > 0) coarsens the sequence by
+// repeatedly merging the adjacent pair whose union grows the least, keeping
+// lower-bound evaluation cheap on long pivots.
+func FromTrajectory(t *traj.Trajectory, maxBoxes int) *Seq {
+	n := t.NumSegments()
+	if n == 0 {
+		return &Seq{}
+	}
+	s := &Seq{boxes: make([]Box, n), count: 1}
+	for i := 0; i < n; i++ {
+		e := t.Segment(i)
+		s.boxes[i] = Box{
+			Rect: geom.RectOf(e.S1.XY(), e.S2.XY()),
+			MinL: e.Length(),
+		}
+	}
+	if maxBoxes > 0 {
+		s.coarsen(maxBoxes)
+	}
+	return s
+}
+
+// FromBoxes reassembles a Seq from raw boxes, for deserialisation. count
+// records how many trajectories the original sequence had absorbed.
+func FromBoxes(boxes []Box, count int) *Seq {
+	return &Seq{boxes: boxes, count: count}
+}
+
+// Len implements core.Boxes.
+func (s *Seq) Len() int { return len(s.boxes) }
+
+// Rect implements core.Boxes.
+func (s *Seq) Rect(i int) geom.Rect { return s.boxes[i].Rect }
+
+// MinLen returns the i-th box's minimum enclosed segment length.
+func (s *Seq) MinLen(i int) float64 { return s.boxes[i].MinL }
+
+// Count returns how many trajectories the sequence has absorbed.
+func (s *Seq) Count() int { return s.count }
+
+// Volume returns ΣVol(b_i); in 2-D the volume of a box is its area
+// (Definition 5).
+func (s *Seq) Volume() float64 {
+	var v float64
+	for _, b := range s.boxes {
+		v += b.Rect.Area()
+	}
+	return v
+}
+
+// Bounds returns the union rectangle over all boxes.
+func (s *Seq) Bounds() geom.Rect {
+	r := geom.Empty()
+	for _, b := range s.boxes {
+		r = r.Union(b.Rect)
+	}
+	return r
+}
+
+// ExpansionCost returns the total volume growth that absorbing t would
+// cause — the argmin criterion of Algorithm 1, line 11 — without modifying
+// the sequence.
+func (s *Seq) ExpansionCost(t *traj.Trajectory) float64 {
+	if len(s.boxes) == 0 {
+		return t.Bounds().Area()
+	}
+	assign := core.AssignSegments(t, s)
+	// Accumulate growth per box over all segments assigned to it.
+	grown := make(map[int]geom.Rect, 8)
+	for i, j := range assign {
+		e := t.Segment(i)
+		r, ok := grown[j]
+		if !ok {
+			r = s.boxes[j].Rect
+		}
+		grown[j] = r.ExtendPoint(e.S1.XY()).ExtendPoint(e.S2.XY())
+	}
+	var growth float64
+	for j, r := range grown {
+		growth += r.Area() - s.boxes[j].Rect.Area()
+	}
+	return growth
+}
+
+// Insert absorbs t into the sequence, extending the assigned boxes to
+// contain its segments and updating their MinL.
+func (s *Seq) Insert(t *traj.Trajectory) {
+	if t.NumSegments() == 0 {
+		return
+	}
+	if len(s.boxes) == 0 {
+		*s = *FromTrajectory(t, 0)
+		return
+	}
+	assign := core.AssignSegments(t, s)
+	for i, j := range assign {
+		e := t.Segment(i)
+		b := &s.boxes[j]
+		b.Rect = b.Rect.ExtendPoint(e.S1.XY()).ExtendPoint(e.S2.XY())
+		if l := e.Length(); l < b.MinL {
+			b.MinL = l
+		}
+	}
+	s.count++
+}
+
+// Contains reports whether every segment of t lies inside a monotone
+// assignment of boxes — the containment invariant. It is used by tests and
+// failure-injection checks, not on the query path.
+func (s *Seq) Contains(t *traj.Trajectory) bool {
+	if t.NumSegments() == 0 || len(s.boxes) == 0 {
+		return len(s.boxes) > 0 || t.NumSegments() == 0
+	}
+	// Greedy monotone check: each segment must fit in some box at or after
+	// the previous segment's box.
+	j := 0
+	for i := 0; i < t.NumSegments(); i++ {
+		e := t.Segment(i)
+		for j < len(s.boxes) {
+			r := s.boxes[j].Rect
+			if r.Contains(e.S1.XY()) && r.Contains(e.S2.XY()) {
+				break
+			}
+			j++
+		}
+		if j == len(s.boxes) {
+			return false
+		}
+	}
+	return true
+}
+
+// coarsen merges adjacent boxes until at most max remain, each merge
+// picking the pair whose union adds the least area.
+func (s *Seq) coarsen(max int) {
+	for len(s.boxes) > max {
+		bestI := -1
+		bestGrow := math.Inf(1)
+		for i := 0; i+1 < len(s.boxes); i++ {
+			u := s.boxes[i].Rect.Union(s.boxes[i+1].Rect)
+			grow := u.Area() - s.boxes[i].Rect.Area() - s.boxes[i+1].Rect.Area()
+			if grow < bestGrow {
+				bestGrow = grow
+				bestI = i
+			}
+		}
+		i := bestI
+		s.boxes[i] = Box{
+			Rect: s.boxes[i].Rect.Union(s.boxes[i+1].Rect),
+			MinL: math.Min(s.boxes[i].MinL, s.boxes[i+1].MinL),
+		}
+		s.boxes = append(s.boxes[:i+1], s.boxes[i+2:]...)
+	}
+}
+
+// Build constructs a tBoxSeq over a set of trajectories following the
+// iterative procedure of Section IV-B: initialise from the first, then
+// absorb the rest in order.
+func Build(ts []*traj.Trajectory, maxBoxes int) *Seq {
+	if len(ts) == 0 {
+		return &Seq{}
+	}
+	s := FromTrajectory(ts[0], maxBoxes)
+	for _, t := range ts[1:] {
+		s.Insert(t)
+	}
+	return s
+}
+
+// String summarises the sequence for debugging.
+func (s *Seq) String() string {
+	return fmt.Sprintf("tBoxSeq[%d boxes, %d trajs, vol %.2f]", len(s.boxes), s.count, s.Volume())
+}

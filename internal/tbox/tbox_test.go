@@ -1,0 +1,147 @@
+package tbox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmatch/internal/core"
+	"trajmatch/internal/geom"
+	"trajmatch/internal/traj"
+)
+
+func randomTraj(rng *rand.Rand, id, n int) *traj.Trajectory {
+	pts := make([]traj.Point, n)
+	x, y := rng.Float64()*50, rng.Float64()*50
+	for i := range pts {
+		pts[i] = traj.P(x, y, float64(i)*10)
+		x += rng.NormFloat64() * 4
+		y += rng.NormFloat64() * 4
+	}
+	return traj.New(id, pts)
+}
+
+func TestFromTrajectoryBoxes(t *testing.T) {
+	tr := traj.FromXY(0, 0, 0, 3, 0, 3, 4)
+	s := FromTrajectory(tr, 0)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if got := s.Rect(0); got != geom.RectOf(geom.Pt(0, 0), geom.Pt(3, 0)) {
+		t.Errorf("box 0 = %v", got)
+	}
+	if got := s.MinLen(0); got != 3 {
+		t.Errorf("MinL(0) = %v, want 3", got)
+	}
+	if got := s.MinLen(1); got != 4 {
+		t.Errorf("MinL(1) = %v, want 4", got)
+	}
+	if !s.Contains(tr) {
+		t.Error("own trajectory not contained")
+	}
+}
+
+func TestCoarsenRespectsCapAndContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := randomTraj(rng, 0, 60)
+	s := FromTrajectory(tr, 8)
+	if s.Len() > 8 {
+		t.Fatalf("coarsen left %d boxes", s.Len())
+	}
+	if !s.Contains(tr) {
+		t.Error("coarsened seq lost containment")
+	}
+}
+
+func TestInsertMaintainsContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for it := 0; it < 30; it++ {
+		group := make([]*traj.Trajectory, 2+rng.Intn(6))
+		for i := range group {
+			group[i] = randomTraj(rng, i, 3+rng.Intn(15))
+		}
+		s := Build(group, 16)
+		for _, m := range group {
+			if !s.Contains(m) {
+				t.Fatalf("member %d escaped its tBoxSeq", m.ID)
+			}
+		}
+		if s.Count() != len(group) {
+			t.Errorf("Count = %d, want %d", s.Count(), len(group))
+		}
+	}
+}
+
+func TestVolumeGrowsWithInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := randomTraj(rng, 0, 10)
+	b := randomTraj(rng, 1, 10)
+	s := FromTrajectory(a, 0)
+	v0 := s.Volume()
+	cost := s.ExpansionCost(b)
+	s.Insert(b)
+	v1 := s.Volume()
+	if v1 < v0-1e-9 {
+		t.Errorf("volume shrank: %v -> %v", v0, v1)
+	}
+	if math.Abs((v1-v0)-cost) > 1e-6*(1+v1) {
+		t.Errorf("ExpansionCost %v != actual growth %v", cost, v1-v0)
+	}
+}
+
+func TestExpansionCostZeroForCovered(t *testing.T) {
+	a := traj.FromXY(0, 0, 0, 10, 0, 10, 10)
+	s := FromTrajectory(a, 0)
+	inside := traj.FromXY(1, 1, 0, 9, 0)
+	if got := s.ExpansionCost(inside); got != 0 {
+		t.Errorf("ExpansionCost for covered trajectory = %v, want 0", got)
+	}
+}
+
+// The Theorem-2 contract, end to end through this package: the core lower
+// bound computed on a Seq never exceeds the true distance to any member.
+func TestLowerBoundAdmissibleViaSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for it := 0; it < 40; it++ {
+		group := make([]*traj.Trajectory, 1+rng.Intn(6))
+		for i := range group {
+			group[i] = randomTraj(rng, i, 3+rng.Intn(12))
+		}
+		s := Build(group, 12)
+		q := randomTraj(rng, 99, 3+rng.Intn(12))
+		lb := core.LowerBound(q, s)
+		for _, m := range group {
+			d := core.Distance(q, m)
+			if lb > d+1e-6*(1+d) {
+				t.Fatalf("LowerBound %v > EDwP %v (member %d)", lb, d, m.ID)
+			}
+		}
+	}
+}
+
+func TestEmptySeq(t *testing.T) {
+	var s Seq
+	if s.Len() != 0 || s.Volume() != 0 {
+		t.Error("zero Seq not empty")
+	}
+	tr := traj.FromXY(0, 0, 0, 1, 1)
+	s.Insert(tr)
+	if s.Len() == 0 || !s.Contains(tr) {
+		t.Error("insert into empty seq failed")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	s := Build(nil, 8)
+	if s.Len() != 0 {
+		t.Errorf("Build(nil) has %d boxes", s.Len())
+	}
+}
+
+func TestDegenerateTrajectorySeq(t *testing.T) {
+	point := traj.New(0, []traj.Point{traj.P(1, 1, 0)})
+	s := FromTrajectory(point, 8)
+	if s.Len() != 0 {
+		t.Errorf("segmentless trajectory created %d boxes", s.Len())
+	}
+}

@@ -1,0 +1,242 @@
+// Package traj implements the paper's trajectory model (Definitions 1–3):
+// a trajectory is a temporally ordered sequence of spatio-temporal points,
+// viewed as a chain of spatio-temporal segments whose interpolating function
+// is the straight line between consecutive samples.
+//
+// The package also provides the dataset-preparation operations used in the
+// paper's experimental setup: trip splitting on time gaps, uniform
+// re-interpolation (the EDR-I preprocessing) and basic validation.
+package traj
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"trajmatch/internal/geom"
+)
+
+// Point is a spatio-temporal point: a 2-D location and the timestamp (in
+// seconds, arbitrary epoch) at which it was recorded.
+type Point struct {
+	X, Y float64
+	T    float64
+}
+
+// P is shorthand for Point{x, y, t}.
+func P(x, y, t float64) Point { return Point{X: x, Y: y, T: t} }
+
+// XY returns the spatial component of p.
+func (p Point) XY() geom.Point { return geom.Point{X: p.X, Y: p.Y} }
+
+// Dist returns the spatial Euclidean distance between p and q; timestamps
+// do not participate (Section III of the paper).
+func (p Point) Dist(q Point) float64 { return p.XY().Dist(q.XY()) }
+
+// Segment is a spatio-temporal segment (Definition 3): the straight-line
+// movement between two temporally consecutive samples.
+type Segment struct {
+	S1, S2 Point
+}
+
+// Length returns the spatial length of e.
+func (e Segment) Length() float64 { return e.S1.Dist(e.S2) }
+
+// Duration returns the time spent traversing e.
+func (e Segment) Duration() float64 { return e.S2.T - e.S1.T }
+
+// Speed returns length/duration; +Inf for an instantaneous move of nonzero
+// length and 0 for a degenerate segment.
+func (e Segment) Speed() float64 {
+	d := e.Duration()
+	l := e.Length()
+	if d == 0 {
+		if l == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return l / d
+}
+
+// Spatial returns the purely spatial segment of e.
+func (e Segment) Spatial() geom.Segment { return geom.Seg(e.S1.XY(), e.S2.XY()) }
+
+// At returns the interpolated spatio-temporal point a fraction frac ∈ [0,1]
+// along e's spatial extent; the timestamp follows the paper's proportional
+// rule t = s1.t + dist(s1,p)/speed(e).
+func (e Segment) At(frac float64) Point {
+	xy := geom.Lerp(e.S1.XY(), e.S2.XY(), frac)
+	return Point{X: xy.X, Y: xy.Y, T: e.S1.T + frac*e.Duration()}
+}
+
+// Project returns the spatio-temporal point on e closest (spatially) to q,
+// i.e. the paper's p^{ins(e, q)} with its interpolated timestamp.
+func (e Segment) Project(q geom.Point) Point {
+	frac := e.Spatial().ClosestFrac(q)
+	return e.At(frac)
+}
+
+// Trajectory is a temporally ordered sequence of spatio-temporal points
+// (Definition 1). Exported fields identify the trajectory within datasets;
+// ID is unique within a database, Label carries a class for labelled data
+// (the ASL-style experiments).
+type Trajectory struct {
+	ID     int
+	Label  int
+	Points []Point
+}
+
+// New returns a trajectory over pts with the given id and no label.
+func New(id int, pts []Point) *Trajectory {
+	return &Trajectory{ID: id, Points: pts}
+}
+
+// FromXY builds a trajectory from alternating x,y pairs with unit-spaced
+// timestamps. It is a convenience for tests and examples.
+func FromXY(id int, xy ...float64) *Trajectory {
+	if len(xy)%2 != 0 {
+		panic("traj.FromXY: odd number of coordinates")
+	}
+	pts := make([]Point, len(xy)/2)
+	for i := range pts {
+		pts[i] = Point{X: xy[2*i], Y: xy[2*i+1], T: float64(i)}
+	}
+	return New(id, pts)
+}
+
+// NumPoints returns the number of sampled points.
+func (t *Trajectory) NumPoints() int { return len(t.Points) }
+
+// NumSegments returns the number of st-segments, max(0, len(points)-1).
+func (t *Trajectory) NumSegments() int {
+	if len(t.Points) < 2 {
+		return 0
+	}
+	return len(t.Points) - 1
+}
+
+// Segment returns the i-th st-segment.
+func (t *Trajectory) Segment(i int) Segment {
+	return Segment{S1: t.Points[i], S2: t.Points[i+1]}
+}
+
+// Length returns the total spatial length (Eq. 1).
+func (t *Trajectory) Length() float64 {
+	var sum float64
+	for i := 0; i < t.NumSegments(); i++ {
+		sum += t.Segment(i).Length()
+	}
+	return sum
+}
+
+// Duration returns the elapsed time from first to last sample.
+func (t *Trajectory) Duration() float64 {
+	if len(t.Points) == 0 {
+		return 0
+	}
+	return t.Points[len(t.Points)-1].T - t.Points[0].T
+}
+
+// AverageSpeed returns Length/Duration, or 0 for degenerate trajectories.
+func (t *Trajectory) AverageSpeed() float64 {
+	d := t.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return t.Length() / d
+}
+
+// Bounds returns the spatial bounding rectangle of all sampled points.
+func (t *Trajectory) Bounds() geom.Rect {
+	r := geom.Empty()
+	for _, p := range t.Points {
+		r = r.ExtendPoint(p.XY())
+	}
+	return r
+}
+
+// Sub returns the sub-trajectory T[a..b] (Definition 2; point indices,
+// inclusive). The points slice is shared, not copied.
+func (t *Trajectory) Sub(a, b int) *Trajectory {
+	return &Trajectory{ID: t.ID, Label: t.Label, Points: t.Points[a : b+1]}
+}
+
+// Clone returns a deep copy of t.
+func (t *Trajectory) Clone() *Trajectory {
+	pts := make([]Point, len(t.Points))
+	copy(pts, t.Points)
+	return &Trajectory{ID: t.ID, Label: t.Label, Points: pts}
+}
+
+// String renders a compact description for debugging.
+func (t *Trajectory) String() string {
+	return fmt.Sprintf("T%d[%d pts, len %.2f]", t.ID, len(t.Points), t.Length())
+}
+
+// At returns the interpolated position at absolute time ts, clamped to the
+// trajectory's time span. It binary-searches the sample timestamps, so the
+// cost is O(log n). Used by the DISSIM baseline.
+func (t *Trajectory) At(ts float64) geom.Point {
+	pts := t.Points
+	if len(pts) == 0 {
+		return geom.Point{}
+	}
+	if ts <= pts[0].T {
+		return pts[0].XY()
+	}
+	last := pts[len(pts)-1]
+	if ts >= last.T {
+		return last.XY()
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].T > ts }) - 1
+	seg := Segment{S1: pts[i], S2: pts[i+1]}
+	d := seg.Duration()
+	if d <= 0 {
+		return pts[i].XY()
+	}
+	frac := (ts - pts[i].T) / d
+	xy := geom.Lerp(seg.S1.XY(), seg.S2.XY(), frac)
+	return xy
+}
+
+// Validation errors returned by Validate.
+var (
+	ErrTooFewPoints  = errors.New("traj: trajectory needs at least 2 points")
+	ErrTimeNotSorted = errors.New("traj: timestamps not non-decreasing")
+	ErrNonFinite     = errors.New("traj: non-finite coordinate or timestamp")
+)
+
+// Validate checks the structural invariants every indexed trajectory must
+// satisfy: at least two points, finite coordinates and non-decreasing
+// timestamps.
+func (t *Trajectory) Validate() error {
+	if len(t.Points) < 2 {
+		return fmt.Errorf("%w (got %d)", ErrTooFewPoints, len(t.Points))
+	}
+	for i, p := range t.Points {
+		if !finite(p.X) || !finite(p.Y) || !finite(p.T) {
+			return fmt.Errorf("%w at index %d", ErrNonFinite, i)
+		}
+		if i > 0 && p.T < t.Points[i-1].T {
+			return fmt.Errorf("%w at index %d", ErrTimeNotSorted, i)
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Equal reports whether two trajectories have identical point sequences.
+func Equal(a, b *Trajectory) bool {
+	if len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			return false
+		}
+	}
+	return true
+}

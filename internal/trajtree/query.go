@@ -1,0 +1,157 @@
+package trajtree
+
+import (
+	"trajmatch/internal/pqueue"
+	"trajmatch/internal/traj"
+	"trajmatch/internal/vantage"
+)
+
+// KNN returns the exact k nearest trajectories to q under EDwPavg (or
+// cumulative EDwP when Options.Cumulative is set), together with query
+// statistics. Results are sorted by ascending distance. It implements
+// Algorithm 2: best-first traversal ordered by tBoxSeq lower bounds, with
+// vantage-point top-k evaluations tightening the upper bound at every
+// internal node.
+//
+// KNN is safe for concurrent use provided no Insert/Delete/Rebuild runs.
+func (t *Tree) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
+	var st Stats
+	if t.root == nil || k <= 0 {
+		return nil, st
+	}
+	qLen := q.Length()
+
+	var cands pqueue.Min[*node]
+	cands.Push(t.root, 0)
+	ans := pqueue.NewTopK[*traj.Trajectory](k)
+	processed := make(map[int]bool)
+
+	evaluate := func(tr *traj.Trajectory) {
+		if processed[tr.ID] {
+			return
+		}
+		processed[tr.ID] = true
+		st.DistanceCalls++
+		ans.Offer(tr, t.dist(q, tr))
+	}
+
+	for cands.Len() > 0 {
+		it := cands.Pop()
+		if worst, full := ans.Worst(); full && it.Priority >= worst {
+			// The queue is ordered by lower bound: nothing left can beat
+			// the current k-th best.
+			st.NodesPruned += 1 + cands.Len()
+			break
+		}
+		c := it.Value
+		st.NodesVisited++
+		if c.leaf() {
+			for _, tr := range c.members {
+				evaluate(tr)
+			}
+			continue
+		}
+		// Step 1 (Alg. 2 lines 8–10): tighten the upper bound through the
+		// node's vantage points. Candidates are evaluated in VD order and
+		// the pass stops once consecutive candidates stop improving the
+		// answer set — the bound is already as tight as this node can make
+		// it. Small subtrees skip the pass: their members are reached
+		// through bounds more cheaply (Options.VPMinMembers).
+		if c.vps != nil && (len(c.members) >= t.opt.VPMinMembers || !ans.Full()) {
+			qd := vantage.Descriptor(q, c.vps)
+			top := vantage.TopK(qd, c.descs, k, func(i int) bool {
+				return processed[c.members[i].ID]
+			})
+			misses := 0
+			for _, idx := range top {
+				tr := c.members[idx]
+				if processed[tr.ID] {
+					continue
+				}
+				processed[tr.ID] = true
+				st.DistanceCalls++
+				if ans.Offer(tr, t.dist(q, tr)) {
+					misses = 0
+				} else if misses++; misses >= 2 && ans.Full() {
+					break
+				}
+			}
+		}
+		// Step 2 (lines 11–13): push surviving children ordered by their
+		// lower bounds.
+		for _, child := range c.children {
+			st.LowerBoundCalls++
+			lb := t.lower(q, qLen, child)
+			if worst, full := ans.Worst(); full && lb >= worst {
+				st.NodesPruned++
+				continue
+			}
+			cands.Push(child, lb)
+		}
+	}
+
+	items := ans.Items()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Traj: it.Value, Dist: it.Priority}
+	}
+	return out, st
+}
+
+// KNNBrute computes the exact k-NN by sequential scan with the same
+// distance, for verification and as the "EDwP Sequential Scan" competitor
+// of Figs. 5(j) and 6(a).
+func (t *Tree) KNNBrute(q *traj.Trajectory, k int) []Result {
+	ans := pqueue.NewTopK[*traj.Trajectory](k)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf() {
+			for _, tr := range n.members {
+				ans.Offer(tr, t.dist(q, tr))
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	items := ans.Items()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Traj: it.Value, Dist: it.Priority}
+	}
+	return out
+}
+
+// VPUpperBound returns the VP-based upper bound of Eq. 14 at the root: the
+// largest exact distance among the root's VP-chosen k candidates. It
+// underlies the UB-Factor experiments of Figs. 6(c)–(d). The second return
+// is the candidate set's exact distances, sorted ascending.
+func (t *Tree) VPUpperBound(q *traj.Trajectory, k int) (float64, []float64) {
+	if t.root == nil || t.root.vps == nil {
+		return 0, nil
+	}
+	qd := vantage.Descriptor(q, t.root.vps)
+	top := vantage.TopK(qd, t.root.descs, k, nil)
+	ds := make([]float64, 0, len(top))
+	for _, idx := range top {
+		ds = append(ds, t.dist(q, t.root.members[idx]))
+	}
+	ub := 0.0
+	for _, d := range ds {
+		if d > ub {
+			ub = d
+		}
+	}
+	// sort ascending for callers that want the full candidate profile
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	return ub, ds
+}

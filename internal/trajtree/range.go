@@ -1,0 +1,74 @@
+package trajtree
+
+import (
+	"trajmatch/internal/pqueue"
+	"trajmatch/internal/traj"
+)
+
+// RangeSearch returns every indexed trajectory within the given EDwP (or
+// EDwPavg) distance of q, sorted ascending. It reuses the k-NN machinery's
+// admissible lower bounds: a subtree is visited only when its bound does
+// not exceed the radius, so the result is exact. This is the similarity
+// counterpart of the interval queries TB-tree and SETI answer (Section VI);
+// the paper's index supports it for free and so does this one.
+func (t *Tree) RangeSearch(q *traj.Trajectory, radius float64) ([]Result, Stats) {
+	var st Stats
+	if t.root == nil {
+		return nil, st
+	}
+	qLen := q.Length()
+	var out []Result
+	var walk func(n *node)
+	walk = func(n *node) {
+		st.NodesVisited++
+		if n.leaf() {
+			for _, tr := range n.members {
+				st.DistanceCalls++
+				if d := t.dist(q, tr); d <= radius {
+					out = append(out, Result{Traj: tr, Dist: d})
+				}
+			}
+			return
+		}
+		for _, child := range n.children {
+			st.LowerBoundCalls++
+			if lb := t.lower(q, qLen, child); lb > radius {
+				st.NodesPruned++
+				continue
+			}
+			walk(child)
+		}
+	}
+	walk(t.root)
+	sortResults(out)
+	return out, st
+}
+
+// NearestDissimilar returns the k indexed trajectories *farthest* from q —
+// useful for diversity sampling, implemented as a guarded scan (upper
+// bounds for farthest-point search are not derivable from the paper's
+// lower-bound machinery, so this is exact-by-scan and documented as such).
+func (t *Tree) NearestDissimilar(q *traj.Trajectory, k int) []Result {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	ans := pqueue.NewTopK[*traj.Trajectory](k)
+	for _, tr := range t.root.members {
+		// TopK keeps smallest priorities; negate to keep farthest.
+		ans.Offer(tr, -t.dist(q, tr))
+	}
+	items := ans.Items()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Traj: it.Value, Dist: -it.Priority}
+	}
+	return out
+}
+
+func sortResults(rs []Result) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Dist < rs[j-1].Dist; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package trajtree
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRangeSearchExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	db := testDB(rng, 120)
+	tree, err := New(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 10; it++ {
+		q := testDB(rng, 1)[0]
+		q.ID = 9000 + it
+		// Radius chosen around the 10th-NN distance so results are
+		// non-trivial.
+		knn := tree.KNNBrute(q, 10)
+		radius := knn[len(knn)-1].Dist
+		got, st := tree.RangeSearch(q, radius)
+		// Brute-force reference.
+		var want int
+		for _, tr := range tree.All() {
+			if tree.dist(q, tr) <= radius {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("range returned %d, want %d", len(got), want)
+		}
+		for i, r := range got {
+			if r.Dist > radius {
+				t.Fatalf("result %d outside radius: %v > %v", i, r.Dist, radius)
+			}
+			if i > 0 && got[i-1].Dist > r.Dist {
+				t.Fatal("range results not sorted")
+			}
+		}
+		if st.NodesPruned == 0 && tree.Height() > 2 {
+			t.Error("range search pruned nothing")
+		}
+	}
+}
+
+func TestRangeSearchEmptyAndZeroRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	db := testDB(rng, 30)
+	tree, err := New(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, _ := New(nil, testOptions())
+	if got, _ := empty.RangeSearch(db[0], 100); len(got) != 0 {
+		t.Error("range on empty tree returned results")
+	}
+	// Zero radius returns at least the query itself when indexed.
+	got, _ := tree.RangeSearch(db[3], 0)
+	found := false
+	for _, r := range got {
+		if r.Traj.ID == db[3].ID {
+			found = true
+		}
+		if r.Dist != 0 {
+			t.Errorf("zero-radius result with dist %v", r.Dist)
+		}
+	}
+	if !found {
+		t.Error("zero-radius search missed the query itself")
+	}
+}
+
+func TestNearestDissimilar(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	db := testDB(rng, 60)
+	tree, err := New(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := db[0]
+	far := tree.NearestDissimilar(q, 5)
+	if len(far) != 5 {
+		t.Fatalf("got %d results", len(far))
+	}
+	// The farthest result must match the brute-force maximum.
+	var maxD float64
+	for _, tr := range db {
+		if d := tree.dist(q, tr); d > maxD {
+			maxD = d
+		}
+	}
+	if math.Abs(far[0].Dist-maxD) > 1e-9 {
+		t.Errorf("farthest = %v, want %v", far[0].Dist, maxD)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	db := testDB(rng, 90)
+	tree, err := New(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != tree.Size() || loaded.Height() != tree.Height() {
+		t.Fatalf("loaded tree differs: size %d/%d height %d/%d",
+			loaded.Size(), tree.Size(), loaded.Height(), tree.Height())
+	}
+	// Queries over the loaded index return identical answers.
+	for it := 0; it < 5; it++ {
+		q := testDB(rng, 1)[0]
+		q.ID = 8000 + it
+		a, _ := tree.KNN(q, 7)
+		b, _ := loaded.KNN(q, 7)
+		if len(a) != len(b) {
+			t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if math.Abs(a[i].Dist-b[i].Dist) > 1e-12 {
+				t.Fatalf("rank %d: %v vs %v", i, a[i].Dist, b[i].Dist)
+			}
+		}
+	}
+	// The loaded index remains updatable.
+	nt := testDB(rand.New(rand.NewSource(125)), 1)[0]
+	nt.ID = 7777
+	if err := loaded.Insert(nt); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Lookup(7777) == nil {
+		t.Error("insert after load failed")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("garbage stream accepted")
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	empty, err := New(nil, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := empty.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != 0 {
+		t.Errorf("loaded empty tree has size %d", loaded.Size())
+	}
+}

@@ -1,0 +1,315 @@
+// Package trajtree implements TrajTree (Section IV), the paper's index for
+// exact k-nearest-neighbour queries under EDwP. Internal nodes summarise
+// their subtree with a trajectory box sequence (package tbox) whose
+// EDwPsub-style lower bound (core.LowerBound, Theorem 2) prunes the search,
+// and with vantage-point descriptors (package vantage) that produce tight
+// upper bounds early (Section IV-E). Leaves hold the trajectories.
+//
+// Queries return the exact k-NN set: candidates are visited best-first by
+// lower bound and the search stops when the smallest outstanding lower
+// bound cannot beat the current k-th best distance.
+//
+// A Tree is immutable under queries and safe for concurrent KNN calls;
+// Insert, Delete and Rebuild require external serialisation.
+package trajtree
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"trajmatch/internal/core"
+	"trajmatch/internal/geom"
+	"trajmatch/internal/tbox"
+	"trajmatch/internal/traj"
+	"trajmatch/internal/vantage"
+)
+
+// Options configure construction. The zero value is usable: every field
+// falls back to the paper's defaults (Section V-A).
+type Options struct {
+	// Theta is the diversity-drop threshold θ of Algorithm 1 controlling
+	// the branching factor. Default 0.8.
+	Theta float64
+	// NumVPs is the number of vantage points distributed per node.
+	// Default 80.
+	NumVPs int
+	// LeafSize is the minimum node size n: nodes with at most this many
+	// trajectories become leaves. Default 10.
+	LeafSize int
+	// MaxBoxes caps the number of st-boxes per tBoxSeq (long pivots are
+	// coarsened); 0 means the default of 32.
+	MaxBoxes int
+	// MaxFanout caps the number of pivots per node regardless of θ.
+	// Default 16.
+	MaxFanout int
+	// PivotCandidates caps how many trajectories the max-min pivot scan of
+	// Algorithm 1 examines per round (a uniform sample); 0 means the
+	// default of 64. The full scan is O(|D|·p) EDwPsub calls per node, the
+	// dominant construction cost the paper reports in Fig. 6(e).
+	PivotCandidates int
+	// Cumulative switches query distances from EDwPavg (Eq. 4, the paper's
+	// experimental default) to cumulative EDwP.
+	Cumulative bool
+	// DisableVantage turns the VP upper-bound machinery off (ablation X1).
+	DisableVantage bool
+	// VPMinMembers skips the per-node VP top-k evaluation at nodes whose
+	// subtree holds fewer trajectories: small subtrees are cheaper to
+	// resolve through bounds alone, while the root-level evaluation — the
+	// one the paper credits with early pruning — always runs. 0 means the
+	// default of 64; set to 1 to evaluate at every internal node.
+	VPMinMembers int
+	// RebuildRatio triggers an automatic rebuild when
+	// inserts+deletes > ratio × size. 0 means the default of 0.25;
+	// negative disables auto-rebuild.
+	RebuildRatio float64
+	// Seed drives all randomised choices, making builds reproducible.
+	Seed int64
+	// Parallel enables concurrent subtree construction.
+	Parallel bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Theta == 0 {
+		o.Theta = 0.8
+	}
+	if o.NumVPs == 0 {
+		o.NumVPs = 80
+	}
+	if o.LeafSize == 0 {
+		o.LeafSize = 10
+	}
+	if o.MaxBoxes == 0 {
+		o.MaxBoxes = 32
+	}
+	if o.MaxFanout == 0 {
+		o.MaxFanout = 16
+	}
+	if o.PivotCandidates == 0 {
+		o.PivotCandidates = 64
+	}
+	if o.VPMinMembers == 0 {
+		o.VPMinMembers = 64
+	}
+	if o.RebuildRatio == 0 {
+		o.RebuildRatio = 0.25
+	}
+	return o
+}
+
+// node is a TrajTree node. Internal nodes carry the tBoxSeq summary,
+// vantage points and the descriptors of every subtree member; leaves carry
+// only their trajectories (plus the seq used by the parent for bounding).
+type node struct {
+	seq      *tbox.Seq
+	children []*node
+	members  []*traj.Trajectory
+	vps      []geom.Point
+	descs    [][]float64
+	maxLen   float64
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// Tree is the TrajTree index.
+type Tree struct {
+	root *node
+	opt  Options
+	size int
+	mods int // inserts + deletes since the last (re)build
+	rng  *rand.Rand
+}
+
+// New bulk-loads a TrajTree over db. Every trajectory must have at least
+// two points and a unique ID; New returns an error otherwise.
+func New(db []*traj.Trajectory, opt Options) (*Tree, error) {
+	opt = opt.withDefaults()
+	seen := make(map[int]bool, len(db))
+	for _, t := range db {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("trajtree: trajectory %d: %w", t.ID, err)
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("trajtree: duplicate trajectory ID %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	tr := &Tree{opt: opt, size: len(db), rng: rand.New(rand.NewSource(opt.Seed))}
+	if len(db) > 0 {
+		owned := make([]*traj.Trajectory, len(db))
+		copy(owned, db)
+		tr.root = tr.build(owned, tbox.Build(owned, opt.MaxBoxes), opt.Parallel)
+	}
+	return tr, nil
+}
+
+// newTreeShell builds an empty Tree with normalised options, used by Load.
+func newTreeShell(opt Options, size int) *Tree {
+	opt = opt.withDefaults()
+	return &Tree{opt: opt, size: size, rng: rand.New(rand.NewSource(opt.Seed))}
+}
+
+// Size returns the number of indexed trajectories.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the height of the tree (leaves have height 1).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	max := 0
+	for _, c := range n.children {
+		if h := height(c); h > max {
+			max = h
+		}
+	}
+	return max + 1
+}
+
+// dist is the query distance: EDwPavg by default (Section V-A).
+func (t *Tree) dist(a, b *traj.Trajectory) float64 {
+	if t.opt.Cumulative {
+		return core.Distance(a, b)
+	}
+	return core.AvgDistance(a, b)
+}
+
+// lower bounds EDwP-or-EDwPavg distance from q to every member below n.
+func (t *Tree) lower(q *traj.Trajectory, qLen float64, n *node) float64 {
+	lb := core.LowerBound(q, n.seq)
+	if t.opt.Cumulative {
+		return lb
+	}
+	den := qLen + n.maxLen
+	if den == 0 {
+		return 0
+	}
+	return lb / den
+}
+
+// build constructs the subtree over ts, whose summary seq (already
+// containing all of ts) becomes the node's tBoxSeq.
+func (t *Tree) build(ts []*traj.Trajectory, seq *tbox.Seq, parallel bool) *node {
+	n := &node{seq: seq, members: ts, maxLen: maxLength(ts)}
+	if len(ts) <= t.opt.LeafSize {
+		return n
+	}
+	groups, seqs := t.partition(ts)
+	if len(groups) < 2 {
+		return n // cannot split further; oversized leaf
+	}
+	if !t.opt.DisableVantage {
+		n.vps = vantage.Select(ts, t.opt.NumVPs, t.rng)
+		n.descs = make([][]float64, len(ts))
+		for i, m := range ts {
+			n.descs[i] = vantage.Descriptor(m, n.vps)
+		}
+	}
+	n.children = make([]*node, len(groups))
+	if parallel {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.NumCPU())
+		// Children need their own RNG streams to stay deterministic-ish;
+		// derive from the parent seed.
+		for i := range groups {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				sub := &Tree{opt: t.opt, rng: rand.New(rand.NewSource(t.opt.Seed + int64(i) + 1))}
+				n.children[i] = sub.build(groups[i], seqs[i], false)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range groups {
+			n.children[i] = t.build(groups[i], seqs[i], false)
+		}
+	}
+	return n
+}
+
+func maxLength(ts []*traj.Trajectory) float64 {
+	var max float64
+	for _, t := range ts {
+		if l := t.Length(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Stats carries per-query instrumentation used by the experiments.
+type Stats struct {
+	// DistanceCalls counts exact EDwP evaluations.
+	DistanceCalls int
+	// LowerBoundCalls counts tBoxSeq lower-bound evaluations.
+	LowerBoundCalls int
+	// NodesVisited counts dequeued nodes that were expanded.
+	NodesVisited int
+	// NodesPruned counts nodes discarded by the bound test.
+	NodesPruned int
+}
+
+// Result is one k-NN answer.
+type Result struct {
+	Traj *traj.Trajectory
+	Dist float64
+}
+
+// String renders a brief tree summary.
+func (t *Tree) String() string {
+	return fmt.Sprintf("TrajTree[%d trajectories, height %d]", t.size, t.Height())
+}
+
+// checkInvariants walks the tree verifying structural invariants; tests use
+// it after builds and updates.
+func (t *Tree) checkInvariants() error {
+	if t.root == nil {
+		if t.size != 0 {
+			return fmt.Errorf("nil root with size %d", t.size)
+		}
+		return nil
+	}
+	count := 0
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n.leaf() {
+			count += len(n.members)
+			for _, m := range n.members {
+				if m.Length() > n.maxLen+1e-9 {
+					return fmt.Errorf("leaf maxLen %v below member %d length %v", n.maxLen, m.ID, m.Length())
+				}
+			}
+			return nil
+		}
+		sub := 0
+		for _, c := range n.children {
+			sub += len(c.members)
+			if c.maxLen > n.maxLen+1e-9 {
+				return fmt.Errorf("child maxLen %v exceeds parent %v", c.maxLen, n.maxLen)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		if sub != len(n.members) {
+			return fmt.Errorf("internal node members %d != children total %d", len(n.members), sub)
+		}
+		if n.descs != nil && len(n.descs) != len(n.members) {
+			return fmt.Errorf("descriptor count %d != member count %d", len(n.descs), len(n.members))
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("leaf total %d != size %d", count, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package trajtree
+
+import (
+	"fmt"
+	"math"
+
+	"trajmatch/internal/tbox"
+	"trajmatch/internal/traj"
+	"trajmatch/internal/vantage"
+)
+
+// Insert adds a trajectory to the index following Section IV-F: the new
+// trajectory descends to the child whose tBoxSeq expands the least, every
+// node on the path absorbs it into its summary and descriptor table
+// (existing pivots and vantage points are reused), and overflowing leaves
+// are re-partitioned. When accumulated modifications exceed
+// RebuildRatio × size the whole index is rebuilt, approximating the
+// paper's "poor node" policy.
+func (t *Tree) Insert(tr *traj.Trajectory) error {
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("trajtree: %w", err)
+	}
+	if t.Lookup(tr.ID) != nil {
+		return fmt.Errorf("trajtree: duplicate trajectory ID %d", tr.ID)
+	}
+	if t.root == nil {
+		t.root = &node{
+			seq:     tbox.FromTrajectory(tr, t.opt.MaxBoxes),
+			members: []*traj.Trajectory{tr},
+			maxLen:  tr.Length(),
+		}
+		t.size = 1
+		return nil
+	}
+	t.insertAt(t.root, tr)
+	t.size++
+	t.mods++
+	t.maybeRebuild()
+	return nil
+}
+
+func (t *Tree) insertAt(n *node, tr *traj.Trajectory) {
+	n.seq.Insert(tr)
+	n.members = append(n.members, tr)
+	if l := tr.Length(); l > n.maxLen {
+		n.maxLen = l
+	}
+	if n.vps != nil {
+		n.descs = append(n.descs, vantage.Descriptor(tr, n.vps))
+	}
+	if n.leaf() {
+		if len(n.members) > t.opt.LeafSize {
+			t.splitLeaf(n)
+		}
+		return
+	}
+	best, bestCost := 0, math.Inf(1)
+	for i, c := range n.children {
+		if cost := c.seq.ExpansionCost(tr); cost < bestCost {
+			bestCost, best = cost, i
+		}
+	}
+	t.insertAt(n.children[best], tr)
+}
+
+// splitLeaf re-partitions an overflowing leaf in place, turning it into an
+// internal node when Algorithm 1 finds at least two pivots.
+func (t *Tree) splitLeaf(n *node) {
+	groups, seqs := t.partition(n.members)
+	if len(groups) < 2 {
+		return // stays an oversized leaf
+	}
+	if !t.opt.DisableVantage {
+		n.vps = vantage.Select(n.members, t.opt.NumVPs, t.rng)
+		n.descs = make([][]float64, len(n.members))
+		for i, m := range n.members {
+			n.descs[i] = vantage.Descriptor(m, n.vps)
+		}
+	}
+	n.children = make([]*node, len(groups))
+	for i := range groups {
+		n.children[i] = t.build(groups[i], seqs[i], false)
+	}
+}
+
+// Delete removes the trajectory with the given ID, deleting its descriptor
+// at every node from root to leaf while leaving the tBoxSeqs unchanged
+// (Section IV-F). It reports whether the ID was present.
+func (t *Tree) Delete(id int) bool {
+	if t.root == nil {
+		return false
+	}
+	if !t.deleteFrom(t.root, id) {
+		return false
+	}
+	t.size--
+	t.mods++
+	t.maybeRebuild()
+	return true
+}
+
+func (t *Tree) deleteFrom(n *node, id int) bool {
+	idx := -1
+	for i, m := range n.members {
+		if m.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	if !n.leaf() {
+		found := false
+		for _, c := range n.children {
+			if t.deleteFrom(c, id) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	n.members = append(n.members[:idx], n.members[idx+1:]...)
+	if n.descs != nil {
+		n.descs = append(n.descs[:idx], n.descs[idx+1:]...)
+	}
+	return true
+}
+
+// Lookup returns the indexed trajectory with the given ID, or nil.
+func (t *Tree) Lookup(id int) *traj.Trajectory {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for _, m := range n.members {
+		if m.ID == id {
+			return m
+		}
+	}
+	return nil
+}
+
+// All returns all indexed trajectories (the root's member list).
+func (t *Tree) All() []*traj.Trajectory {
+	if t.root == nil {
+		return nil
+	}
+	out := make([]*traj.Trajectory, len(t.root.members))
+	copy(out, t.root.members)
+	return out
+}
+
+// Rebuild reconstructs the index from its current members, restoring tight
+// summaries after many updates.
+func (t *Tree) Rebuild() error {
+	members := t.All()
+	fresh, err := New(members, t.opt)
+	if err != nil {
+		return err
+	}
+	t.root = fresh.root
+	t.size = fresh.size
+	t.mods = 0
+	return nil
+}
+
+func (t *Tree) maybeRebuild() {
+	if t.opt.RebuildRatio < 0 || t.size == 0 {
+		return
+	}
+	if float64(t.mods) > t.opt.RebuildRatio*float64(t.size) {
+		// Rebuild over current members cannot fail validation: they were
+		// validated on entry.
+		_ = t.Rebuild()
+	}
+}

@@ -1,0 +1,163 @@
+// Package vantage implements the vantage-point machinery of Section IV-E:
+// Lipschitz-style feature descriptors that give TrajTree its tight upper
+// bounds. A vantage point (VP) is a spatial point; a trajectory's vantage
+// descriptor collects its minimum distance to every VP (Definitions 6–7),
+// and the vantage distance VD (Definition 8, Eq. 13) compares descriptors
+// in linear time, orders of magnitude faster than EDwP.
+package vantage
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"trajmatch/internal/geom"
+	"trajmatch/internal/traj"
+)
+
+// Dist returns VP-dist(T, v) of Definition 6: the distance from v to the
+// closest point of T's polyline — not necessarily a sampled point.
+func Dist(t *traj.Trajectory, v geom.Point) float64 {
+	if t.NumSegments() == 0 {
+		if t.NumPoints() == 1 {
+			return t.Points[0].XY().Dist(v)
+		}
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for i := 0; i < t.NumSegments(); i++ {
+		if d := t.Segment(i).Spatial().DistTo(v); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Descriptor returns the vantage descriptor T_V of Definition 7: one
+// VP-dist per vantage point.
+func Descriptor(t *traj.Trajectory, vps []geom.Point) []float64 {
+	d := make([]float64, len(vps))
+	for i, v := range vps {
+		d[i] = Dist(t, v)
+	}
+	return d
+}
+
+// VD returns the vantage distance of Eq. 13 between two descriptors:
+// the mean over dimensions of 1 − min/max of the two VP-dists. Dimensions
+// where both distances are zero contribute 0 (the trajectories touch the VP
+// alike); a zero against a non-zero contributes the maximal 1.
+func VD(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := range a {
+		lo, hi := a[i], b[i]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		switch {
+		case hi == 0:
+			// both zero: identical view from this VP
+		case math.IsInf(hi, 1):
+			sum++
+		default:
+			sum += 1 - lo/hi
+		}
+	}
+	return sum / float64(len(a))
+}
+
+// Select picks n vantage points for a set of trajectories using the same
+// greedy max-min diversification the paper uses for pivots: candidates are
+// the trajectories' sampled points; the first is random and each subsequent
+// VP maximises its distance to the already chosen ones.
+func Select(ts []*traj.Trajectory, n int, rng *rand.Rand) []geom.Point {
+	if n <= 0 || len(ts) == 0 {
+		return nil
+	}
+	// Candidate pool: cap for cost, sampled evenly across trajectories.
+	const maxCandidates = 2048
+	var cands []geom.Point
+	total := 0
+	for _, t := range ts {
+		total += t.NumPoints()
+	}
+	if total == 0 {
+		return nil
+	}
+	stride := total/maxCandidates + 1
+	k := 0
+	for _, t := range ts {
+		for _, p := range t.Points {
+			if k%stride == 0 {
+				cands = append(cands, p.XY())
+			}
+			k++
+		}
+	}
+	if n >= len(cands) {
+		out := make([]geom.Point, len(cands))
+		copy(out, cands)
+		return out
+	}
+
+	out := make([]geom.Point, 0, n)
+	out = append(out, cands[rng.Intn(len(cands))])
+	// minDist[i] = distance from candidate i to the nearest chosen VP.
+	minDist := make([]float64, len(cands))
+	for i, c := range cands {
+		minDist[i] = c.Dist(out[0])
+	}
+	for len(out) < n {
+		bestI, bestD := -1, -1.0
+		for i, d := range minDist {
+			if d > bestD {
+				bestD, bestI = d, i
+			}
+		}
+		if bestD <= 0 {
+			break // all remaining candidates coincide with chosen VPs
+		}
+		v := cands[bestI]
+		out = append(out, v)
+		for i, c := range cands {
+			if d := c.Dist(v); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return out
+}
+
+// TopK returns the indices of the k descriptors closest to q under VD,
+// skipping indices for which skip returns true. Ties break by index for
+// determinism.
+func TopK(q []float64, descs [][]float64, k int, skip func(i int) bool) []int {
+	type scored struct {
+		i int
+		d float64
+	}
+	var all []scored
+	for i, d := range descs {
+		if skip != nil && skip(i) {
+			continue
+		}
+		all = append(all, scored{i, VD(q, d)})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].d != all[b].d {
+			return all[a].d < all[b].d
+		}
+		return all[a].i < all[b].i
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].i
+	}
+	return out
+}

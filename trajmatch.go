@@ -1,0 +1,249 @@
+// Package trajmatch is a from-scratch Go implementation of "Indexing and
+// Matching Trajectories under Inconsistent Sampling Rates" (Ranu, Deepak P,
+// Telang, Deshpande, Raghavan; ICDE 2015): the EDwP trajectory distance —
+// Edit Distance with Projections, a threshold-free measure robust to
+// heterogeneous sampling — and the TrajTree index for exact k-NN retrieval
+// under it.
+//
+// The package is a facade over the implementation packages in internal/:
+// it re-exports the trajectory model, the EDwP family, six baseline
+// distances, the TrajTree index, synthetic dataset generators with the
+// paper's four noise models, and CSV/NDJSON I/O. Examples under examples/
+// and the figure-reproduction benchmarks in bench_test.go use only this
+// surface.
+//
+// Quick start:
+//
+//	a := trajmatch.FromXY(1, 0, 0, 5, 0, 5, 5)
+//	b := trajmatch.FromXY(2, 0, 0, 5, 5)
+//	d := trajmatch.EDwPAvg(a, b)
+//
+//	idx, err := trajmatch.NewIndex(db, trajmatch.IndexOptions{})
+//	results, stats := idx.KNN(query, 10)
+package trajmatch
+
+import (
+	"io"
+	"math/rand"
+
+	"trajmatch/internal/baseline"
+	"trajmatch/internal/core"
+	"trajmatch/internal/dataio"
+	"trajmatch/internal/dtwindex"
+	"trajmatch/internal/edrindex"
+	"trajmatch/internal/synth"
+	"trajmatch/internal/traj"
+	"trajmatch/internal/trajtree"
+)
+
+// Trajectory is a temporally ordered sequence of spatio-temporal points.
+type Trajectory = traj.Trajectory
+
+// STPoint is one spatio-temporal sample: a 2-D location and a timestamp.
+type STPoint = traj.Point
+
+// P constructs an STPoint from x, y and timestamp t.
+func P(x, y, t float64) STPoint { return traj.P(x, y, t) }
+
+// NewTrajectory builds a trajectory over pts with the given id.
+func NewTrajectory(id int, pts []STPoint) *Trajectory { return traj.New(id, pts) }
+
+// FromXY builds a trajectory from alternating x,y pairs with unit-spaced
+// timestamps — convenient for tests and examples.
+func FromXY(id int, xy ...float64) *Trajectory { return traj.FromXY(id, xy...) }
+
+// EDwP returns the cumulative Edit Distance with Projections between two
+// trajectories (Section III-A of the paper).
+func EDwP(a, b *Trajectory) float64 { return core.Distance(a, b) }
+
+// EDwPAvg returns the length-normalised EDwP (Eq. 4), the form the paper's
+// experiments use throughout.
+func EDwPAvg(a, b *Trajectory) float64 { return core.AvgDistance(a, b) }
+
+// EDwPSub returns EDwPsub(q, t) (Eq. 6): the whole of q aligned against the
+// best-matching contiguous sub-trajectory of t.
+func EDwPSub(q, t *Trajectory) float64 { return core.SubDistance(q, t) }
+
+// Edit is one step of an optimal EDwP alignment.
+type Edit = core.Edit
+
+// Edit kinds re-exported from the core package.
+const (
+	EditRep      = core.Rep
+	EditInsLeft  = core.InsLeft
+	EditInsRight = core.InsRight
+)
+
+// AlignEDwP returns the EDwP distance together with an optimal edit script
+// whose step costs sum to the distance.
+func AlignEDwP(a, b *Trajectory) (float64, []Edit) { return core.Align(a, b) }
+
+// Metric is a trajectory distance function; all baselines and EDwP itself
+// satisfy it.
+type Metric = baseline.Metric
+
+// Baseline metrics from the paper's comparison suite (Table I).
+type (
+	// MetricEDwP adapts EDwP to the Metric interface.
+	MetricEDwP = baseline.EDwP
+	// MetricDTW is Dynamic Time Warping.
+	MetricDTW = baseline.DTW
+	// MetricLCSS is Longest Common Sub-Sequence with threshold Eps.
+	MetricLCSS = baseline.LCSS
+	// MetricERP is Edit distance with Real Penalty.
+	MetricERP = baseline.ERP
+	// MetricEDR is Edit Distance on Real sequence with threshold Eps.
+	MetricEDR = baseline.EDR
+	// MetricDISSIM is the time-integral dissimilarity.
+	MetricDISSIM = baseline.DISSIM
+	// MetricMA is the model-driven assignment.
+	MetricMA = baseline.MA
+)
+
+// Metrics returns the paper's benchmark suite with the given matching
+// threshold ε for the threshold-dependent members.
+func Metrics(eps float64) []Metric { return baseline.All(eps) }
+
+// DefaultMA returns the MA baseline with its standard parameterisation.
+func DefaultMA(eps float64) MetricMA { return baseline.DefaultMA(eps) }
+
+// IndexOptions configure TrajTree construction; the zero value uses the
+// paper's defaults (θ = 0.8, 80 vantage points, leaf size 10).
+type IndexOptions = trajtree.Options
+
+// Index is a TrajTree: an exact k-NN index for EDwP (Section IV).
+type Index = trajtree.Tree
+
+// Result is one k-NN answer.
+type Result = trajtree.Result
+
+// QueryStats carries per-query instrumentation.
+type QueryStats = trajtree.Stats
+
+// NewIndex bulk-loads a TrajTree over db.
+func NewIndex(db []*Trajectory, opt IndexOptions) (*Index, error) {
+	return trajtree.New(db, opt)
+}
+
+// LoadIndex reconstructs an index previously written with Index.Save.
+func LoadIndex(r io.Reader) (*Index, error) {
+	return trajtree.Load(r)
+}
+
+// EDRIndex answers exact k-NN queries under EDR; it is the indexed
+// competitor of Figs. 5(j) and 6(a).
+type EDRIndex = edrindex.Index
+
+// NewEDRIndex builds an EDR index with matching threshold eps.
+func NewEDRIndex(db []*Trajectory, eps float64) *EDRIndex {
+	return edrindex.New(db, eps)
+}
+
+// DTWIndex answers exact k-NN queries under DTW, the indexing lineage the
+// paper's Related Work traces TrajTree back to.
+type DTWIndex = dtwindex.Index
+
+// NewDTWIndex builds a DTW index over db.
+func NewDTWIndex(db []*Trajectory) *DTWIndex {
+	return dtwindex.New(db)
+}
+
+// FromLatLon converts WGS-84 (lat°, lon°, unix-seconds) samples into the
+// planar metre coordinates the library uses, projecting about the samples'
+// mean latitude.
+func FromLatLon(id int, samples [][3]float64) *Trajectory {
+	return traj.FromLatLon(id, samples)
+}
+
+// TaxiConfig parameterises GenerateTaxi.
+type TaxiConfig = synth.TaxiConfig
+
+// ASLConfig parameterises GenerateASL.
+type ASLConfig = synth.ASLConfig
+
+// DefaultTaxiConfig returns the standard city-trip configuration with n
+// trajectories.
+func DefaultTaxiConfig(n int) TaxiConfig { return synth.DefaultTaxi(n) }
+
+// DefaultASLConfig mirrors the real ASL corpus shape (98 classes).
+func DefaultASLConfig() ASLConfig { return synth.DefaultASL() }
+
+// GenerateTaxi produces the synthetic stand-in for the paper's Beijing cab
+// dataset (see DESIGN.md §3).
+func GenerateTaxi(cfg TaxiConfig) []*Trajectory { return synth.Taxi(cfg) }
+
+// GenerateASL produces the labelled stand-in for the Australian Sign
+// Language dataset.
+func GenerateASL(cfg ASLConfig) []*Trajectory { return synth.ASL(cfg) }
+
+// InterNoise splits pct of each trajectory's segments (shape preserved),
+// modelling inter-trajectory sampling-rate variance (Fig. 5(b,c)).
+func InterNoise(db []*Trajectory, pct float64, seed int64) []*Trajectory {
+	return synth.Inter(db, pct, seed)
+}
+
+// IntraNoise splits segments only in each trajectory's first half,
+// modelling intra-trajectory variance (Fig. 5(d,e)).
+func IntraNoise(db []*Trajectory, pct float64, seed int64) []*Trajectory {
+	return synth.Intra(db, pct, seed)
+}
+
+// PhaseNoise splits the same pct of segments in two copies at different
+// positions, modelling sampling phase variation (Fig. 5(f,g)).
+func PhaseNoise(db []*Trajectory, pct float64, seed int64) (d1, d2 []*Trajectory) {
+	return synth.Phase(db, pct, seed)
+}
+
+// PerturbNoise relocates pct of points within the given radius,
+// modelling measurement noise (Fig. 5(h,i)).
+func PerturbNoise(db []*Trajectory, pct, radius float64, seed int64) []*Trajectory {
+	return synth.Perturb(db, pct, radius, seed)
+}
+
+// PerturbRadius returns the paper's perturbation radius: the distance
+// covered in horizon seconds at the database's average speed.
+func PerturbRadius(db []*Trajectory, horizon float64) float64 {
+	return synth.PerturbRadius(db, horizon)
+}
+
+// Resample re-interpolates t to a uniform spatial spacing — the EDR-I
+// preprocessing of Section V-C.
+func Resample(t *Trajectory, spacing float64) *Trajectory { return traj.Resample(t, spacing) }
+
+// ResampleAll resamples an entire database.
+func ResampleAll(db []*Trajectory, spacing float64) []*Trajectory {
+	return traj.ResampleAll(db, spacing)
+}
+
+// MedianSegmentLength returns the database's median positive segment
+// length, the spacing the harness uses for EDR-I.
+func MedianSegmentLength(db []*Trajectory) float64 { return traj.MedianSegmentLength(db) }
+
+// SplitTrips partitions a raw point stream into trips on time gaps and
+// stationary periods, the paper's Beijing preprocessing.
+func SplitTrips(points []STPoint, maxGap, maxStationary float64, firstID int) []*Trajectory {
+	return traj.SplitTrips(points, maxGap, maxStationary, firstID)
+}
+
+// ReadCSV parses a point-per-row id,x,y,t[,label] trajectory file.
+func ReadCSV(r io.Reader) ([]*Trajectory, error) { return dataio.ReadCSV(r) }
+
+// WriteCSV writes db in the format ReadCSV parses.
+func WriteCSV(w io.Writer, db []*Trajectory) error { return dataio.WriteCSV(w, db) }
+
+// ReadNDJSON parses one JSON trajectory per line.
+func ReadNDJSON(r io.Reader) ([]*Trajectory, error) { return dataio.ReadNDJSON(r) }
+
+// WriteNDJSON writes db with one JSON trajectory per line.
+func WriteNDJSON(w io.Writer, db []*Trajectory) error { return dataio.WriteNDJSON(w, db) }
+
+// PickClasses selects c random class labels out of [0, numClasses), for
+// building classification subsets as in Fig. 5(a).
+func PickClasses(numClasses, c int, rng *rand.Rand) map[int]bool {
+	return synth.PickClasses(numClasses, c, rng)
+}
+
+// SelectClasses returns the subset of db whose labels are in the set.
+func SelectClasses(db []*Trajectory, classes map[int]bool) []*Trajectory {
+	return synth.Classes(db, classes)
+}
