@@ -356,3 +356,48 @@ func BenchmarkIndexKNN(b *testing.B) {
 		tree.KNN(q, 10)
 	}
 }
+
+// BenchmarkEngineKNNBatch measures the concurrent engine's batch path
+// against a sequential Tree.KNN loop over the same query set. The batch
+// fans across GOMAXPROCS workers, so "batch" should approach
+// "sequential" / NumCPU — near-linear speedup is the engine's headline
+// claim. The result cache is disabled so every query pays full price.
+func BenchmarkEngineKNNBatch(b *testing.B) {
+	db := benchTaxi()
+	queries := benchQueries(32)
+	iopt := trajmatch.IndexOptions{NumVPs: 20, PivotCandidates: 32, Seed: 1}
+
+	b.Run("sequential", func(b *testing.B) {
+		tree, err := trajmatch.NewIndex(db, iopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				tree.KNN(q, 10)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		engine, err := trajmatch.NewEngine(db, iopt, trajmatch.EngineOptions{CacheSize: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.KNNBatch(queries, 10)
+		}
+	})
+	b.Run("batch-cached", func(b *testing.B) {
+		engine, err := trajmatch.NewEngine(db, iopt, trajmatch.EngineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine.KNNBatch(queries, 10) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.KNNBatch(queries, 10)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+// Command trajserve serves k-NN, range and insert traffic over a TrajTree
+// index via JSON-over-HTTP. It loads a trajectory database, bulk-loads the
+// index, and exposes the concurrent engine of internal/server:
+//
+//	POST /knn        {"query": {"id": 1, "points": [[x,y,t], ...]}, "k": 10}
+//	POST /knn/batch  {"queries": [...], "k": 10}
+//	POST /range      {"query": {...}, "radius": 250.0}
+//	POST /insert     {"trajectories": [{...}, ...]}
+//	GET  /stats
+//	GET  /healthz
+//
+// Usage:
+//
+//	trajgen -kind taxi -n 2000 -o db.csv
+//	trajserve -db db.csv -addr :8080
+//	curl -s localhost:8080/knn -d '{"query":{"id":0,"points":[[0,0,0],[100,50,60]]},"k":5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"trajmatch"
+)
+
+func main() {
+	var (
+		dbPath  = flag.String("db", "", "database file (csv or ndjson by extension)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		theta   = flag.Float64("theta", 0.8, "TrajTree θ (diversity drop threshold)")
+		vps     = flag.Int("vps", 80, "vantage points per node")
+		cumula  = flag.Bool("cumulative", false, "use cumulative EDwP instead of EDwPavg")
+		cache   = flag.Int("cache", 0, "LRU result-cache entries (0 = default 1024, negative disables)")
+		workers = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 1, "index build seed")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		fatalf("-db is required")
+	}
+
+	db := readFile(*dbPath)
+	t0 := time.Now()
+	engine, err := trajmatch.NewEngine(db, trajmatch.IndexOptions{
+		Theta:      *theta,
+		NumVPs:     *vps,
+		Cumulative: *cumula,
+		Parallel:   true,
+		Seed:       *seed,
+	}, trajmatch.EngineOptions{CacheSize: *cache, Workers: *workers})
+	if err != nil {
+		fatalf("build: %v", err)
+	}
+	log.Printf("indexed %d trajectories (height %d) in %v",
+		engine.Size(), engine.Height(), time.Since(t0).Round(time.Millisecond))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(trajmatch.NewHTTPHandler(engine)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("trajserve listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fatalf("serve: %v", err)
+	}
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(t0).Round(time.Microsecond))
+	})
+}
+
+func readFile(path string) []*trajmatch.Trajectory {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	var db []*trajmatch.Trajectory
+	if strings.HasSuffix(path, ".ndjson") || strings.HasSuffix(path, ".jsonl") {
+		db, err = trajmatch.ReadNDJSON(f)
+	} else {
+		db, err = trajmatch.ReadCSV(f)
+	}
+	if err != nil {
+		fatalf("parse %s: %v", path, err)
+	}
+	return db
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "trajserve: "+format+"\n", args...)
+	os.Exit(1)
+}

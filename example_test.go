@@ -64,6 +64,61 @@ func ExampleAlignEDwP() {
 	// rep 1
 }
 
+// NewEngine wraps the index in a thread-safe engine: queries run
+// concurrently with each other, and updates are serialised against them.
+// A repeated query is answered from the LRU cache until an update
+// invalidates it.
+func ExampleNewEngine() {
+	db := []*trajmatch.Trajectory{
+		trajmatch.FromXY(1, 0, 0, 10, 0),
+		trajmatch.FromXY(2, 0, 1, 10, 1),
+		trajmatch.FromXY(3, 0, 50, 10, 50),
+	}
+	engine, err := trajmatch.NewEngine(db, trajmatch.IndexOptions{Seed: 1}, trajmatch.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	q := trajmatch.FromXY(9, 0, 2, 10, 2)
+	res, _ := engine.KNN(q, 1)
+	fmt.Println("nearest:", res[0].Traj.ID)
+
+	engine.KNN(q, 1) // identical geometry: served from the cache
+	if err := engine.Insert(trajmatch.FromXY(4, 0, 2, 10, 2)); err != nil {
+		panic(err)
+	}
+	res, _ = engine.KNN(q, 1) // insert invalidated the cache; fresh answer
+	fmt.Println("after insert:", res[0].Traj.ID)
+	fmt.Println("cache hits:", engine.Stats().CacheHits)
+	// Output:
+	// nearest: 2
+	// after insert: 4
+	// cache hits: 1
+}
+
+// KNNBatch answers many queries on a worker pool, returning answer lists
+// in input order.
+func ExampleEngine_KNNBatch() {
+	db := []*trajmatch.Trajectory{
+		trajmatch.FromXY(1, 0, 0, 10, 0),
+		trajmatch.FromXY(2, 0, 10, 10, 10),
+		trajmatch.FromXY(3, 0, 20, 10, 20),
+	}
+	engine, err := trajmatch.NewEngine(db, trajmatch.IndexOptions{Seed: 1}, trajmatch.EngineOptions{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	queries := []*trajmatch.Trajectory{
+		trajmatch.FromXY(91, 0, 1, 10, 1),
+		trajmatch.FromXY(92, 0, 19, 10, 19),
+	}
+	for i, res := range engine.KNNBatch(queries, 1) {
+		fmt.Printf("query %d -> trajectory %d\n", i, res[0].Traj.ID)
+	}
+	// Output:
+	// query 0 -> trajectory 1
+	// query 1 -> trajectory 3
+}
+
 // NewIndex bulk-loads a TrajTree; KNN answers are exact.
 func ExampleNewIndex() {
 	db := []*trajmatch.Trajectory{

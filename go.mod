@@ -1,0 +1,3 @@
+module trajmatch
+
+go 1.24

@@ -13,38 +13,14 @@ import (
 	"sync"
 
 	"trajmatch/internal/baseline"
+	"trajmatch/internal/par"
 	"trajmatch/internal/stats"
 	"trajmatch/internal/traj"
 )
 
 // parallelFor runs f(i) for i in [0, n) on up to NumCPU workers.
 func parallelFor(n int, f func(i int)) {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	par.For(runtime.NumCPU(), n, f)
 }
 
 // Classification runs the Fig. 5(a) protocol: k-fold cross-validation with

@@ -1,0 +1,49 @@
+// Package par provides the bounded worker-pool fan-out shared by the
+// evaluation harness and the server engine. It exists so the pattern has
+// one implementation instead of a per-package copy.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs f(i) for every i in [0, n) across up to workers goroutines and
+// returns when all calls have finished. workers <= 0 means
+// runtime.GOMAXPROCS(0); a single worker (or n <= 1) runs inline with no
+// goroutines. Indices are handed out dynamically, so uneven per-item costs
+// balance across the pool. f must be safe for concurrent invocation.
+func For(workers, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

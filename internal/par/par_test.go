@@ -1,0 +1,20 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 5, 64} {
+			counts := make([]atomic.Int32, n)
+			For(workers, n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Errorf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"trajmatch/internal/traj"
+	"trajmatch/internal/trajtree"
+)
+
+// cacheKey identifies a k-NN query by a 64-bit FNV-1a hash of the query
+// geometry together with k. Collisions would silently serve a wrong
+// cached answer, so the full coordinate stream participates in the hash —
+// id and label do not, letting resubmitted queries with fresh IDs hit.
+type cacheKey struct {
+	hash uint64
+	k    int
+}
+
+// knnKey hashes q's points and k into a cache key.
+func knnKey(q *traj.Trajectory, k int) cacheKey {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, p := range q.Points {
+		put(p.X)
+		put(p.Y)
+		put(p.T)
+	}
+	return cacheKey{hash: h.Sum64(), k: k}
+}
+
+// lruCache is a fixed-capacity LRU of k-NN answers. Every entry records
+// the tree generation it was computed at; a lookup against a newer
+// generation is a miss and evicts the stale entry, so updates invalidate
+// lazily without scanning the cache. The cache has its own mutex — hits
+// never contend with the engine's tree lock.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	gen uint64
+	res []trajtree.Result
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(key cacheKey, gen uint64) ([]trajtree.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.gen < gen {
+		c.order.Remove(el)
+		delete(c.byKey, key)
+		return nil, false
+	}
+	if ent.gen > gen {
+		// The entry was computed after the caller observed gen; it is not
+		// stale for anyone, just too new for this (already outdated)
+		// reader. Leave it for current readers.
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return ent.res, true
+}
+
+func (c *lruCache) put(key cacheKey, gen uint64, res []trajtree.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if ent.gen > gen {
+			return // never replace a fresher answer with a slow reader's older one
+		}
+		ent.gen, ent.res = gen, res
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, gen: gen, res: res})
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

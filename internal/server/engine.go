@@ -1,0 +1,230 @@
+// Package server wraps the TrajTree index in a thread-safe query engine
+// and exposes it over HTTP. The engine serialises the index's update path
+// (Insert, Delete, Rebuild) behind the write side of an RWMutex while KNN
+// and RangeSearch reads proceed concurrently on the read side — the Tree
+// itself is safe for any number of simultaneous queries, so readers never
+// block each other. On top of that sit a worker-pool batch API (KNNBatch)
+// that fans independent queries across GOMAXPROCS goroutines, and an LRU
+// cache of k-NN answers keyed by a hash of the query geometry, invalidated
+// through the tree's generation counter rather than by eager flushing.
+//
+// cmd/trajserve serves the Handler in this package; the trajmatch facade
+// re-exports Engine for library users.
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"trajmatch/internal/par"
+	"trajmatch/internal/traj"
+	"trajmatch/internal/trajtree"
+)
+
+// Options configure an Engine. The zero value is usable.
+type Options struct {
+	// CacheSize is the maximum number of k-NN answers kept in the LRU
+	// cache. 0 means the default of 1024; negative disables caching.
+	CacheSize int
+	// Workers is the size of the KNNBatch worker pool. 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+const defaultCacheSize = 1024
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize == 0 {
+		o.CacheSize = defaultCacheSize
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Engine is a concurrency-safe facade over a trajtree.Tree. All methods
+// may be called from any goroutine: queries share a read lock, updates
+// take the write lock, and the result cache carries its own mutex so a
+// cache hit never touches the tree.
+type Engine struct {
+	opt   Options
+	mu    sync.RWMutex // guards tree structure: RLock for queries, Lock for updates
+	tree  *trajtree.Tree
+	cache *lruCache // nil when caching is disabled
+
+	queries   atomic.Uint64
+	cacheHits atomic.Uint64
+	inserts   atomic.Uint64
+	deletes   atomic.Uint64
+	rebuilds  atomic.Uint64
+}
+
+// NewEngine wraps an existing tree. The caller must not use the tree
+// directly afterwards; the engine owns it.
+func NewEngine(tree *trajtree.Tree, opt Options) *Engine {
+	opt = opt.withDefaults()
+	e := &Engine{opt: opt, tree: tree}
+	if opt.CacheSize > 0 {
+		e.cache = newLRUCache(opt.CacheSize)
+	}
+	return e
+}
+
+// NewEngineFromDB bulk-loads a TrajTree over db and wraps it.
+func NewEngineFromDB(db []*traj.Trajectory, topt trajtree.Options, opt Options) (*Engine, error) {
+	tree, err := trajtree.New(db, topt)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(tree, opt), nil
+}
+
+// Size returns the number of indexed trajectories.
+func (e *Engine) Size() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tree.Size()
+}
+
+// Height returns the index height.
+func (e *Engine) Height() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tree.Height()
+}
+
+// Lookup returns the indexed trajectory with the given ID, or nil.
+func (e *Engine) Lookup(id int) *traj.Trajectory {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tree.Lookup(id)
+}
+
+// KNN answers an exact k-nearest-neighbour query. Cached answers are
+// returned without touching the tree; the returned slice is shared with
+// the cache and must not be mutated.
+func (e *Engine) KNN(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Stats) {
+	res, st, _ := e.knn(q, k)
+	return res, st
+}
+
+// knn is KNN plus a flag reporting whether the answer came from the
+// cache — cache hits return zero Stats, which the HTTP layer surfaces
+// rather than letting them pollute pruning measurements.
+func (e *Engine) knn(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Stats, bool) {
+	e.queries.Add(1)
+	var key cacheKey
+	if e.cache != nil {
+		key = knnKey(q, k)
+		e.mu.RLock()
+		gen := e.tree.Generation()
+		e.mu.RUnlock()
+		if res, ok := e.cache.get(key, gen); ok {
+			e.cacheHits.Add(1)
+			return res, trajtree.Stats{}, true
+		}
+	}
+	e.mu.RLock()
+	res, st := e.tree.KNN(q, k)
+	gen := e.tree.Generation()
+	e.mu.RUnlock()
+	if e.cache != nil {
+		e.cache.put(key, gen, res)
+	}
+	return res, st, false
+}
+
+// RangeSearch returns every indexed trajectory within radius of q, sorted
+// ascending. Range answers are not cached: radii are continuous, so
+// repeats are rare.
+func (e *Engine) RangeSearch(q *traj.Trajectory, radius float64) ([]trajtree.Result, trajtree.Stats) {
+	e.queries.Add(1)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tree.RangeSearch(q, radius)
+}
+
+// KNNBatch answers len(qs) independent k-NN queries on the engine's
+// worker pool and returns the answers in input order. Each query acquires
+// the read lock independently, so a concurrent Insert interleaves with a
+// running batch instead of waiting for it to drain.
+func (e *Engine) KNNBatch(qs []*traj.Trajectory, k int) [][]trajtree.Result {
+	out := make([][]trajtree.Result, len(qs))
+	par.For(e.opt.Workers, len(qs), func(i int) {
+		out[i], _ = e.KNN(qs[i], k)
+	})
+	return out
+}
+
+// Insert adds a trajectory to the index, blocking queries for the
+// duration of the update.
+func (e *Engine) Insert(tr *traj.Trajectory) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.tree.Insert(tr); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	e.inserts.Add(1)
+	return nil
+}
+
+// Delete removes the trajectory with the given ID, reporting whether it
+// was present.
+func (e *Engine) Delete(id int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.tree.Delete(id) {
+		return false
+	}
+	e.deletes.Add(1)
+	return true
+}
+
+// Rebuild reconstructs the index from its current members.
+func (e *Engine) Rebuild() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.tree.Rebuild(); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	e.rebuilds.Add(1)
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the engine's counters and index
+// shape, the payload of GET /stats.
+type Stats struct {
+	Size      int    `json:"size"`
+	Height    int    `json:"height"`
+	Queries   uint64 `json:"queries"`
+	CacheHits uint64 `json:"cache_hits"`
+	CacheLen  int    `json:"cache_len"`
+	Inserts   uint64 `json:"inserts"`
+	Deletes   uint64 `json:"deletes"`
+	Rebuilds  uint64 `json:"rebuilds"`
+	Workers   int    `json:"workers"`
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	size, h := e.tree.Size(), e.tree.Height()
+	e.mu.RUnlock()
+	st := Stats{
+		Size:      size,
+		Height:    h,
+		Queries:   e.queries.Load(),
+		CacheHits: e.cacheHits.Load(),
+		Inserts:   e.inserts.Load(),
+		Deletes:   e.deletes.Load(),
+		Rebuilds:  e.rebuilds.Load(),
+		Workers:   e.opt.Workers,
+	}
+	if e.cache != nil {
+		st.CacheLen = e.cache.len()
+	}
+	return st
+}

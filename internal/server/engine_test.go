@@ -1,0 +1,235 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"trajmatch/internal/traj"
+	"trajmatch/internal/trajtree"
+)
+
+// testDB builds n short trajectories scattered over a grid, deterministic
+// in seed.
+func testDB(n int, seed int64) []*traj.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	db := make([]*traj.Trajectory, n)
+	for i := range db {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		pts := make([]traj.Point, 5)
+		for j := range pts {
+			x += rng.Float64()*20 - 10
+			y += rng.Float64()*20 - 10
+			pts[j] = traj.P(x, y, float64(j)*10)
+		}
+		db[i] = traj.New(i, pts)
+	}
+	return db
+}
+
+func newTestEngine(t testing.TB, n int, opt Options) *Engine {
+	t.Helper()
+	e, err := NewEngineFromDB(testDB(n, 7), trajtree.Options{Seed: 1, LeafSize: 5}, opt)
+	if err != nil {
+		t.Fatalf("NewEngineFromDB: %v", err)
+	}
+	return e
+}
+
+func TestEngineKNNMatchesTree(t *testing.T) {
+	db := testDB(80, 7)
+	tree, err := trajtree.New(db, trajtree.Options{Seed: 1, LeafSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(tree, Options{CacheSize: -1})
+	for qi := 0; qi < 5; qi++ {
+		q := db[qi*13].Clone()
+		q.ID = 1_000_000 + qi
+		got, _ := e.KNN(q, 5)
+		want := tree.KNNBrute(q, 5)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Dist != want[i].Dist {
+				t.Errorf("query %d rank %d: dist %v != brute %v", qi, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestKNNBatchMatchesSequential(t *testing.T) {
+	e := newTestEngine(t, 80, Options{CacheSize: -1, Workers: 4})
+	db := testDB(80, 7)
+	qs := make([]*traj.Trajectory, 20)
+	for i := range qs {
+		qs[i] = db[(i*7)%len(db)].Clone()
+		qs[i].ID = 1_000_000 + i
+	}
+	batch := e.KNNBatch(qs, 3)
+	if len(batch) != len(qs) {
+		t.Fatalf("batch returned %d answer lists, want %d", len(batch), len(qs))
+	}
+	for i, q := range qs {
+		seq, _ := e.KNN(q, 3)
+		if len(batch[i]) != len(seq) {
+			t.Fatalf("query %d: batch %d results, sequential %d", i, len(batch[i]), len(seq))
+		}
+		for j := range seq {
+			if batch[i][j].Traj.ID != seq[j].Traj.ID || batch[i][j].Dist != seq[j].Dist {
+				t.Errorf("query %d rank %d: batch (%d, %v) != sequential (%d, %v)",
+					i, j, batch[i][j].Traj.ID, batch[i][j].Dist, seq[j].Traj.ID, seq[j].Dist)
+			}
+		}
+	}
+}
+
+func TestEngineCache(t *testing.T) {
+	e := newTestEngine(t, 60, Options{CacheSize: 16})
+	q := testDB(60, 7)[3].Clone()
+	q.ID = 1_000_000
+
+	first, _ := e.KNN(q, 4)
+	if hits := e.Stats().CacheHits; hits != 0 {
+		t.Fatalf("cold query reported %d cache hits", hits)
+	}
+	second, _ := e.KNN(q.Clone(), 4) // fresh object, same geometry
+	if hits := e.Stats().CacheHits; hits != 1 {
+		t.Fatalf("repeat query reported %d cache hits, want 1", hits)
+	}
+	for i := range first {
+		if first[i].Traj.ID != second[i].Traj.ID {
+			t.Fatalf("cached answer differs at rank %d", i)
+		}
+	}
+	// Different k must miss.
+	e.KNN(q, 5)
+	if hits := e.Stats().CacheHits; hits != 1 {
+		t.Fatalf("k=5 after k=4 reported %d cache hits, want 1", hits)
+	}
+
+	// An insert bumps the tree generation and invalidates cached answers.
+	nt := testDB(61, 99)[60]
+	nt.ID = 5000
+	if err := e.Insert(nt); err != nil {
+		t.Fatal(err)
+	}
+	e.KNN(q, 4)
+	if hits := e.Stats().CacheHits; hits != 1 {
+		t.Fatalf("post-insert query reported %d cache hits, want 1 (stale entry served)", hits)
+	}
+}
+
+func TestEngineInsertDeleteVisibleToQueries(t *testing.T) {
+	e := newTestEngine(t, 40, Options{})
+	tr := traj.New(4000, []traj.Point{traj.P(5000, 5000, 0), traj.P(5010, 5000, 10)})
+	if err := e.Insert(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert(tr); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+	q := traj.New(9999, []traj.Point{traj.P(5001, 5000, 0), traj.P(5009, 5000, 10)})
+	res, _ := e.KNN(q, 1)
+	if len(res) != 1 || res[0].Traj.ID != 4000 {
+		t.Fatalf("inserted trajectory not found, got %v", res)
+	}
+	if !e.Delete(4000) {
+		t.Fatal("delete reported not present")
+	}
+	if e.Delete(4000) {
+		t.Fatal("second delete reported present")
+	}
+	res, _ = e.KNN(q, 1)
+	if len(res) == 1 && res[0].Traj.ID == 4000 {
+		t.Fatal("deleted trajectory still returned")
+	}
+}
+
+// TestEngineConcurrentKNNDuringInsert is the acceptance test for the
+// engine's concurrency claim: 8 goroutines issue KNN queries in a loop
+// while the main goroutine inserts and deletes trajectories. Run with
+// -race; the RWMutex discipline is what keeps it quiet.
+func TestEngineConcurrentKNNDuringInsert(t *testing.T) {
+	e := newTestEngine(t, 60, Options{CacheSize: 64})
+	db := testDB(60, 7)
+
+	const readers = 8
+	const queriesPerReader = 30
+	var wg sync.WaitGroup
+	wg.Add(readers)
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < queriesPerReader; i++ {
+				q := db[(r*queriesPerReader+i)%len(db)].Clone()
+				q.ID = 1_000_000 + r*queriesPerReader + i
+				res, _ := e.KNN(q, 3)
+				if len(res) == 0 {
+					errs <- fmt.Errorf("reader %d query %d: empty answer", r, i)
+					return
+				}
+				if i%5 == 0 {
+					e.KNNBatch([]*traj.Trajectory{q}, 2)
+				}
+				if i%7 == 0 {
+					e.RangeSearch(q, 50)
+				}
+			}
+		}(r)
+	}
+
+	// Writer: interleave inserts and deletes with the reader storm.
+	extra := testDB(100, 31)[60:]
+	for i, tr := range extra {
+		tr.ID = 10_000 + i
+		if err := e.Insert(tr); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if i%3 == 0 {
+			e.Delete(10_000 + i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := e.Stats()
+	if st.Inserts != uint64(len(extra)) {
+		t.Errorf("stats inserts %d, want %d", st.Inserts, len(extra))
+	}
+	wantSize := 60 + len(extra) - (len(extra)+2)/3
+	if st.Size != wantSize {
+		t.Errorf("final size %d, want %d", st.Size, wantSize)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	k1, k2, k3 := cacheKey{1, 1}, cacheKey{2, 1}, cacheKey{3, 1}
+	c.put(k1, 0, nil)
+	c.put(k2, 0, nil)
+	c.get(k1, 0) // touch k1 so k2 becomes LRU
+	c.put(k3, 0, nil)
+	if _, ok := c.get(k2, 0); ok {
+		t.Error("LRU entry k2 survived eviction")
+	}
+	if _, ok := c.get(k1, 0); !ok {
+		t.Error("recently used k1 was evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("cache len %d, want 2", c.len())
+	}
+	// Stale generation is a miss and removes the entry.
+	if _, ok := c.get(k1, 1); ok {
+		t.Error("stale-generation entry served")
+	}
+	if c.len() != 1 {
+		t.Errorf("cache len %d after stale eviction, want 1", c.len())
+	}
+}

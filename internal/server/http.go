@@ -1,0 +1,267 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"trajmatch/internal/traj"
+	"trajmatch/internal/trajtree"
+)
+
+// WireTrajectory is the JSON form of a trajectory shared by every
+// endpoint: points are [x, y, t] triples, matching the NDJSON layout of
+// package dataio.
+type WireTrajectory struct {
+	ID     int          `json:"id"`
+	Label  int          `json:"label,omitempty"`
+	Points [][3]float64 `json:"points"`
+}
+
+// ToTrajectory converts the wire form to the internal model.
+func (w WireTrajectory) ToTrajectory() (*traj.Trajectory, error) {
+	pts := make([]traj.Point, len(w.Points))
+	for i, p := range w.Points {
+		pts[i] = traj.P(p[0], p[1], p[2])
+	}
+	t := &traj.Trajectory{ID: w.ID, Label: w.Label, Points: pts}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Neighbor is one k-NN or range answer on the wire. Only the matched
+// trajectory's identity and distance travel back; clients that need the
+// geometry already have the database or can fetch it out of band.
+type Neighbor struct {
+	ID    int     `json:"id"`
+	Label int     `json:"label,omitempty"`
+	Dist  float64 `json:"dist"`
+}
+
+func toNeighbors(rs []trajtree.Result) []Neighbor {
+	out := make([]Neighbor, len(rs))
+	for i, r := range rs {
+		out[i] = Neighbor{ID: r.Traj.ID, Label: r.Traj.Label, Dist: r.Dist}
+	}
+	return out
+}
+
+// WireStats mirrors trajtree.Stats in snake_case JSON.
+type WireStats struct {
+	DistanceCalls   int `json:"distance_calls"`
+	LowerBoundCalls int `json:"lower_bound_calls"`
+	NodesVisited    int `json:"nodes_visited"`
+	NodesPruned     int `json:"nodes_pruned"`
+}
+
+func toWireStats(st trajtree.Stats) WireStats {
+	return WireStats{
+		DistanceCalls:   st.DistanceCalls,
+		LowerBoundCalls: st.LowerBoundCalls,
+		NodesVisited:    st.NodesVisited,
+		NodesPruned:     st.NodesPruned,
+	}
+}
+
+// KNNRequest is the body of POST /knn.
+type KNNRequest struct {
+	Query WireTrajectory `json:"query"`
+	K     int            `json:"k"`
+}
+
+// KNNResponse is the body of a successful POST /knn. Cached answers
+// carry zero Stats — the tree was never touched — so Cached lets clients
+// measuring pruning effectiveness discard them.
+type KNNResponse struct {
+	Results []Neighbor `json:"results"`
+	Stats   WireStats  `json:"stats"`
+	Cached  bool       `json:"cached,omitempty"`
+	TookMS  float64    `json:"took_ms"`
+}
+
+// KNNBatchRequest is the body of POST /knn/batch.
+type KNNBatchRequest struct {
+	Queries []WireTrajectory `json:"queries"`
+	K       int              `json:"k"`
+}
+
+// KNNBatchResponse carries one answer list per query, in request order.
+type KNNBatchResponse struct {
+	Results [][]Neighbor `json:"results"`
+	TookMS  float64      `json:"took_ms"`
+}
+
+// RangeRequest is the body of POST /range.
+type RangeRequest struct {
+	Query  WireTrajectory `json:"query"`
+	Radius float64        `json:"radius"`
+}
+
+// RangeResponse is the body of a successful POST /range.
+type RangeResponse struct {
+	Results []Neighbor `json:"results"`
+	Stats   WireStats  `json:"stats"`
+	TookMS  float64    `json:"took_ms"`
+}
+
+// InsertRequest is the body of POST /insert; several trajectories may be
+// inserted in one call.
+type InsertRequest struct {
+	Trajectories []WireTrajectory `json:"trajectories"`
+}
+
+// InsertResponse reports how many trajectories were added.
+type InsertResponse struct {
+	Inserted int `json:"inserted"`
+	Size     int `json:"size"`
+}
+
+// ErrorResponse is the body of every non-2xx answer produced by the
+// handlers themselves. Routing-level rejections (404 for unknown paths,
+// 405 for wrong methods) come from net/http's ServeMux and are plain
+// text.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the HTTP surface over e:
+//
+//	POST /knn        {"query": {...}, "k": 10}
+//	POST /knn/batch  {"queries": [{...}, ...], "k": 10}
+//	POST /range      {"query": {...}, "radius": 250}
+//	POST /insert     {"trajectories": [{...}, ...]}
+//	GET  /stats
+//	GET  /healthz
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /knn", func(w http.ResponseWriter, r *http.Request) {
+		var req KNNRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		q, err := req.Query.ToTrajectory()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query: %v", err))
+			return
+		}
+		if req.K <= 0 {
+			writeError(w, http.StatusBadRequest, "k must be positive")
+			return
+		}
+		t0 := time.Now()
+		res, st, cached := e.knn(q, req.K)
+		writeJSON(w, http.StatusOK, KNNResponse{
+			Results: toNeighbors(res),
+			Stats:   toWireStats(st),
+			Cached:  cached,
+			TookMS:  msSince(t0),
+		})
+	})
+	mux.HandleFunc("POST /knn/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req KNNBatchRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if req.K <= 0 {
+			writeError(w, http.StatusBadRequest, "k must be positive")
+			return
+		}
+		qs := make([]*traj.Trajectory, len(req.Queries))
+		for i, wq := range req.Queries {
+			q, err := wq.ToTrajectory()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+				return
+			}
+			qs[i] = q
+		}
+		t0 := time.Now()
+		batches := e.KNNBatch(qs, req.K)
+		out := make([][]Neighbor, len(batches))
+		for i, rs := range batches {
+			out[i] = toNeighbors(rs)
+		}
+		writeJSON(w, http.StatusOK, KNNBatchResponse{Results: out, TookMS: msSince(t0)})
+	})
+	mux.HandleFunc("POST /range", func(w http.ResponseWriter, r *http.Request) {
+		var req RangeRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		q, err := req.Query.ToTrajectory()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query: %v", err))
+			return
+		}
+		if req.Radius < 0 {
+			writeError(w, http.StatusBadRequest, "radius must be non-negative")
+			return
+		}
+		t0 := time.Now()
+		res, st := e.RangeSearch(q, req.Radius)
+		writeJSON(w, http.StatusOK, RangeResponse{
+			Results: toNeighbors(res),
+			Stats:   toWireStats(st),
+			TookMS:  msSince(t0),
+		})
+	})
+	mux.HandleFunc("POST /insert", func(w http.ResponseWriter, r *http.Request) {
+		var req InsertRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		inserted := 0
+		for i, wt := range req.Trajectories {
+			tr, err := wt.ToTrajectory()
+			if err == nil {
+				err = e.Insert(tr)
+			}
+			if err != nil {
+				// Earlier trajectories stay inserted; report how far we got.
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("trajectory %d: %v (inserted %d before failure)", i, err, inserted))
+				return
+			}
+			inserted++
+		}
+		writeJSON(w, http.StatusOK, InsertResponse{Inserted: inserted, Size: e.Size()})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// maxBodyBytes bounds request bodies; batch inserts of long trajectories
+// fit comfortably, runaway clients do not.
+const maxBodyBytes = 64 << 20
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0)) / float64(time.Millisecond)
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"trajmatch/internal/traj"
+)
+
+func wire(t *traj.Trajectory) WireTrajectory {
+	w := WireTrajectory{ID: t.ID, Label: t.Label, Points: make([][3]float64, len(t.Points))}
+	for i, p := range t.Points {
+		w.Points[i] = [3]float64{p.X, p.Y, p.T}
+	}
+	return w
+}
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body, dst any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if dst != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("POST %s: decode: %v", path, err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPKNNRoundTrip(t *testing.T) {
+	e := newTestEngine(t, 60, Options{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	q := testDB(60, 7)[10].Clone()
+	q.ID = 1_000_000
+	var resp KNNResponse
+	httpResp := postJSON(t, srv, "/knn", KNNRequest{Query: wire(q), K: 5}, &resp)
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /knn status %d", httpResp.StatusCode)
+	}
+	if len(resp.Results) != 5 {
+		t.Fatalf("got %d results, want 5", len(resp.Results))
+	}
+	want, _ := e.KNN(q, 5)
+	for i, n := range resp.Results {
+		if n.ID != want[i].Traj.ID || n.Dist != want[i].Dist {
+			t.Errorf("rank %d: wire (%d, %v) != engine (%d, %v)",
+				i, n.ID, n.Dist, want[i].Traj.ID, want[i].Dist)
+		}
+	}
+	for i := 1; i < len(resp.Results); i++ {
+		if resp.Results[i].Dist < resp.Results[i-1].Dist {
+			t.Errorf("results not sorted at rank %d", i)
+		}
+	}
+	if resp.Cached {
+		t.Error("first query reported cached")
+	}
+
+	// The identical query again is served from the cache and says so.
+	var again KNNResponse
+	postJSON(t, srv, "/knn", KNNRequest{Query: wire(q), K: 5}, &again)
+	if !again.Cached {
+		t.Error("repeat query not reported as cached")
+	}
+	if len(again.Results) != len(resp.Results) {
+		t.Errorf("cached answer has %d results, want %d", len(again.Results), len(resp.Results))
+	}
+}
+
+func TestHTTPKNNBatch(t *testing.T) {
+	e := newTestEngine(t, 60, Options{Workers: 4})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	db := testDB(60, 7)
+	req := KNNBatchRequest{K: 3}
+	for i := 0; i < 10; i++ {
+		q := db[i*5].Clone()
+		q.ID = 1_000_000 + i
+		req.Queries = append(req.Queries, wire(q))
+	}
+	var resp KNNBatchResponse
+	if r := postJSON(t, srv, "/knn/batch", req, &resp); r.StatusCode != http.StatusOK {
+		t.Fatalf("POST /knn/batch status %d", r.StatusCode)
+	}
+	if len(resp.Results) != 10 {
+		t.Fatalf("got %d answer lists, want 10", len(resp.Results))
+	}
+	for i, rs := range resp.Results {
+		if len(rs) != 3 {
+			t.Errorf("query %d: %d results, want 3", i, len(rs))
+		}
+	}
+}
+
+func TestHTTPRangeInsertStats(t *testing.T) {
+	e := newTestEngine(t, 40, Options{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	// Insert a trajectory far away from the grid, then range-query near it.
+	far := traj.New(7000, []traj.Point{traj.P(90_000, 90_000, 0), traj.P(90_050, 90_000, 10)})
+	var ins InsertResponse
+	if r := postJSON(t, srv, "/insert", InsertRequest{Trajectories: []WireTrajectory{wire(far)}}, &ins); r.StatusCode != http.StatusOK {
+		t.Fatalf("POST /insert status %d", r.StatusCode)
+	}
+	if ins.Inserted != 1 || ins.Size != 41 {
+		t.Fatalf("insert response %+v, want inserted 1 size 41", ins)
+	}
+
+	probe := traj.New(7777, []traj.Point{traj.P(90_001, 90_000, 0), traj.P(90_049, 90_000, 10)})
+	var rng RangeResponse
+	if r := postJSON(t, srv, "/range", RangeRequest{Query: wire(probe), Radius: 100}, &rng); r.StatusCode != http.StatusOK {
+		t.Fatalf("POST /range status %d", r.StatusCode)
+	}
+	if len(rng.Results) != 1 || rng.Results[0].ID != 7000 {
+		t.Fatalf("range results %+v, want exactly trajectory 7000", rng.Results)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != 41 || st.Inserts != 1 || st.Queries == 0 {
+		t.Errorf("stats %+v: want size 41, inserts 1, queries > 0", st)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	e := newTestEngine(t, 20, Options{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	e := newTestEngine(t, 20, Options{})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	q := testDB(20, 7)[0]
+	cases := []struct {
+		name, path string
+		body       any
+		wantCode   int
+	}{
+		{"k zero", "/knn", KNNRequest{Query: wire(q), K: 0}, http.StatusBadRequest},
+		{"single point query", "/knn", KNNRequest{Query: WireTrajectory{ID: 1, Points: [][3]float64{{0, 0, 0}}}, K: 1}, http.StatusBadRequest},
+		{"negative radius", "/range", RangeRequest{Query: wire(q), Radius: -1}, http.StatusBadRequest},
+		{"duplicate insert", "/insert", InsertRequest{Trajectories: []WireTrajectory{wire(q)}}, http.StatusBadRequest},
+		{"unknown field", "/knn", map[string]any{"query": wire(q), "k": 1, "bogus": true}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if resp := postJSON(t, srv, tc.path, tc.body, nil); resp.StatusCode != tc.wantCode {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantCode)
+		}
+	}
+
+	// Wrong method on a POST-only route.
+	resp, err := srv.Client().Get(srv.URL + "/knn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /knn status %d, want 405", resp.StatusCode)
+	}
+}

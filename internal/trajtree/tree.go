@@ -10,7 +10,9 @@
 // bound cannot beat the current k-th best distance.
 //
 // A Tree is immutable under queries and safe for concurrent KNN calls;
-// Insert, Delete and Rebuild require external serialisation.
+// Insert, Delete and Rebuild require external serialisation. Package
+// server wraps a Tree in an RWMutex-guarded engine that provides exactly
+// that serialisation for concurrent workloads.
 package trajtree
 
 import (
@@ -117,7 +119,8 @@ type Tree struct {
 	root *node
 	opt  Options
 	size int
-	mods int // inserts + deletes since the last (re)build
+	mods int    // inserts + deletes since the last (re)build
+	gen  uint64 // bumped by every Insert/Delete/Rebuild
 	rng  *rand.Rand
 }
 
@@ -152,6 +155,13 @@ func newTreeShell(opt Options, size int) *Tree {
 
 // Size returns the number of indexed trajectories.
 func (t *Tree) Size() int { return t.size }
+
+// Generation returns a counter that increases on every structural update
+// (Insert, Delete, Rebuild). Readers that cache query answers can compare
+// generations to detect staleness instead of subscribing to updates; the
+// server engine keys its LRU invalidation on it. Like every Tree accessor
+// it requires the caller to serialise updates against reads.
+func (t *Tree) Generation() uint64 { return t.gen }
 
 // Height returns the height of the tree (leaves have height 1).
 func (t *Tree) Height() int { return height(t.root) }

@@ -23,6 +23,7 @@ func (t *Tree) Insert(tr *traj.Trajectory) error {
 	if t.Lookup(tr.ID) != nil {
 		return fmt.Errorf("trajtree: duplicate trajectory ID %d", tr.ID)
 	}
+	t.gen++
 	if t.root == nil {
 		t.root = &node{
 			seq:     tbox.FromTrajectory(tr, t.opt.MaxBoxes),
@@ -93,6 +94,7 @@ func (t *Tree) Delete(id int) bool {
 	if !t.deleteFrom(t.root, id) {
 		return false
 	}
+	t.gen++
 	t.size--
 	t.mods++
 	t.maybeRebuild()
@@ -164,6 +166,7 @@ func (t *Tree) Rebuild() error {
 	t.root = fresh.root
 	t.size = fresh.size
 	t.mods = 0
+	t.gen++
 	return nil
 }
 

@@ -25,12 +25,14 @@ package trajmatch
 import (
 	"io"
 	"math/rand"
+	"net/http"
 
 	"trajmatch/internal/baseline"
 	"trajmatch/internal/core"
 	"trajmatch/internal/dataio"
 	"trajmatch/internal/dtwindex"
 	"trajmatch/internal/edrindex"
+	"trajmatch/internal/server"
 	"trajmatch/internal/synth"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/trajtree"
@@ -128,6 +130,39 @@ func NewIndex(db []*Trajectory, opt IndexOptions) (*Index, error) {
 // LoadIndex reconstructs an index previously written with Index.Save.
 func LoadIndex(r io.Reader) (*Index, error) {
 	return trajtree.Load(r)
+}
+
+// Engine is a thread-safe concurrent query engine over an Index: KNN and
+// RangeSearch reads run concurrently, Insert/Delete/Rebuild updates are
+// serialised behind a write lock, KNNBatch fans queries across a worker
+// pool, and repeated k-NN queries hit an LRU result cache. cmd/trajserve
+// serves it over HTTP.
+type Engine = server.Engine
+
+// EngineOptions configure an Engine; the zero value enables a 1024-entry
+// cache and GOMAXPROCS batch workers.
+type EngineOptions = server.Options
+
+// EngineStats is a snapshot of an Engine's traffic counters and index
+// shape.
+type EngineStats = server.Stats
+
+// NewEngine bulk-loads a TrajTree over db and wraps it in a concurrent
+// Engine.
+func NewEngine(db []*Trajectory, iopt IndexOptions, eopt EngineOptions) (*Engine, error) {
+	return server.NewEngineFromDB(db, iopt, eopt)
+}
+
+// NewEngineFromIndex wraps an existing index in a concurrent Engine. The
+// engine owns the index afterwards; do not query or update it directly.
+func NewEngineFromIndex(idx *Index, eopt EngineOptions) *Engine {
+	return server.NewEngine(idx, eopt)
+}
+
+// NewHTTPHandler returns the trajserve HTTP API over e: POST /knn,
+// /knn/batch, /range, /insert and GET /stats, /healthz with JSON bodies.
+func NewHTTPHandler(e *Engine) http.Handler {
+	return server.NewHandler(e)
 }
 
 // EDRIndex answers exact k-NN queries under EDR; it is the indexed
