@@ -357,6 +357,53 @@ func BenchmarkIndexKNN(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeKNN runs a rotating set of k-NN queries on the standing
+// index — the benchmark the bounded-kernel speedup target (ISSUE 2) is
+// measured on. It reports how many exact evaluations ran per query and
+// how many of them the bounded kernel abandoned early, making the
+// fast-path benefit visible next to the timing.
+func BenchmarkTreeKNN(b *testing.B) {
+	db := benchTaxi()
+	tree, err := trajmatch.NewIndex(db, trajmatch.IndexOptions{NumVPs: 20, PivotCandidates: 32, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := benchQueries(8)
+	b.ResetTimer()
+	calls, abandons := 0, 0
+	for i := 0; i < b.N; i++ {
+		_, st := tree.KNN(queries[i%len(queries)], 10)
+		calls += st.DistanceCalls
+		abandons += st.EarlyAbandons
+	}
+	b.ReportMetric(float64(calls)/float64(b.N), "distcalls/query")
+	b.ReportMetric(float64(abandons)/float64(b.N), "abandons/query")
+}
+
+// BenchmarkDistanceBounded isolates the bounded kernel: the same pair
+// evaluated unbounded, with a generous limit (full evaluation plus bound
+// bookkeeping) and with a tight limit (early abandon after a few rows).
+func BenchmarkDistanceBounded(b *testing.B) {
+	db := benchTaxi()
+	x, y := db[0], db[1]
+	full := trajmatch.EDwP(x, y)
+	b.Run("unbounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trajmatch.EDwP(x, y)
+		}
+	})
+	b.Run("limit-loose", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trajmatch.EDwPBounded(x, y, full*2)
+		}
+	})
+	b.Run("limit-tight", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trajmatch.EDwPBounded(x, y, full/100)
+		}
+	})
+}
+
 // BenchmarkEngineKNNBatch measures the concurrent engine's batch path
 // against a sequential Tree.KNN loop over the same query set. The batch
 // fans across GOMAXPROCS workers, so "batch" should approach

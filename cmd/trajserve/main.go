@@ -9,11 +9,17 @@
 //	GET  /stats
 //	GET  /healthz
 //
+// GET /stats includes the bounded-kernel counters (distance_calls,
+// early_abandons, lower_bound_calls, ...) accumulated over all queries.
+// With -pprof the standard net/http/pprof handlers are mounted under
+// /debug/pprof/ for live CPU, heap and contention profiling.
+//
 // Usage:
 //
 //	trajgen -kind taxi -n 2000 -o db.csv
-//	trajserve -db db.csv -addr :8080
+//	trajserve -db db.csv -addr :8080 -pprof
 //	curl -s localhost:8080/knn -d '{"query":{"id":0,"points":[[0,0,0],[100,50,60]]},"k":5}'
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -38,6 +45,7 @@ func main() {
 		cache   = flag.Int("cache", 0, "LRU result-cache entries (0 = default 1024, negative disables)")
 		workers = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 		seed    = flag.Int64("seed", 1, "index build seed")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -59,9 +67,26 @@ func main() {
 	log.Printf("indexed %d trajectories (height %d) in %v",
 		engine.Size(), engine.Height(), time.Since(t0).Round(time.Millisecond))
 
+	handler := trajmatch.NewHTTPHandler(engine)
+	if *pprofOn {
+		// Opt-in profiling: the handlers are registered explicitly on the
+		// API mux, which is the only mux this server ever serves. (The
+		// net/http/pprof import also registers on http.DefaultServeMux as
+		// an init side effect — do not serve DefaultServeMux anywhere in
+		// this binary, or profiling would be exposed regardless of -pprof.)
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(trajmatch.NewHTTPHandler(engine)),
+		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("trajserve listening on %s", *addr)

@@ -42,8 +42,10 @@ func LowerBound(q *traj.Trajectory, b Boxes) float64 {
 	}
 	inf := math.Inf(1)
 	// dp[j] = min cost having consumed segments < i, currently at box j.
-	dp := make([]float64, nb)
-	nxt := make([]float64, nb)
+	// Rows come from the shared kernel scratch pool, so steady-state bound
+	// evaluations allocate nothing.
+	scratch := scratchPool.Get().(*dpScratch)
+	dp, nxt := scratch.lbRows(nb)
 	for j := range dp {
 		dp[j] = 0 // free skip of any box prefix
 	}
@@ -75,6 +77,7 @@ func LowerBound(q *traj.Trajectory, b Boxes) float64 {
 			best = dp[j] // free skip of any box suffix
 		}
 	}
+	scratchPool.Put(scratch)
 	return best
 }
 

@@ -48,35 +48,88 @@ const (
 // Following the paper's definition, it returns 0 when both trajectories
 // have no segments and +Inf when exactly one of them has none.
 func Distance(t1, t2 *traj.Trajectory) float64 {
-	return run(t1.Points, t2.Points, modeGlobal)
+	d, _ := run(t1, t2, modeGlobal, math.Inf(1))
+	return d
+}
+
+// DistanceBounded returns EDwP(t1, t2) exactly whenever it does not exceed
+// limit, and +Inf otherwise. The second return reports whether the +Inf
+// came from the limit (the kernel abandoned the dynamic program, or the
+// full result was rejected at the boundary) as opposed to the distance
+// being genuinely infinite on degenerate inputs — index instrumentation
+// counts the former as early abandons. Calls whose true distance is far
+// above the bound cost a fraction of a full evaluation.
+// DistanceBounded(t1, t2, +Inf) is identical to Distance.
+func DistanceBounded(t1, t2 *traj.Trajectory, limit float64) (float64, bool) {
+	return run(t1, t2, modeGlobal, limit)
 }
 
 // AvgDistance returns the length-normalised EDwP of Eq. 4:
 // EDwP(T1,T2) / (length(T1)+length(T2)). When both trajectories have zero
 // spatial length the result is 0 if EDwP is 0 and +Inf otherwise.
 func AvgDistance(t1, t2 *traj.Trajectory) float64 {
-	d := Distance(t1, t2)
+	d, _ := AvgDistanceBounded(t1, t2, math.Inf(1))
+	return d
+}
+
+// AvgDistanceBounded returns AvgDistance(t1, t2) exactly whenever it does
+// not exceed limit, and +Inf otherwise; the second return reports whether
+// the +Inf was caused by the limit (see DistanceBounded). The bound is
+// translated into a cumulative-EDwP bound by the normaliser of Eq. 4,
+// inflated by a relative epsilon so boundary values survive
+// floating-point rounding inside the DP, and the quotient is re-checked
+// against limit afterwards so a finite result never exceeds it.
+func AvgDistanceBounded(t1, t2 *traj.Trajectory, limit float64) (float64, bool) {
 	sum := t1.Length() + t2.Length()
 	if sum == 0 {
+		d, _ := run(t1, t2, modeGlobal, math.Inf(1))
 		if d == 0 {
-			return 0
+			return 0, false
 		}
-		return math.Inf(1)
+		return math.Inf(1), false
 	}
-	return d / sum
+	raw := limit
+	if !math.IsInf(limit, 1) {
+		raw = limit * sum
+		raw += raw * 1e-12 // keep d/sum == limit reachable despite rounding
+	}
+	d, abandoned := run(t1, t2, modeGlobal, raw)
+	if math.IsInf(d, 1) {
+		return d, abandoned
+	}
+	if res := d / sum; res <= limit {
+		return res, false
+	}
+	return math.Inf(1), true // rejected at the boundary by the limit
 }
 
 // SubDistance returns EDwPsub(q, t): the cost of the best alignment of the
 // whole of q against any contiguous sub-trajectory of t (Eq. 6). It is
 // asymmetric; prefixes and suffixes of t are skipped free of charge.
 func SubDistance(q, t *traj.Trajectory) float64 {
-	return run(q.Points, t.Points, modeSub)
+	d, _ := run(q, t, modeSub, math.Inf(1))
+	return d
+}
+
+// SubDistanceBounded returns EDwPsub(q, t) exactly whenever it does not
+// exceed limit, and +Inf otherwise; the second return reports whether the
+// +Inf was caused by the limit (see DistanceBounded).
+func SubDistanceBounded(q, t *traj.Trajectory, limit float64) (float64, bool) {
+	return run(q, t, modeSub, limit)
 }
 
 // PrefixDistance returns PrefixDist(q, t) of Eq. 5: all of q aligned
 // against any prefix of t (only t's suffix may be skipped).
 func PrefixDistance(q, t *traj.Trajectory) float64 {
-	return run(q.Points, t.Points, modePrefix)
+	d, _ := run(q, t, modePrefix, math.Inf(1))
+	return d
+}
+
+// PrefixDistanceBounded returns PrefixDistance(q, t) exactly whenever it
+// does not exceed limit, and +Inf otherwise; the second return reports
+// whether the +Inf was caused by the limit (see DistanceBounded).
+func PrefixDistanceBounded(q, t *traj.Trajectory, limit float64) (float64, bool) {
+	return run(q, t, modePrefix, limit)
 }
 
 // seg returns the spatial segment between two st-points.
@@ -111,30 +164,43 @@ func repCost(h1, a1, h2, a2 geom.Point) float64 {
 // hottest code in the repository: per cell it computes the four projection
 // points shared by every layer's transitions once, then relaxes the three
 // (or four, in sub/prefix modes) outgoing edges of each layer.
-func run(P, Q []traj.Point, mode alignMode) float64 {
-	n, m := len(P), len(Q)
+//
+// limit makes the kernel bound-aware. Every transition cost is
+// non-negative, so state costs are monotone non-decreasing along DP paths:
+// a state whose cost already exceeds limit cannot be the prefix of an
+// alignment finishing within limit and is never materialised, and once a
+// whole row of successor states is empty no alignment can finish at all —
+// the kernel abandons and returns +Inf (the row-min test; see
+// docs/ARCHITECTURE.md for the admissibility argument). With limit = +Inf
+// neither test ever fires and run is bit-identical to the unbounded seed
+// kernel.
+//
+// All scratch (the two rolling rows) comes from a sync.Pool and the XY
+// projections come from the trajectories' caches, so steady-state calls
+// allocate nothing.
+//
+// The second return reports whether a +Inf result was caused by the limit
+// (abandoned early, or the completed value exceeded it) rather than by
+// degenerate inputs whose distance is genuinely infinite.
+func run(t1, t2 *traj.Trajectory, mode alignMode, limit float64) (float64, bool) {
+	n, m := len(t1.Points), len(t2.Points)
 	if n <= 1 {
 		if m <= 1 || mode != modeGlobal {
-			return 0 // PrefixDist(∅,·)=0 and EDwPsub(∅,·)=0; EDwP(∅,∅)=0
+			return 0, false // PrefixDist(∅,·)=0, EDwPsub(∅,·)=0, EDwP(∅,∅)=0
 		}
-		return math.Inf(1)
+		return math.Inf(1), false
 	}
 	if m <= 1 {
-		return math.Inf(1)
+		return math.Inf(1), false
 	}
 
-	px := make([]geom.Point, n)
-	for i, p := range P {
-		px[i] = p.XY()
-	}
-	qx := make([]geom.Point, m)
-	for j, p := range Q {
-		qx[j] = p.XY()
-	}
+	px := t1.XYs()
+	qx := t2.XYs()
+
+	scratch := scratchPool.Get().(*dpScratch)
+	cur, next := scratch.dpRows(m)
 
 	inf := math.Inf(1)
-	cur := make([]float64, m*nL)
-	next := make([]float64, m*nL)
 	for k := range cur {
 		cur[k] = inf
 		next[k] = inf
@@ -148,6 +214,7 @@ func run(P, Q []traj.Point, mode alignMode) float64 {
 
 	best := inf
 	for i := 0; i < n; i++ {
+		nextMin := inf
 		last1 := i == n-1
 		var e1 geom.Segment
 		var pNext geom.Point
@@ -231,8 +298,13 @@ func run(P, Q []traj.Point, mode alignMode) float64 {
 					// replace against the zero-length tail.
 					if !last1 {
 						cost := c + (h1.Dist(h2)+pNext.Dist(h2))*h1.Dist(pNext)
-						if idx := base + lStop; cost < next[idx] {
-							next[idx] = cost
+						if cost <= limit {
+							if idx := base + lStop; cost < next[idx] {
+								next[idx] = cost
+							}
+							if cost < nextMin {
+								nextMin = cost
+							}
 						}
 					}
 					continue
@@ -250,24 +322,38 @@ func run(P, Q []traj.Point, mode alignMode) float64 {
 				// REP: consume the rest of both current segments.
 				if !last1 && !last2 {
 					cost := c + (dh+dRep)*(cov1+cov2)
-					if idx := base + nL + lS; cost < next[idx] {
-						next[idx] = cost
+					if cost <= limit {
+						if idx := base + nL + lS; cost < next[idx] {
+							next[idx] = cost
+						}
+						if cost < nextMin {
+							nextMin = cost
+						}
 					}
 				}
 				// INS1: consume t's segment against part of q's segment
-				// (or against q's zero-length tail).
+				// (or against q's zero-length tail). Writes stay in the
+				// current row; survivors feed next through their own
+				// outgoing edges at column j+1.
 				if !last2 {
 					cost := c + (dh+dIns1)*(h1.Dist(proj1)+cov2)
-					if idx := base + nL + lI1; cost < cur[idx] {
-						cur[idx] = cost
+					if cost <= limit {
+						if idx := base + nL + lI1; cost < cur[idx] {
+							cur[idx] = cost
+						}
 					}
 				}
 				// INS2: consume q's segment against part of t's segment
 				// (or against t's zero-length tail when t is exhausted).
 				if !last1 {
 					cost := c + (dh+dIns2)*(cov1+h2.Dist(proj2))
-					if idx := base + lI2; cost < next[idx] {
-						next[idx] = cost
+					if cost <= limit {
+						if idx := base + lI2; cost < next[idx] {
+							next[idx] = cost
+						}
+						if cost < nextMin {
+							nextMin = cost
+						}
 					}
 				}
 				// Stop t at sample j (sub/prefix only, from sample-aligned
@@ -275,16 +361,33 @@ func run(P, Q []traj.Point, mode alignMode) float64 {
 				if mode != modeGlobal && (layer == lS || layer == lI1) && !last1 && !last2 {
 					qj := qx[j]
 					cost := c + (h1.Dist(qj)+pNext.Dist(qj))*cov1
-					if idx := base + lStop; cost < next[idx] {
-						next[idx] = cost
+					if cost <= limit {
+						if idx := base + lStop; cost < next[idx] {
+							next[idx] = cost
+						}
+						if cost < nextMin {
+							nextMin = cost
+						}
 					}
 				}
 			}
+		}
+		if !last1 && nextMin > limit {
+			// Row-min abandon: every alignment still alive must pass
+			// through row i+1, and no state there is within limit.
+			scratchPool.Put(scratch)
+			return inf, true
 		}
 		cur, next = next, cur
 		for k := range next {
 			next[k] = inf
 		}
 	}
-	return best
+	scratchPool.Put(scratch)
+	if best > limit {
+		// Only reachable with a finite limit: with limit = +Inf a global
+		// alignment always exists for n, m >= 2, and best <= +Inf.
+		return inf, true
+	}
+	return best, false
 }

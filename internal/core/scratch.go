@@ -1,0 +1,38 @@
+package core
+
+import "sync"
+
+// dpScratch holds the reusable buffers of the hot kernels: the two rolling
+// DP rows of run (cur/next, m·nL states each) and the two rolling rows of
+// LowerBound (dp/nxt, one state per box). A single pooled struct backs both
+// so a query thread that alternates between bound evaluations and exact
+// distances keeps hitting the same warm allocation.
+//
+// Buffers only ever grow; steady-state distance calls on trajectories no
+// longer than any seen before perform zero allocations.
+type dpScratch struct {
+	rows []float64 // backing for run's cur and next (2·m·nL)
+	lb   []float64 // backing for LowerBound's dp and nxt (2·nb)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+// dpRows returns cur and next row slices with m·nL states each.
+func (s *dpScratch) dpRows(m int) (cur, next []float64) {
+	need := 2 * m * nL
+	if cap(s.rows) < need {
+		s.rows = make([]float64, need)
+	}
+	r := s.rows[:need]
+	return r[: m*nL : m*nL], r[m*nL:]
+}
+
+// lbRows returns dp and nxt row slices with nb states each.
+func (s *dpScratch) lbRows(nb int) (dp, nxt []float64) {
+	need := 2 * nb
+	if cap(s.lb) < need {
+		s.lb = make([]float64, need)
+	}
+	r := s.lb[:need]
+	return r[:nb:nb], r[nb:]
+}

@@ -60,6 +60,25 @@ type Engine struct {
 	inserts   atomic.Uint64
 	deletes   atomic.Uint64
 	rebuilds  atomic.Uint64
+
+	// Cumulative per-query kernel instrumentation (trajtree.Stats summed
+	// over every non-cached query), surfaced on GET /stats so the benefit
+	// of the bounded distance kernel is observable in production.
+	distanceCalls   atomic.Uint64
+	earlyAbandons   atomic.Uint64
+	lowerBoundCalls atomic.Uint64
+	nodesVisited    atomic.Uint64
+	nodesPruned     atomic.Uint64
+}
+
+// recordQueryStats folds one query's instrumentation into the engine's
+// cumulative counters.
+func (e *Engine) recordQueryStats(st trajtree.Stats) {
+	e.distanceCalls.Add(uint64(st.DistanceCalls))
+	e.earlyAbandons.Add(uint64(st.EarlyAbandons))
+	e.lowerBoundCalls.Add(uint64(st.LowerBoundCalls))
+	e.nodesVisited.Add(uint64(st.NodesVisited))
+	e.nodesPruned.Add(uint64(st.NodesPruned))
 }
 
 // NewEngine wraps an existing tree. The caller must not use the tree
@@ -115,6 +134,17 @@ func (e *Engine) KNN(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Sta
 // cache — cache hits return zero Stats, which the HTTP layer surfaces
 // rather than letting them pollute pruning measurements.
 func (e *Engine) knn(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Stats, bool) {
+	res, st, cached := e.knnUnrecorded(q, k)
+	if !cached {
+		e.recordQueryStats(st)
+	}
+	return res, st, cached
+}
+
+// knnUnrecorded answers a k-NN query without folding its Stats into the
+// engine's cumulative counters; KNNBatch uses it to flush one aggregate
+// per batch instead of contending on the atomics once per query.
+func (e *Engine) knnUnrecorded(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Stats, bool) {
 	e.queries.Add(1)
 	var key cacheKey
 	if e.cache != nil {
@@ -143,19 +173,34 @@ func (e *Engine) knn(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Sta
 func (e *Engine) RangeSearch(q *traj.Trajectory, radius float64) ([]trajtree.Result, trajtree.Stats) {
 	e.queries.Add(1)
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.tree.RangeSearch(q, radius)
+	defer e.mu.RUnlock() // deferred so a panicking query cannot leak the lock
+	res, st := e.tree.RangeSearch(q, radius)
+	e.recordQueryStats(st) // atomics; safe under the read lock
+	return res, st
 }
 
 // KNNBatch answers len(qs) independent k-NN queries on the engine's
 // worker pool and returns the answers in input order. Each query acquires
 // the read lock independently, so a concurrent Insert interleaves with a
 // running batch instead of waiting for it to drain.
+//
+// Workers reuse scratch across their queries: the DP rows of the bounded
+// EDwP kernel and the visited sets of the tree search live in sync.Pools
+// whose per-P caches hand each worker its previous buffers back, so a
+// batch performs no per-query scratch allocation. Per-query Stats are
+// folded into the engine counters once per batch rather than once per
+// query to keep the workers off the shared atomics.
 func (e *Engine) KNNBatch(qs []*traj.Trajectory, k int) [][]trajtree.Result {
 	out := make([][]trajtree.Result, len(qs))
+	stats := make([]trajtree.Stats, len(qs))
 	par.For(e.opt.Workers, len(qs), func(i int) {
-		out[i], _ = e.KNN(qs[i], k)
+		out[i], stats[i], _ = e.knnUnrecorded(qs[i], k)
 	})
+	var total trajtree.Stats
+	for i := range stats {
+		total.Add(stats[i])
+	}
+	e.recordQueryStats(total)
 	return out
 }
 
@@ -206,6 +251,15 @@ type Stats struct {
 	Deletes   uint64 `json:"deletes"`
 	Rebuilds  uint64 `json:"rebuilds"`
 	Workers   int    `json:"workers"`
+
+	// Cumulative kernel instrumentation over all non-cached queries.
+	// EarlyAbandons / DistanceCalls is the fraction of exact evaluations
+	// the bounded kernel cut short.
+	DistanceCalls   uint64 `json:"distance_calls"`
+	EarlyAbandons   uint64 `json:"early_abandons"`
+	LowerBoundCalls uint64 `json:"lower_bound_calls"`
+	NodesVisited    uint64 `json:"nodes_visited"`
+	NodesPruned     uint64 `json:"nodes_pruned"`
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -214,14 +268,19 @@ func (e *Engine) Stats() Stats {
 	size, h := e.tree.Size(), e.tree.Height()
 	e.mu.RUnlock()
 	st := Stats{
-		Size:      size,
-		Height:    h,
-		Queries:   e.queries.Load(),
-		CacheHits: e.cacheHits.Load(),
-		Inserts:   e.inserts.Load(),
-		Deletes:   e.deletes.Load(),
-		Rebuilds:  e.rebuilds.Load(),
-		Workers:   e.opt.Workers,
+		Size:            size,
+		Height:          h,
+		Queries:         e.queries.Load(),
+		CacheHits:       e.cacheHits.Load(),
+		Inserts:         e.inserts.Load(),
+		Deletes:         e.deletes.Load(),
+		Rebuilds:        e.rebuilds.Load(),
+		Workers:         e.opt.Workers,
+		DistanceCalls:   e.distanceCalls.Load(),
+		EarlyAbandons:   e.earlyAbandons.Load(),
+		LowerBoundCalls: e.lowerBoundCalls.Load(),
+		NodesVisited:    e.nodesVisited.Load(),
+		NodesPruned:     e.nodesPruned.Load(),
 	}
 	if e.cache != nil {
 		st.CacheLen = e.cache.len()

@@ -52,6 +52,7 @@ func toNeighbors(rs []trajtree.Result) []Neighbor {
 // WireStats mirrors trajtree.Stats in snake_case JSON.
 type WireStats struct {
 	DistanceCalls   int `json:"distance_calls"`
+	EarlyAbandons   int `json:"early_abandons"`
 	LowerBoundCalls int `json:"lower_bound_calls"`
 	NodesVisited    int `json:"nodes_visited"`
 	NodesPruned     int `json:"nodes_pruned"`
@@ -60,6 +61,7 @@ type WireStats struct {
 func toWireStats(st trajtree.Stats) WireStats {
 	return WireStats{
 		DistanceCalls:   st.DistanceCalls,
+		EarlyAbandons:   st.EarlyAbandons,
 		LowerBoundCalls: st.LowerBoundCalls,
 		NodesVisited:    st.NodesVisited,
 		NodesPruned:     st.NodesPruned,

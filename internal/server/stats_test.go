@@ -1,0 +1,56 @@
+package server
+
+import (
+	"testing"
+
+	"trajmatch/internal/traj"
+)
+
+// The engine must fold per-query kernel instrumentation into its
+// cumulative counters for both the single-query and batch paths, and the
+// early-abandon counter must actually move on a workload where pruning
+// can fire.
+func TestEngineAccumulatesKernelStats(t *testing.T) {
+	e := newTestEngine(t, 80, Options{CacheSize: -1})
+	db := testDB(80, 7)
+
+	q := db[3].Clone()
+	q.ID = 900_000
+	_, st := e.KNN(q, 5)
+	got := e.Stats()
+	if got.DistanceCalls == 0 || got.DistanceCalls != uint64(st.DistanceCalls) {
+		t.Errorf("cumulative distance calls %d, want %d", got.DistanceCalls, st.DistanceCalls)
+	}
+	if got.LowerBoundCalls != uint64(st.LowerBoundCalls) {
+		t.Errorf("cumulative lower-bound calls %d, want %d", got.LowerBoundCalls, st.LowerBoundCalls)
+	}
+	if got.EarlyAbandons != uint64(st.EarlyAbandons) {
+		t.Errorf("cumulative early abandons %d, want %d", got.EarlyAbandons, st.EarlyAbandons)
+	}
+
+	// Batch path: counters grow by the batch total, flushed once.
+	qs := make([]*traj.Trajectory, 6)
+	wantDist := got.DistanceCalls
+	for i := range qs {
+		qs[i] = db[(i*11)%len(db)].Clone()
+		qs[i].ID = 910_000 + i
+	}
+	e.KNNBatch(qs, 5)
+	after := e.Stats()
+	if after.DistanceCalls <= wantDist {
+		t.Errorf("batch did not advance distance calls: %d -> %d", wantDist, after.DistanceCalls)
+	}
+	if after.Queries != 1+uint64(len(qs)) {
+		t.Errorf("queries %d, want %d", after.Queries, 1+len(qs))
+	}
+
+	// Range search accumulates too, and a tight radius forces abandons.
+	_, rst := e.RangeSearch(q, 1e-6)
+	final := e.Stats()
+	if rst.EarlyAbandons == 0 {
+		t.Error("tight-radius range search never abandoned")
+	}
+	if final.EarlyAbandons != after.EarlyAbandons+uint64(rst.EarlyAbandons) {
+		t.Errorf("early abandons %d, want %d", final.EarlyAbandons, after.EarlyAbandons+uint64(rst.EarlyAbandons))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"trajmatch/internal/geom"
 )
@@ -86,6 +87,14 @@ type Trajectory struct {
 	ID     int
 	Label  int
 	Points []Point
+
+	// xy caches the spatial projection of Points, computed on first use by
+	// XYs and never invalidated: a trajectory is immutable once distances
+	// have been computed against it. Callers that edit Points in place must
+	// do so before the first XYs call (in practice: mutate fresh Clones).
+	// The atomic makes concurrent first calls race-free — both goroutines
+	// compute the same slice and either store wins.
+	xy atomic.Pointer[[]geom.Point]
 }
 
 // New returns a trajectory over pts with the given id and no label.
@@ -120,6 +129,23 @@ func (t *Trajectory) NumSegments() int {
 // Segment returns the i-th st-segment.
 func (t *Trajectory) Segment(i int) Segment {
 	return Segment{S1: t.Points[i], S2: t.Points[i+1]}
+}
+
+// XYs returns the spatial projection of the sample points, one geom.Point
+// per sample. The slice is computed once and cached on the trajectory
+// (trajectories are immutable after load), so the per-distance-call
+// conversion loops of the EDwP kernel disappear. The returned slice is
+// shared: callers must treat it as read-only.
+func (t *Trajectory) XYs() []geom.Point {
+	if p := t.xy.Load(); p != nil {
+		return *p
+	}
+	pts := make([]geom.Point, len(t.Points))
+	for i, p := range t.Points {
+		pts[i] = p.XY()
+	}
+	t.xy.Store(&pts)
+	return pts
 }
 
 // Length returns the total spatial length (Eq. 1).

@@ -1,0 +1,50 @@
+package traj
+
+import (
+	"testing"
+)
+
+func TestXYsMatchesPoints(t *testing.T) {
+	tr := FromXY(1, 0, 0, 3, 4, 10, 4)
+	xy := tr.XYs()
+	if len(xy) != len(tr.Points) {
+		t.Fatalf("XYs len %d, want %d", len(xy), len(tr.Points))
+	}
+	for i, p := range tr.Points {
+		if xy[i] != p.XY() {
+			t.Fatalf("XYs[%d] = %v, want %v", i, xy[i], p.XY())
+		}
+	}
+	// The cache is computed once: repeated calls return the same slice.
+	again := tr.XYs()
+	if &again[0] != &xy[0] {
+		t.Error("XYs recomputed instead of returning the cached slice")
+	}
+}
+
+func TestXYsEmptyTrajectory(t *testing.T) {
+	tr := New(0, nil)
+	if got := tr.XYs(); len(got) != 0 {
+		t.Fatalf("XYs of empty trajectory has %d entries", len(got))
+	}
+}
+
+func TestXYsConcurrentFirstUse(t *testing.T) {
+	tr := FromXY(2, 0, 0, 1, 1, 2, 0, 3, 1)
+	done := make(chan bool, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			xy := tr.XYs()
+			ok := len(xy) == len(tr.Points)
+			for i, p := range tr.Points {
+				ok = ok && xy[i] == p.XY()
+			}
+			done <- ok
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if !<-done {
+			t.Fatal("concurrent XYs returned wrong projection")
+		}
+	}
+}

@@ -1,10 +1,35 @@
 package trajtree
 
 import (
+	"math"
+	"sync"
+
 	"trajmatch/internal/pqueue"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/vantage"
 )
+
+// visitSet is a reusable generation-stamped membership set keyed by
+// trajectory ID. Marking stamps the current generation; begin() starts a
+// fresh query by bumping the generation, so no per-query clearing or
+// allocation happens — stale entries simply stop matching. Instances are
+// pooled: steady-state queries reuse a map that has already grown to the
+// working-set size instead of allocating a map per call.
+type visitSet struct {
+	gen   uint64
+	marks map[int]uint64
+}
+
+var visitPool = sync.Pool{
+	New: func() any { return &visitSet{marks: make(map[int]uint64, 64)} },
+}
+
+// begin invalidates all previous marks in O(1).
+func (v *visitSet) begin() { v.gen++ }
+
+func (v *visitSet) has(id int) bool { return v.marks[id] == v.gen }
+
+func (v *visitSet) mark(id int) { v.marks[id] = v.gen }
 
 // KNN returns the exact k nearest trajectories to q under EDwPavg (or
 // cumulative EDwP when Options.Cumulative is set), together with query
@@ -12,6 +37,13 @@ import (
 // Algorithm 2: best-first traversal ordered by tBoxSeq lower bounds, with
 // vantage-point top-k evaluations tightening the upper bound at every
 // internal node.
+//
+// Every exact evaluation passes the current k-th best distance to the
+// bounded kernel, which abandons the dynamic program as soon as the
+// candidate provably cannot enter the answer set (Stats.EarlyAbandons
+// counts those). The answer is identical to the unbounded search: a
+// candidate is only ever rejected when its exact distance could not have
+// displaced an answer.
 //
 // KNN is safe for concurrent use provided no Insert/Delete/Rebuild runs.
 func (t *Tree) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
@@ -24,15 +56,23 @@ func (t *Tree) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
 	var cands pqueue.Min[*node]
 	cands.Push(t.root, 0)
 	ans := pqueue.NewTopK[*traj.Trajectory](k)
-	processed := make(map[int]bool)
+	processed := visitPool.Get().(*visitSet)
+	processed.begin()
+	defer visitPool.Put(processed)
 
-	evaluate := func(tr *traj.Trajectory) {
-		if processed[tr.ID] {
-			return
-		}
-		processed[tr.ID] = true
+	// evaluate computes the (bounded) exact distance of tr and offers it
+	// to the answer set, reporting whether it was kept.
+	evaluate := func(tr *traj.Trajectory) bool {
 		st.DistanceCalls++
-		ans.Offer(tr, t.dist(q, tr))
+		limit := math.Inf(1)
+		if worst, full := ans.Worst(); full {
+			limit = worst
+		}
+		d, abandoned := t.distBounded(q, tr, limit)
+		if abandoned {
+			st.EarlyAbandons++
+		}
+		return ans.Offer(tr, d)
 	}
 
 	for cands.Len() > 0 {
@@ -47,6 +87,10 @@ func (t *Tree) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
 		st.NodesVisited++
 		if c.leaf() {
 			for _, tr := range c.members {
+				if processed.has(tr.ID) {
+					continue
+				}
+				processed.mark(tr.ID)
 				evaluate(tr)
 			}
 			continue
@@ -60,17 +104,16 @@ func (t *Tree) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
 		if c.vps != nil && (len(c.members) >= t.opt.VPMinMembers || !ans.Full()) {
 			qd := vantage.Descriptor(q, c.vps)
 			top := vantage.TopK(qd, c.descs, k, func(i int) bool {
-				return processed[c.members[i].ID]
+				return processed.has(c.members[i].ID)
 			})
 			misses := 0
 			for _, idx := range top {
 				tr := c.members[idx]
-				if processed[tr.ID] {
+				if processed.has(tr.ID) {
 					continue
 				}
-				processed[tr.ID] = true
-				st.DistanceCalls++
-				if ans.Offer(tr, t.dist(q, tr)) {
+				processed.mark(tr.ID)
+				if evaluate(tr) {
 					misses = 0
 				} else if misses++; misses >= 2 && ans.Full() {
 					break
@@ -100,7 +143,8 @@ func (t *Tree) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
 
 // KNNBrute computes the exact k-NN by sequential scan with the same
 // distance, for verification and as the "EDwP Sequential Scan" competitor
-// of Figs. 5(j) and 6(a).
+// of Figs. 5(j) and 6(a). The scan, too, bounds each evaluation by the
+// running k-th best distance.
 func (t *Tree) KNNBrute(q *traj.Trajectory, k int) []Result {
 	ans := pqueue.NewTopK[*traj.Trajectory](k)
 	var walk func(n *node)
@@ -110,7 +154,12 @@ func (t *Tree) KNNBrute(q *traj.Trajectory, k int) []Result {
 		}
 		if n.leaf() {
 			for _, tr := range n.members {
-				ans.Offer(tr, t.dist(q, tr))
+				limit := math.Inf(1)
+				if worst, full := ans.Worst(); full {
+					limit = worst
+				}
+				d, _ := t.distBounded(q, tr, limit)
+				ans.Offer(tr, d)
 			}
 			return
 		}

@@ -11,6 +11,10 @@ import (
 // not exceed the radius, so the result is exact. This is the similarity
 // counterpart of the interval queries TB-tree and SETI answer (Section VI);
 // the paper's index supports it for free and so does this one.
+//
+// Every exact evaluation passes the radius to the bounded kernel: members
+// outside the radius are abandoned part-way through the dynamic program
+// (Stats.EarlyAbandons), while members inside it get their exact distance.
 func (t *Tree) RangeSearch(q *traj.Trajectory, radius float64) ([]Result, Stats) {
 	var st Stats
 	if t.root == nil {
@@ -24,8 +28,11 @@ func (t *Tree) RangeSearch(q *traj.Trajectory, radius float64) ([]Result, Stats)
 		if n.leaf() {
 			for _, tr := range n.members {
 				st.DistanceCalls++
-				if d := t.dist(q, tr); d <= radius {
+				d, abandoned := t.distBounded(q, tr, radius)
+				if d <= radius {
 					out = append(out, Result{Traj: tr, Dist: d})
+				} else if abandoned {
+					st.EarlyAbandons++
 				}
 			}
 			return

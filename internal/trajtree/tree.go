@@ -17,6 +17,7 @@ package trajtree
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -181,10 +182,23 @@ func height(n *node) int {
 
 // dist is the query distance: EDwPavg by default (Section V-A).
 func (t *Tree) dist(a, b *traj.Trajectory) float64 {
+	d, _ := t.distBounded(a, b, math.Inf(1))
+	return d
+}
+
+// distBounded is the bound-aware query distance: it returns the exact
+// distance whenever it does not exceed limit and +Inf otherwise, letting
+// the kernel abandon the dynamic program early; the second return reports
+// whether a +Inf came from the limit (counted as Stats.EarlyAbandons)
+// rather than from a genuinely infinite distance. Every query path passes
+// its current pruning threshold (the k-th best distance for KNN, the
+// radius for RangeSearch) so candidates that cannot enter the answer are
+// rejected at a fraction of a full evaluation's cost.
+func (t *Tree) distBounded(a, b *traj.Trajectory, limit float64) (float64, bool) {
 	if t.opt.Cumulative {
-		return core.Distance(a, b)
+		return core.DistanceBounded(a, b, limit)
 	}
-	return core.AvgDistance(a, b)
+	return core.AvgDistanceBounded(a, b, limit)
 }
 
 // lower bounds EDwP-or-EDwPavg distance from q to every member below n.
@@ -263,6 +277,21 @@ type Stats struct {
 	NodesVisited int
 	// NodesPruned counts nodes discarded by the bound test.
 	NodesPruned int
+	// EarlyAbandons counts exact evaluations the bounded kernel cut short
+	// because no alignment could finish under the current pruning
+	// threshold. A positive value proves the bound-aware fast path fired;
+	// DistanceCalls - EarlyAbandons is the number of full evaluations.
+	EarlyAbandons int
+}
+
+// Add accumulates o into s; the server engine uses it to fold per-query
+// stats into its cumulative counters.
+func (s *Stats) Add(o Stats) {
+	s.DistanceCalls += o.DistanceCalls
+	s.LowerBoundCalls += o.LowerBoundCalls
+	s.NodesVisited += o.NodesVisited
+	s.NodesPruned += o.NodesPruned
+	s.EarlyAbandons += o.EarlyAbandons
 }
 
 // Result is one k-NN answer.

@@ -66,6 +66,29 @@ func EDwPAvg(a, b *Trajectory) float64 { return core.AvgDistance(a, b) }
 // best-matching contiguous sub-trajectory of t.
 func EDwPSub(q, t *Trajectory) float64 { return core.SubDistance(q, t) }
 
+// EDwPBounded returns EDwP(a, b) exactly whenever it does not exceed limit
+// and +Inf otherwise. The bounded kernel abandons the dynamic program the
+// moment no alignment can finish within limit, so filtering a candidate
+// set against a threshold costs a fraction of full evaluations.
+// EDwPBounded(a, b, math.Inf(1)) is identical to EDwP(a, b).
+func EDwPBounded(a, b *Trajectory, limit float64) float64 {
+	d, _ := core.DistanceBounded(a, b, limit)
+	return d
+}
+
+// EDwPAvgBounded is the bounded counterpart of EDwPAvg: exact whenever the
+// length-normalised distance does not exceed limit, +Inf otherwise.
+func EDwPAvgBounded(a, b *Trajectory, limit float64) float64 {
+	d, _ := core.AvgDistanceBounded(a, b, limit)
+	return d
+}
+
+// EDwPSubBounded is the bounded counterpart of EDwPSub.
+func EDwPSubBounded(q, t *Trajectory, limit float64) float64 {
+	d, _ := core.SubDistanceBounded(q, t, limit)
+	return d
+}
+
 // Edit is one step of an optimal EDwP alignment.
 type Edit = core.Edit
 
