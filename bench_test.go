@@ -11,7 +11,9 @@ package trajmatch_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -447,4 +449,111 @@ func BenchmarkEngineKNNBatch(b *testing.B) {
 			engine.KNNBatch(queries, 10)
 		}
 	})
+}
+
+// BenchmarkShardedKNN profiles the sharded fan-out against the 1-shard
+// engine (the pre-sharding architecture). Three views per shard count:
+//
+//   - engine: the end-to-end sharded engine (hash placement, shared
+//     tightening bound, global merge), distcalls/abandons from stats;
+//   - fanout-shared: a manual fan-out over round-robin partition trees
+//     sharing one SharedBound — isolates the bound-sharing machinery;
+//   - fanout-independent: the same partition trees searched with plain
+//     KNN and merged — what a naive sharded engine would do.
+//
+// The number to watch is distcalls/query of shared vs independent: the
+// shared bound is what keeps a sharded search from paying the full k-NN
+// price once per shard. Wall clock on a single-CPU runner shows the
+// fan-out *tax* (per-shard candidate work) without the concurrency win;
+// on multi-core it turns into latency overlap. The result cache is
+// disabled throughout.
+func BenchmarkShardedKNN(b *testing.B) {
+	db := benchTaxi()
+	queries := benchQueries(32)
+	iopt := trajmatch.IndexOptions{NumVPs: 20, PivotCandidates: 32, Seed: 1}
+
+	mergeTopK := func(per [][]trajmatch.Result, k int) []trajmatch.Result {
+		var all []trajmatch.Result
+		for _, rs := range per {
+			all = append(all, rs...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Dist < all[j].Dist })
+		if len(all) > k {
+			all = all[:k]
+		}
+		return all
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d/engine", shards), func(b *testing.B) {
+			engine, err := trajmatch.NewEngine(db, iopt,
+				trajmatch.EngineOptions{CacheSize: -1, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			before := engine.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.KNN(queries[i%len(queries)], 10)
+			}
+			b.StopTimer()
+			after := engine.Stats()
+			n := float64(b.N)
+			dist := after.DistanceCalls - before.DistanceCalls
+			aband := after.EarlyAbandons - before.EarlyAbandons
+			b.ReportMetric(float64(dist)/n, "distcalls/query")
+			b.ReportMetric(float64(aband)/n, "abandons/query")
+			b.ReportMetric(float64(dist-aband)/n, "fullevals/query")
+		})
+		if shards == 1 {
+			continue
+		}
+		parts := make([][]*trajmatch.Trajectory, shards)
+		for i, tr := range db {
+			parts[i%shards] = append(parts[i%shards], tr)
+		}
+		trees := make([]*trajmatch.Index, shards)
+		for i := range parts {
+			tree, err := trajmatch.NewIndex(parts[i], iopt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			trees[i] = tree
+		}
+		b.Run(fmt.Sprintf("shards=%d/fanout-shared", shards), func(b *testing.B) {
+			distcalls, fulls := 0, 0
+			per := make([][]trajmatch.Result, shards)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bound := trajmatch.NewSharedBound(math.Inf(1))
+				for s, tree := range trees {
+					res, st := tree.KNNShared(queries[i%len(queries)], 10, bound)
+					per[s] = res
+					distcalls += st.DistanceCalls
+					fulls += st.DistanceCalls - st.EarlyAbandons
+				}
+				mergeTopK(per, 10)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(distcalls)/float64(b.N), "distcalls/query")
+			b.ReportMetric(float64(fulls)/float64(b.N), "fullevals/query")
+		})
+		b.Run(fmt.Sprintf("shards=%d/fanout-independent", shards), func(b *testing.B) {
+			distcalls, fulls := 0, 0
+			per := make([][]trajmatch.Result, shards)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for s, tree := range trees {
+					res, st := tree.KNN(queries[i%len(queries)], 10)
+					per[s] = res
+					distcalls += st.DistanceCalls
+					fulls += st.DistanceCalls - st.EarlyAbandons
+				}
+				mergeTopK(per, 10)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(distcalls)/float64(b.N), "distcalls/query")
+			b.ReportMetric(float64(fulls)/float64(b.N), "fullevals/query")
+		})
+	}
 }

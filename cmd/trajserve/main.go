@@ -1,35 +1,51 @@
-// Command trajserve serves k-NN, range and insert traffic over a TrajTree
-// index via JSON-over-HTTP. It loads a trajectory database, bulk-loads the
-// index, and exposes the concurrent engine of internal/server:
+// Command trajserve serves k-NN, range and update traffic over a sharded
+// TrajTree index via JSON-over-HTTP. It loads a trajectory database (or a
+// previously written snapshot), bulk-loads hash-partitioned index shards
+// in parallel, and exposes the concurrent engine of internal/server:
 //
 //	POST /knn        {"query": {"id": 1, "points": [[x,y,t], ...]}, "k": 10}
 //	POST /knn/batch  {"queries": [...], "k": 10}
 //	POST /range      {"query": {...}, "radius": 250.0}
 //	POST /insert     {"trajectories": [{...}, ...]}
+//	POST /delete     {"ids": [17, 42]}
+//	POST /rebuild    (no body)
+//	POST /snapshot   (no body; requires -snapshot)
 //	GET  /stats
 //	GET  /healthz
 //
 // GET /stats includes the bounded-kernel counters (distance_calls,
-// early_abandons, lower_bound_calls, ...) accumulated over all queries.
-// With -pprof the standard net/http/pprof handlers are mounted under
-// /debug/pprof/ for live CPU, heap and contention profiling.
+// early_abandons, lower_bound_calls, ...) accumulated over all queries
+// plus a per-shard size/height breakdown. With -pprof the standard
+// net/http/pprof handlers are mounted under /debug/pprof/ for live CPU,
+// heap and contention profiling.
+//
+// With -snapshot DIR, the server loads the snapshot on boot when DIR
+// holds a manifest (skipping the bulk build entirely; the shard count
+// then comes from the manifest, not -shards) and arms POST /snapshot to
+// write one. SIGINT/SIGTERM drain in-flight requests before exit.
 //
 // Usage:
 //
 //	trajgen -kind taxi -n 2000 -o db.csv
-//	trajserve -db db.csv -addr :8080 -pprof
+//	trajserve -db db.csv -shards 4 -snapshot snap/ -addr :8080 -pprof
 //	curl -s localhost:8080/knn -d '{"query":{"id":0,"points":[[0,0,0],[100,50,60]]},"k":5}'
+//	curl -s -X POST localhost:8080/snapshot           # persist the index
+//	trajserve -snapshot snap/ -addr :8080             # instant warm boot
 //	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"trajmatch"
@@ -37,35 +53,62 @@ import (
 
 func main() {
 	var (
-		dbPath  = flag.String("db", "", "database file (csv or ndjson by extension)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		theta   = flag.Float64("theta", 0.8, "TrajTree θ (diversity drop threshold)")
-		vps     = flag.Int("vps", 80, "vantage points per node")
-		cumula  = flag.Bool("cumulative", false, "use cumulative EDwP instead of EDwPavg")
-		cache   = flag.Int("cache", 0, "LRU result-cache entries (0 = default 1024, negative disables)")
-		workers = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
-		seed    = flag.Int64("seed", 1, "index build seed")
-		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		dbPath   = flag.String("db", "", "database file (csv or ndjson by extension)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		theta    = flag.Float64("theta", 0.8, "TrajTree θ (diversity drop threshold)")
+		vps      = flag.Int("vps", 80, "vantage points per node")
+		cumula   = flag.Bool("cumulative", false, "use cumulative EDwP instead of EDwPavg")
+		cache    = flag.Int("cache", 0, "LRU result-cache entries (0 = default 1024, negative disables)")
+		workers  = flag.Int("workers", 0, "batch worker-pool / shard fan-out size (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 1, "number of hash-partitioned index shards")
+		snapshot = flag.String("snapshot", "", "snapshot directory: load on boot if present, POST /snapshot writes here")
+		seed     = flag.Int64("seed", 1, "index build seed")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
-	if *dbPath == "" {
-		fatalf("-db is required")
-	}
 
-	db := readFile(*dbPath)
-	t0 := time.Now()
-	engine, err := trajmatch.NewEngine(db, trajmatch.IndexOptions{
-		Theta:      *theta,
-		NumVPs:     *vps,
-		Cumulative: *cumula,
-		Parallel:   true,
-		Seed:       *seed,
-	}, trajmatch.EngineOptions{CacheSize: *cache, Workers: *workers})
-	if err != nil {
-		fatalf("build: %v", err)
+	eopt := trajmatch.EngineOptions{
+		CacheSize:   *cache,
+		Workers:     *workers,
+		Shards:      *shards,
+		SnapshotDir: *snapshot,
 	}
-	log.Printf("indexed %d trajectories (height %d) in %v",
-		engine.Size(), engine.Height(), time.Since(t0).Round(time.Millisecond))
+	var engine *trajmatch.Engine
+	var err error
+	t0 := time.Now()
+	switch {
+	case trajmatch.EngineSnapshotExists(*snapshot):
+		if *dbPath != "" {
+			log.Printf("warning: snapshot %s exists; ignoring -db %s and the build flags (-theta/-vps/-cumulative/-seed) — remove the snapshot directory to rebuild from the database", *snapshot, *dbPath)
+		}
+		engine, err = trajmatch.LoadEngineSnapshot(*snapshot, eopt)
+		if err != nil {
+			fatalf("load snapshot: %v", err)
+		}
+		if engine.Shards() != *shards && *shards != 1 {
+			log.Printf("warning: -shards %d ignored; snapshot manifest fixes the shard count at %d (placement depends on it)", *shards, engine.Shards())
+		}
+		log.Printf("loaded snapshot %s: %d trajectories in %d shards (height %d) in %v",
+			*snapshot, engine.Size(), engine.Shards(), engine.Height(),
+			time.Since(t0).Round(time.Millisecond))
+	case *dbPath != "":
+		db := readFile(*dbPath)
+		engine, err = trajmatch.NewEngine(db, trajmatch.IndexOptions{
+			Theta:      *theta,
+			NumVPs:     *vps,
+			Cumulative: *cumula,
+			Parallel:   true,
+			Seed:       *seed,
+		}, eopt)
+		if err != nil {
+			fatalf("build: %v", err)
+		}
+		log.Printf("indexed %d trajectories in %d shards (height %d) in %v",
+			engine.Size(), engine.Shards(), engine.Height(),
+			time.Since(t0).Round(time.Millisecond))
+	default:
+		fatalf("-db is required (or -snapshot pointing at an existing snapshot)")
+	}
 
 	handler := trajmatch.NewHTTPHandler(engine)
 	if *pprofOn {
@@ -89,9 +132,31 @@ func main() {
 		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("trajserve listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
-		fatalf("serve: %v", err)
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests for up to
+	// 15 seconds before exiting, so load balancers rolling the process do
+	// not sever live queries.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("trajserve listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatalf("serve: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received, draining connections")
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fatalf("shutdown: %v", err)
+		}
+		log.Printf("shutdown complete")
 	}
 }
 

@@ -47,3 +47,21 @@ func For(workers, n int, f func(i int)) {
 	}
 	wg.Wait()
 }
+
+// ForErr is For with error collection: every f(i) still runs (no
+// cancellation — items are independent), and the error for the smallest
+// failing index is returned so the outcome is deterministic regardless
+// of scheduling. The sharded engine uses it to build and load index
+// shards in parallel.
+func ForErr(workers, n int, f func(i int) error) error {
+	errs := make([]error, n)
+	For(workers, n, func(i int) {
+		errs[i] = f(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -37,10 +37,11 @@ func knnKey(q *traj.Trajectory, k int) cacheKey {
 }
 
 // lruCache is a fixed-capacity LRU of k-NN answers. Every entry records
-// the tree generation it was computed at; a lookup against a newer
+// the engine-wide generation it was computed at (bumped by every
+// Insert/Delete/Rebuild on any shard); a lookup against a newer
 // generation is a miss and evicts the stale entry, so updates invalidate
 // lazily without scanning the cache. The cache has its own mutex — hits
-// never contend with the engine's tree lock.
+// never contend with any shard lock.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int

@@ -1,12 +1,20 @@
-// Package server wraps the TrajTree index in a thread-safe query engine
-// and exposes it over HTTP. The engine serialises the index's update path
-// (Insert, Delete, Rebuild) behind the write side of an RWMutex while KNN
-// and RangeSearch reads proceed concurrently on the read side — the Tree
-// itself is safe for any number of simultaneous queries, so readers never
-// block each other. On top of that sit a worker-pool batch API (KNNBatch)
-// that fans independent queries across GOMAXPROCS goroutines, and an LRU
-// cache of k-NN answers keyed by a hash of the query geometry, invalidated
-// through the tree's generation counter rather than by eager flushing.
+// Package server wraps the TrajTree index in a sharded, thread-safe
+// query engine and exposes it over HTTP. Trajectories hash to one of N
+// independent trajtree.Tree shards (router.go), each behind its own
+// RWMutex (shard.go), so Insert/Delete/Rebuild serialise per shard
+// instead of stalling the whole index, and bulk builds construct shards
+// in parallel. A k-NN query fans out across the shards sharing one
+// atomically tightening k-th-best bound (trajtree.SharedBound): the
+// moment any shard's local answer set fills, every other shard's dynamic
+// programs abandon against that bound, and the per-shard answer lists
+// merge by (distance, ID) — the same distances as the single-tree
+// answer, with deterministic membership under exact boundary ties.
+// Range queries fan the radius out and concatenate.
+//
+// On top sit a worker-pool batch API (KNNBatch), an LRU cache of k-NN
+// answers invalidated through an engine-wide generation counter, and a
+// versioned sharded snapshot (snapshot.go) that persists every shard
+// plus a manifest and reloads into an identically answering engine.
 //
 // cmd/trajserve serves the Handler in this package; the trajmatch facade
 // re-exports Engine for library users.
@@ -14,7 +22,9 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -28,9 +38,18 @@ type Options struct {
 	// CacheSize is the maximum number of k-NN answers kept in the LRU
 	// cache. 0 means the default of 1024; negative disables caching.
 	CacheSize int
-	// Workers is the size of the KNNBatch worker pool. 0 means
+	// Workers is the size of the KNNBatch worker pool, and the fan-out
+	// width of a single query across shards. 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// Shards is the number of hash-partitioned index shards. 0 or 1
+	// means a single shard (the pre-sharding engine); more shards mean
+	// finer-grained update locking and parallel builds at the cost of a
+	// per-query fan-out.
+	Shards int
+	// SnapshotDir, when non-empty, is where POST /snapshot writes the
+	// sharded snapshot and where SaveSnapshot/LoadSnapshot default to.
+	SnapshotDir string
 }
 
 const defaultCacheSize = 1024
@@ -42,28 +61,55 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
 	return o
 }
 
-// Engine is a concurrency-safe facade over a trajtree.Tree. All methods
-// may be called from any goroutine: queries share a read lock, updates
-// take the write lock, and the result cache carries its own mutex so a
-// cache hit never touches the tree.
+// engineGen is the engine-wide generation counter. Every successful
+// structural update bumps it *while still holding the written shard's
+// write lock*; a query therefore can only observe updated data after the
+// bump. The result cache exploits that ordering: a query records the
+// generation before touching any shard and only caches its answer if the
+// generation is unchanged afterwards, so every cached answer corresponds
+// to a state no update completed inside.
+type engineGen struct {
+	v atomic.Uint64
+}
+
+func (g *engineGen) load() uint64 { return g.v.Load() }
+func (g *engineGen) bump()        { g.v.Add(1) }
+
+// Engine is a concurrency-safe sharded facade over trajtree. All methods
+// may be called from any goroutine: queries take the read lock of each
+// shard they visit, updates take only the owning shard's write lock, and
+// the result cache carries its own mutex so a cache hit never touches a
+// shard.
+//
+// With more than one shard, a query fanning out is *per-shard* atomic
+// but not globally atomic: an Insert that completes between two shard
+// visits may or may not appear in the answer, exactly as if the query
+// had run entirely before or after it. Answers never mix partial states
+// of a single update, because each update touches exactly one shard.
 type Engine struct {
-	opt   Options
-	mu    sync.RWMutex // guards tree structure: RLock for queries, Lock for updates
-	tree  *trajtree.Tree
-	cache *lruCache // nil when caching is disabled
+	opt    Options
+	shards []*shard
+	cache  *lruCache // nil when caching is disabled
+	gen    engineGen
+	snapMu sync.Mutex // serialises SaveSnapshot calls against each other
 
 	queries   atomic.Uint64
 	cacheHits atomic.Uint64
 	inserts   atomic.Uint64
 	deletes   atomic.Uint64
 	rebuilds  atomic.Uint64
+	snapshots atomic.Uint64
 
 	// Cumulative per-query kernel instrumentation (trajtree.Stats summed
-	// over every non-cached query), surfaced on GET /stats so the benefit
-	// of the bounded distance kernel is observable in production.
+	// over every non-cached query and every shard it fanned out to),
+	// surfaced on GET /stats so the benefit of the bounded distance
+	// kernel is observable in production.
 	distanceCalls   atomic.Uint64
 	earlyAbandons   atomic.Uint64
 	lowerBoundCalls atomic.Uint64
@@ -81,50 +127,100 @@ func (e *Engine) recordQueryStats(st trajtree.Stats) {
 	e.nodesPruned.Add(uint64(st.NodesPruned))
 }
 
-// NewEngine wraps an existing tree. The caller must not use the tree
-// directly afterwards; the engine owns it.
-func NewEngine(tree *trajtree.Tree, opt Options) *Engine {
-	opt = opt.withDefaults()
-	e := &Engine{opt: opt, tree: tree}
+// newEngine wraps pre-built shards.
+func newEngine(shards []*shard, opt Options) *Engine {
+	e := &Engine{opt: opt, shards: shards}
 	if opt.CacheSize > 0 {
 		e.cache = newLRUCache(opt.CacheSize)
 	}
 	return e
 }
 
-// NewEngineFromDB bulk-loads a TrajTree over db and wraps it.
-func NewEngineFromDB(db []*traj.Trajectory, topt trajtree.Options, opt Options) (*Engine, error) {
-	tree, err := trajtree.New(db, topt)
+// buildShards hash-partitions db and bulk-loads one tree per partition,
+// constructing shards in parallel on the worker pool.
+func buildShards(db []*traj.Trajectory, topt trajtree.Options, opt Options) ([]*shard, error) {
+	groups := partitionByShard(db, opt.Shards, func(t *traj.Trajectory) int { return t.ID })
+	shards := make([]*shard, opt.Shards)
+	err := par.ForErr(opt.Workers, opt.Shards, func(i int) error {
+		tree, err := trajtree.New(groups[i], topt)
+		if err != nil {
+			return err
+		}
+		shards[i] = &shard{tree: tree}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return NewEngine(tree, opt), nil
+	return shards, nil
 }
 
-// Size returns the number of indexed trajectories.
+// NewEngine wraps an existing tree. The caller must not use the tree
+// directly afterwards; the engine owns it. With opt.Shards > 1 the
+// tree's members are re-distributed across hash-placed shards built with
+// the tree's own options (a rebuild, priced accordingly); with the
+// default single shard the tree is adopted as-is.
+func NewEngine(tree *trajtree.Tree, opt Options) *Engine {
+	opt = opt.withDefaults()
+	if opt.Shards > 1 {
+		shards, err := buildShards(tree.All(), tree.Options(), opt)
+		if err != nil {
+			// Members of a valid tree are already validated and
+			// duplicate-free, so buildShards cannot fail on them. If it
+			// does, the invariant is broken — fail loudly rather than
+			// silently serve with a shard count the caller did not ask
+			// for.
+			panic(fmt.Sprintf("server: resharding a valid tree failed: %v", err))
+		}
+		return newEngine(shards, opt)
+	}
+	return newEngine([]*shard{{tree: tree}}, opt)
+}
+
+// NewEngineFromDB bulk-loads hash-partitioned TrajTree shards over db
+// and wraps them. Shards build in parallel across the worker pool.
+func NewEngineFromDB(db []*traj.Trajectory, topt trajtree.Options, opt Options) (*Engine, error) {
+	opt = opt.withDefaults()
+	shards, err := buildShards(db, topt, opt)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(shards, opt), nil
+}
+
+// Shards returns the number of index shards.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Size returns the number of indexed trajectories across all shards.
 func (e *Engine) Size() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.tree.Size()
+	total := 0
+	for _, s := range e.shards {
+		total += s.size()
+	}
+	return total
 }
 
-// Height returns the index height.
+// Height returns the maximum shard height.
 func (e *Engine) Height() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.tree.Height()
+	max := 0
+	for _, s := range e.shards {
+		if h := s.height(); h > max {
+			max = h
+		}
+	}
+	return max
 }
 
-// Lookup returns the indexed trajectory with the given ID, or nil.
+// Lookup returns the indexed trajectory with the given ID, or nil. The
+// hash placement invariant routes it straight to the owning shard.
 func (e *Engine) Lookup(id int) *traj.Trajectory {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.tree.Lookup(id)
+	return e.shards[shardIndex(id, len(e.shards))].lookup(id)
 }
 
-// KNN answers an exact k-nearest-neighbour query. Cached answers are
-// returned without touching the tree; the returned slice is shared with
-// the cache and must not be mutated.
+// KNN answers an exact k-nearest-neighbour query, fanning out across the
+// shards with a shared tightening bound. Cached answers are returned
+// without touching any shard; the returned slice is shared with the
+// cache and must not be mutated.
 func (e *Engine) KNN(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Stats) {
 	res, st, _ := e.knn(q, k)
 	return res, st
@@ -134,7 +230,7 @@ func (e *Engine) KNN(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Sta
 // cache — cache hits return zero Stats, which the HTTP layer surfaces
 // rather than letting them pollute pruning measurements.
 func (e *Engine) knn(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Stats, bool) {
-	res, st, cached := e.knnUnrecorded(q, k)
+	res, st, cached := e.knnUnrecorded(q, k, true)
 	if !cached {
 		e.recordQueryStats(st)
 	}
@@ -144,45 +240,109 @@ func (e *Engine) knn(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Sta
 // knnUnrecorded answers a k-NN query without folding its Stats into the
 // engine's cumulative counters; KNNBatch uses it to flush one aggregate
 // per batch instead of contending on the atomics once per query.
-func (e *Engine) knnUnrecorded(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Stats, bool) {
+// concurrent selects between a goroutine fan-out across shards (single
+// interactive queries) and an inline shard loop (batch workers, which
+// are already saturating the pool — the inline loop still shares the
+// bound, so later shards benefit from earlier shards' answers).
+func (e *Engine) knnUnrecorded(q *traj.Trajectory, k int, concurrent bool) ([]trajtree.Result, trajtree.Stats, bool) {
 	e.queries.Add(1)
 	var key cacheKey
+	gen := e.gen.load()
 	if e.cache != nil {
 		key = knnKey(q, k)
-		e.mu.RLock()
-		gen := e.tree.Generation()
-		e.mu.RUnlock()
 		if res, ok := e.cache.get(key, gen); ok {
 			e.cacheHits.Add(1)
 			return res, trajtree.Stats{}, true
 		}
 	}
-	e.mu.RLock()
-	res, st := e.tree.KNN(q, k)
-	gen := e.tree.Generation()
-	e.mu.RUnlock()
-	if e.cache != nil {
+	res, st := e.searchKNN(q, k, concurrent)
+	// Only cache answers computed against a quiescent generation: if an
+	// update completed mid-fan-out the answer is still correct (see the
+	// Engine atomicity note) but may not correspond to any generation the
+	// cache can name, so it is simply not cached.
+	if e.cache != nil && e.gen.load() == gen {
 		e.cache.put(key, gen, res)
 	}
 	return res, st, false
 }
 
-// RangeSearch returns every indexed trajectory within radius of q, sorted
-// ascending. Range answers are not cached: radii are continuous, so
+// mergeResults concatenates per-shard answer lists, folds their stats,
+// and sorts by (distance, ID), keeping the best k when k >= 0 (pass a
+// negative k to keep everything, the range-query case). The ID
+// tie-break is the load-bearing determinism guarantee: it makes the
+// merged answer a function of the candidate set alone, independent of
+// shard count, shard order, and scheduling, even when distances tie
+// exactly. (A single-shard engine bypasses the merge entirely — it is
+// the plain tree search, whose boundary ties follow traversal order;
+// see the sharding notes in docs/ARCHITECTURE.md.)
+func mergeResults(per [][]trajtree.Result, sts []trajtree.Stats, k int) ([]trajtree.Result, trajtree.Stats) {
+	var all []trajtree.Result
+	var total trajtree.Stats
+	for i, rs := range per {
+		total.Add(sts[i])
+		all = append(all, rs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Traj.ID < all[j].Traj.ID
+	})
+	if k >= 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all, total
+}
+
+// searchKNN fans the query out across the shards and merges the
+// per-shard answers (each at most k long, so the merge sorts ≤ N·k
+// candidates).
+func (e *Engine) searchKNN(q *traj.Trajectory, k int, concurrent bool) ([]trajtree.Result, trajtree.Stats) {
+	if len(e.shards) == 1 {
+		return e.shards[0].knnShared(q, k, nil)
+	}
+	bound := trajtree.NewSharedBound(math.Inf(1))
+	per := make([][]trajtree.Result, len(e.shards))
+	sts := make([]trajtree.Stats, len(e.shards))
+	run := func(i int) {
+		per[i], sts[i] = e.shards[i].knnShared(q, k, bound)
+	}
+	if concurrent {
+		par.For(e.opt.Workers, len(e.shards), run)
+	} else {
+		for i := range e.shards {
+			run(i)
+		}
+	}
+	return mergeResults(per, sts, k)
+}
+
+// RangeSearch returns every indexed trajectory within radius of q,
+// sorted ascending. The radius itself seeds every shard's search — range
+// fan-out needs no shared bound — and the per-shard lists concatenate
+// and re-sort. Range answers are not cached: radii are continuous, so
 // repeats are rare.
 func (e *Engine) RangeSearch(q *traj.Trajectory, radius float64) ([]trajtree.Result, trajtree.Stats) {
 	e.queries.Add(1)
-	e.mu.RLock()
-	defer e.mu.RUnlock() // deferred so a panicking query cannot leak the lock
-	res, st := e.tree.RangeSearch(q, radius)
-	e.recordQueryStats(st) // atomics; safe under the read lock
-	return res, st
+	if len(e.shards) == 1 {
+		res, st := e.shards[0].rangeSearch(q, radius)
+		e.recordQueryStats(st)
+		return res, st
+	}
+	per := make([][]trajtree.Result, len(e.shards))
+	sts := make([]trajtree.Stats, len(e.shards))
+	par.For(e.opt.Workers, len(e.shards), func(i int) {
+		per[i], sts[i] = e.shards[i].rangeSearch(q, radius)
+	})
+	out, total := mergeResults(per, sts, -1)
+	e.recordQueryStats(total)
+	return out, total
 }
 
 // KNNBatch answers len(qs) independent k-NN queries on the engine's
-// worker pool and returns the answers in input order. Each query acquires
-// the read lock independently, so a concurrent Insert interleaves with a
-// running batch instead of waiting for it to drain.
+// worker pool and returns the answers in input order. Each query visits
+// shards under their read locks independently, so a concurrent Insert
+// interleaves with a running batch instead of waiting for it to drain.
 //
 // Workers reuse scratch across their queries: the DP rows of the bounded
 // EDwP kernel and the visited sets of the tree search live in sync.Pools
@@ -194,7 +354,7 @@ func (e *Engine) KNNBatch(qs []*traj.Trajectory, k int) [][]trajtree.Result {
 	out := make([][]trajtree.Result, len(qs))
 	stats := make([]trajtree.Stats, len(qs))
 	par.For(e.opt.Workers, len(qs), func(i int) {
-		out[i], stats[i], _ = e.knnUnrecorded(qs[i], k)
+		out[i], stats[i], _ = e.knnUnrecorded(qs[i], k, false)
 	})
 	var total trajtree.Stats
 	for i := range stats {
@@ -204,12 +364,11 @@ func (e *Engine) KNNBatch(qs []*traj.Trajectory, k int) [][]trajtree.Result {
 	return out
 }
 
-// Insert adds a trajectory to the index, blocking queries for the
-// duration of the update.
+// Insert adds a trajectory to the index, blocking queries only on the
+// owning shard for the duration of the update.
 func (e *Engine) Insert(tr *traj.Trajectory) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.tree.Insert(tr); err != nil {
+	s := e.shards[shardIndex(tr.ID, len(e.shards))]
+	if err := s.insert(tr, &e.gen); err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
 	e.inserts.Add(1)
@@ -219,24 +378,36 @@ func (e *Engine) Insert(tr *traj.Trajectory) error {
 // Delete removes the trajectory with the given ID, reporting whether it
 // was present.
 func (e *Engine) Delete(id int) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.tree.Delete(id) {
+	s := e.shards[shardIndex(id, len(e.shards))]
+	if !s.delete(id, &e.gen) {
 		return false
 	}
 	e.deletes.Add(1)
 	return true
 }
 
-// Rebuild reconstructs the index from its current members.
+// Rebuild reconstructs every shard from its current members as a
+// rolling update: shards rebuild strictly one at a time, so at any
+// moment at most one shard is write-locked and queries keep flowing
+// through the others (a k-NN fan-out stalls only on the shard currently
+// rebuilding, not on the whole index). Availability is deliberately
+// chosen over rebuild wall clock here — each shard's internal build
+// still parallelises when the tree's Parallel option is set.
 func (e *Engine) Rebuild() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.tree.Rebuild(); err != nil {
-		return fmt.Errorf("server: %w", err)
+	for _, s := range e.shards {
+		if err := s.rebuild(&e.gen); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
 	}
 	e.rebuilds.Add(1)
 	return nil
+}
+
+// ShardStats is one shard's slice of the index shape on GET /stats.
+type ShardStats struct {
+	Shard  int `json:"shard"`
+	Size   int `json:"size"`
+	Height int `json:"height"`
 }
 
 // Stats is a point-in-time snapshot of the engine's counters and index
@@ -244,13 +415,19 @@ func (e *Engine) Rebuild() error {
 type Stats struct {
 	Size      int    `json:"size"`
 	Height    int    `json:"height"`
+	Shards    int    `json:"shards"`
 	Queries   uint64 `json:"queries"`
 	CacheHits uint64 `json:"cache_hits"`
 	CacheLen  int    `json:"cache_len"`
 	Inserts   uint64 `json:"inserts"`
 	Deletes   uint64 `json:"deletes"`
 	Rebuilds  uint64 `json:"rebuilds"`
+	Snapshots uint64 `json:"snapshots"`
 	Workers   int    `json:"workers"`
+
+	// PerShard breaks the index shape down by shard; Size is their sum
+	// and Height their max.
+	PerShard []ShardStats `json:"per_shard"`
 
 	// Cumulative kernel instrumentation over all non-cached queries.
 	// EarlyAbandons / DistanceCalls is the fraction of exact evaluations
@@ -264,23 +441,31 @@ type Stats struct {
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
-	e.mu.RLock()
-	size, h := e.tree.Size(), e.tree.Height()
-	e.mu.RUnlock()
 	st := Stats{
-		Size:            size,
-		Height:          h,
+		Shards:          len(e.shards),
 		Queries:         e.queries.Load(),
 		CacheHits:       e.cacheHits.Load(),
 		Inserts:         e.inserts.Load(),
 		Deletes:         e.deletes.Load(),
 		Rebuilds:        e.rebuilds.Load(),
+		Snapshots:       e.snapshots.Load(),
 		Workers:         e.opt.Workers,
 		DistanceCalls:   e.distanceCalls.Load(),
 		EarlyAbandons:   e.earlyAbandons.Load(),
 		LowerBoundCalls: e.lowerBoundCalls.Load(),
 		NodesVisited:    e.nodesVisited.Load(),
 		NodesPruned:     e.nodesPruned.Load(),
+	}
+	st.PerShard = make([]ShardStats, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.RLock()
+		size, h := s.tree.Size(), s.tree.Height()
+		s.mu.RUnlock()
+		st.PerShard[i] = ShardStats{Shard: i, Size: size, Height: h}
+		st.Size += size
+		if h > st.Height {
+			st.Height = h
+		}
 	}
 	if e.cache != nil {
 		st.CacheLen = e.cache.len()

@@ -121,6 +121,35 @@ type InsertResponse struct {
 	Size     int `json:"size"`
 }
 
+// DeleteRequest is the body of POST /delete; several trajectories may be
+// removed in one call.
+type DeleteRequest struct {
+	IDs []int `json:"ids"`
+}
+
+// DeleteResponse reports how many of the requested IDs were present and
+// removed; Missing lists the ones that were not indexed.
+type DeleteResponse struct {
+	Deleted int   `json:"deleted"`
+	Missing []int `json:"missing,omitempty"`
+	Size    int   `json:"size"`
+}
+
+// RebuildResponse is the body of a successful POST /rebuild.
+type RebuildResponse struct {
+	Size   int     `json:"size"`
+	Shards int     `json:"shards"`
+	TookMS float64 `json:"took_ms"`
+}
+
+// SnapshotResponse is the body of a successful POST /snapshot.
+type SnapshotResponse struct {
+	Dir    string  `json:"dir"`
+	Shards int     `json:"shards"`
+	Size   int     `json:"size"`
+	TookMS float64 `json:"took_ms"`
+}
+
 // ErrorResponse is the body of every non-2xx answer produced by the
 // handlers themselves. Routing-level rejections (404 for unknown paths,
 // 405 for wrong methods) come from net/http's ServeMux and are plain
@@ -135,6 +164,9 @@ type ErrorResponse struct {
 //	POST /knn/batch  {"queries": [{...}, ...], "k": 10}
 //	POST /range      {"query": {...}, "radius": 250}
 //	POST /insert     {"trajectories": [{...}, ...]}
+//	POST /delete     {"ids": [17, 42]}
+//	POST /rebuild    (no body)
+//	POST /snapshot   (no body; 412 unless Options.SnapshotDir is set)
 //	GET  /stats
 //	GET  /healthz
 func NewHandler(e *Engine) http.Handler {
@@ -230,6 +262,57 @@ func NewHandler(e *Engine) http.Handler {
 			inserted++
 		}
 		writeJSON(w, http.StatusOK, InsertResponse{Inserted: inserted, Size: e.Size()})
+	})
+	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) {
+		var req DeleteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if len(req.IDs) == 0 {
+			writeError(w, http.StatusBadRequest, "ids must be non-empty")
+			return
+		}
+		resp := DeleteResponse{}
+		for _, id := range req.IDs {
+			if e.Delete(id) {
+				resp.Deleted++
+			} else {
+				resp.Missing = append(resp.Missing, id)
+			}
+		}
+		resp.Size = e.Size()
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /rebuild", func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		if err := e.Rebuild(); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, RebuildResponse{
+			Size:   e.Size(),
+			Shards: e.Shards(),
+			TookMS: msSince(t0),
+		})
+	})
+	mux.HandleFunc("POST /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		dir := e.SnapshotDir()
+		if dir == "" {
+			writeError(w, http.StatusPreconditionFailed,
+				"no snapshot directory configured (start with -snapshot or set Options.SnapshotDir)")
+			return
+		}
+		t0 := time.Now()
+		if err := e.SaveSnapshot(dir); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, SnapshotResponse{
+			Dir:    dir,
+			Shards: e.Shards(),
+			Size:   e.Size(),
+			TookMS: msSince(t0),
+		})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Stats())

@@ -143,6 +143,56 @@ func TestHTTPRangeInsertStats(t *testing.T) {
 	}
 }
 
+func TestHTTPDeleteRebuild(t *testing.T) {
+	e := newTestEngine(t, 40, Options{Shards: 2})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	// Delete two present IDs and one absent one in a single call.
+	var del DeleteResponse
+	if r := postJSON(t, srv, "/delete", DeleteRequest{IDs: []int{3, 17, 99_999}}, &del); r.StatusCode != http.StatusOK {
+		t.Fatalf("POST /delete status %d", r.StatusCode)
+	}
+	if del.Deleted != 2 || len(del.Missing) != 1 || del.Missing[0] != 99_999 {
+		t.Fatalf("delete response %+v, want deleted 2 missing [99999]", del)
+	}
+	if del.Size != 38 {
+		t.Fatalf("delete response size %d, want 38", del.Size)
+	}
+	if e.Lookup(3) != nil || e.Lookup(17) != nil {
+		t.Fatal("deleted trajectories still indexed")
+	}
+
+	// Empty ID list is a client error.
+	if r := postJSON(t, srv, "/delete", DeleteRequest{}, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty /delete status %d, want 400", r.StatusCode)
+	}
+
+	var reb RebuildResponse
+	if r := postJSON(t, srv, "/rebuild", nil, &reb); r.StatusCode != http.StatusOK {
+		t.Fatalf("POST /rebuild status %d", r.StatusCode)
+	}
+	if reb.Size != 38 || reb.Shards != 2 {
+		t.Fatalf("rebuild response %+v, want size 38 shards 2", reb)
+	}
+	if got := e.Stats(); got.Rebuilds != 1 || got.Deletes != 2 {
+		t.Fatalf("stats %+v, want rebuilds 1 deletes 2", got)
+	}
+
+	// The rebuilt index still answers correctly.
+	q := testDB(40, 7)[5].Clone()
+	q.ID = 1_000_000
+	res, _ := e.KNN(q, 3)
+	if len(res) != 3 {
+		t.Fatalf("post-rebuild KNN returned %d results", len(res))
+	}
+	for _, r := range res {
+		if r.Traj.ID == 3 || r.Traj.ID == 17 {
+			t.Fatalf("post-rebuild KNN returned deleted trajectory %d", r.Traj.ID)
+		}
+	}
+}
+
 func TestHTTPHealthz(t *testing.T) {
 	e := newTestEngine(t, 20, Options{})
 	srv := httptest.NewServer(NewHandler(e))

@@ -1,0 +1,37 @@
+package server
+
+// Trajectories are assigned to shards by a fixed hash of their ID, so
+// placement is a pure function of (ID, shard count): bulk loads, live
+// inserts and snapshot reloads all agree on where a trajectory lives, and
+// Lookup/Delete route straight to the owning shard instead of scanning.
+// The hash is part of the snapshot format — changing it requires bumping
+// snapshotVersion, because shard files written under the old placement
+// would answer Lookup/Delete wrongly under the new one.
+
+// shardIndex returns the shard owning trajectory id among n shards.
+// A finalising 64-bit mix (splitmix64's) stands between the ID and the
+// modulo so that the sequential IDs real corpora use spread evenly
+// instead of striping.
+func shardIndex(id, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := uint64(int64(id))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// partitionByShard splits db into n hash-placed groups, preserving input
+// order within each group so builds are deterministic.
+func partitionByShard[T any](db []T, n int, id func(T) int) [][]T {
+	groups := make([][]T, n)
+	for _, t := range db {
+		s := shardIndex(id(t), n)
+		groups[s] = append(groups[s], t)
+	}
+	return groups
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"io"
+	"sync"
+
+	"trajmatch/internal/traj"
+	"trajmatch/internal/trajtree"
+)
+
+// shard is one independently locked partition of the index: a
+// trajtree.Tree plus the RWMutex that serialises its updates against its
+// readers. Queries fan out across shards taking each shard's read lock
+// individually, so an Insert/Delete/Rebuild on one shard stalls only the
+// 1/N of the search space it owns while the other shards keep answering.
+type shard struct {
+	mu   sync.RWMutex
+	tree *trajtree.Tree
+}
+
+// knnShared runs the bound-seeded k-NN search under the shard's read
+// lock; bound may be nil for a single-shard engine.
+func (s *shard) knnShared(q *traj.Trajectory, k int, bound *trajtree.SharedBound) ([]trajtree.Result, trajtree.Stats) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if bound == nil {
+		return s.tree.KNN(q, k)
+	}
+	return s.tree.KNNShared(q, k, bound)
+}
+
+// rangeSearch runs the radius-seeded search under the read lock.
+func (s *shard) rangeSearch(q *traj.Trajectory, radius float64) ([]trajtree.Result, trajtree.Stats) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.RangeSearch(q, radius)
+}
+
+func (s *shard) size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Size()
+}
+
+func (s *shard) height() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Height()
+}
+
+func (s *shard) lookup(id int) *traj.Trajectory {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Lookup(id)
+}
+
+// insert adds tr and bumps the engine generation while still holding the
+// shard's write lock, so any query that observes the new trajectory also
+// observes the new generation (the result-cache consistency argument in
+// engine.go depends on this ordering).
+func (s *shard) insert(tr *traj.Trajectory, gen *engineGen) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.tree.Insert(tr); err != nil {
+		return err
+	}
+	gen.bump()
+	return nil
+}
+
+func (s *shard) delete(id int, gen *engineGen) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.tree.Delete(id) {
+		return false
+	}
+	gen.bump()
+	return true
+}
+
+func (s *shard) rebuild(gen *engineGen) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.tree.Rebuild(); err != nil {
+		return err
+	}
+	gen.bump()
+	return nil
+}
+
+// save serialises the shard's tree under the read lock, so a snapshot
+// write runs concurrently with queries and only briefly excludes updates
+// to this one shard. The returned size is captured under the same lock
+// hold as the serialisation, so the manifest can record exactly what the
+// stream contains even while writers land on this shard between save
+// calls.
+func (s *shard) save(w io.Writer) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.tree.Save(w); err != nil {
+		return 0, err
+	}
+	return s.tree.Size(), nil
+}
+
+func (s *shard) options() trajtree.Options {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Options()
+}

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"trajmatch/internal/traj"
+	"trajmatch/internal/trajtree"
+)
+
+// sameResults asserts two result lists agree exactly: same IDs, same
+// distances, same order. The sharded fan-out must be byte-identical to
+// the single-tree reference, not approximately equal — the shared bound
+// only ever prunes work, never changes answers.
+func sameResults(t *testing.T, label string, got, want []trajtree.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Traj.ID != want[i].Traj.ID {
+			t.Fatalf("%s: rank %d is T%d, want T%d", label, i, got[i].Traj.ID, want[i].Traj.ID)
+		}
+		if got[i].Dist != want[i].Dist {
+			t.Fatalf("%s: rank %d dist %v != %v (T%d)", label, i, got[i].Dist, want[i].Dist, got[i].Traj.ID)
+		}
+	}
+}
+
+// TestShardedKNNMatchesSingleTree is the acceptance property of the
+// sharded engine: for shard counts 1, 2, 4 and 8 over the same corpus,
+// KNN and RangeSearch answers are identical to the single reference
+// tree's, query for query.
+func TestShardedKNNMatchesSingleTree(t *testing.T) {
+	db := testDB(160, 11)
+	topt := trajtree.Options{Seed: 1, LeafSize: 5}
+	ref, err := trajtree.New(db, topt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			e, err := NewEngineFromDB(db, topt, Options{CacheSize: -1, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Shards() != shards {
+				t.Fatalf("engine has %d shards, want %d", e.Shards(), shards)
+			}
+			if e.Size() != len(db) {
+				t.Fatalf("engine size %d, want %d", e.Size(), len(db))
+			}
+			for it := 0; it < 20; it++ {
+				q := db[rng.Intn(len(db))].Clone()
+				q.ID = 1_000_000 + it
+				if it%3 == 0 { // off-database shapes too
+					for i := range q.Points {
+						q.Points[i].X += rng.NormFloat64() * 15
+						q.Points[i].Y += rng.NormFloat64() * 15
+					}
+				}
+				k := 1 + rng.Intn(10)
+				got, st := e.KNN(q, k)
+				want, _ := ref.KNN(q, k)
+				sameResults(t, fmt.Sprintf("KNN it=%d k=%d", it, k), got, want)
+				if st.DistanceCalls == 0 {
+					t.Fatalf("it=%d: fan-out reported zero distance calls", it)
+				}
+
+				radius := []float64{5, 20, 80}[it%3]
+				gotR, _ := e.RangeSearch(q, radius)
+				wantR, _ := ref.RangeSearch(q, radius)
+				sameResults(t, fmt.Sprintf("Range it=%d r=%v", it, radius), gotR, wantR)
+			}
+		})
+	}
+}
+
+// TestShardedBatchAndBruteAgree cross-checks the batch path (inline
+// sequential fan-out per worker) against the concurrent single-query
+// fan-out on a sharded engine.
+func TestShardedBatchAndBruteAgree(t *testing.T) {
+	db := testDB(120, 23)
+	e, err := NewEngineFromDB(db, trajtree.Options{Seed: 1, LeafSize: 5}, Options{CacheSize: -1, Shards: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*traj.Trajectory, 16)
+	for i := range qs {
+		qs[i] = db[(i*7)%len(db)].Clone()
+		qs[i].ID = 2_000_000 + i
+	}
+	batch := e.KNNBatch(qs, 4)
+	for i, q := range qs {
+		single, _ := e.KNN(q, 4)
+		sameResults(t, fmt.Sprintf("batch query %d", i), batch[i], single)
+	}
+}
+
+// TestShardedUpdatesRouteAndStayExact drives inserts and deletes through
+// the hash router and verifies lookup routing, duplicate rejection across
+// the sharded index, and continued exactness against a brute-force
+// reference after the churn.
+func TestShardedUpdatesRouteAndStayExact(t *testing.T) {
+	db := testDB(90, 29)
+	topt := trajtree.Options{Seed: 1, LeafSize: 5}
+	e, err := NewEngineFromDB(db, topt, Options{CacheSize: -1, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := testDB(130, 31)[90:]
+	for i, tr := range extra {
+		tr.ID = 50_000 + i
+		if err := e.Insert(tr); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := e.Insert(extra[0]); err == nil {
+		t.Fatal("duplicate insert across shards succeeded")
+	}
+	for i := 0; i < len(extra); i += 3 {
+		if !e.Delete(50_000 + i) {
+			t.Fatalf("delete %d reported not present", 50_000+i)
+		}
+	}
+	if e.Delete(50_000) {
+		t.Fatal("second delete reported present")
+	}
+	if e.Lookup(50_001) == nil {
+		t.Fatal("lookup lost a surviving insert")
+	}
+	if e.Lookup(50_000) != nil {
+		t.Fatal("lookup found a deleted trajectory")
+	}
+
+	// Current membership: the original db plus surviving extras.
+	var members []*traj.Trajectory
+	members = append(members, db...)
+	for i, tr := range extra {
+		if i%3 != 0 {
+			members = append(members, tr)
+		}
+	}
+	if e.Size() != len(members) {
+		t.Fatalf("size %d, want %d", e.Size(), len(members))
+	}
+	ref, err := trajtree.New(members, topt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := db[5].Clone()
+	q.ID = 3_000_000
+	got, _ := e.KNN(q, 7)
+	sameResults(t, "post-churn KNN", got, ref.KNNBrute(q, 7))
+
+	if err := e.Rebuild(); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	got, _ = e.KNN(q, 7)
+	sameResults(t, "post-rebuild KNN", got, ref.KNNBrute(q, 7))
+}
+
+// TestShardedConcurrentReadersAndWriters is the race acceptance test for
+// the per-shard locking discipline: readers fan out across shards while
+// writers hammer inserts, deletes, rebuilds and snapshots concurrently.
+// Run with -race.
+func TestShardedConcurrentReadersAndWriters(t *testing.T) {
+	db := testDB(80, 37)
+	e, err := NewEngineFromDB(db, trajtree.Options{Seed: 1, LeafSize: 5},
+		Options{CacheSize: 64, Shards: 4, SnapshotDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 6
+	var wg sync.WaitGroup
+	wg.Add(readers)
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := db[(r*25+i)%len(db)].Clone()
+				q.ID = 4_000_000 + r*25 + i
+				if res, _ := e.KNN(q, 3); len(res) == 0 {
+					errs <- fmt.Errorf("reader %d query %d: empty answer", r, i)
+					return
+				}
+				if i%5 == 0 {
+					e.KNNBatch([]*traj.Trajectory{q}, 2)
+				}
+				if i%7 == 0 {
+					e.RangeSearch(q, 50)
+				}
+			}
+		}(r)
+	}
+	extra := testDB(140, 41)[80:]
+	for i, tr := range extra {
+		tr.ID = 60_000 + i
+		if err := e.Insert(tr); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if i%4 == 0 {
+			e.Delete(60_000 + i)
+		}
+		if i == len(extra)/2 {
+			if err := e.SaveSnapshot(e.SnapshotDir()); err != nil {
+				t.Fatalf("concurrent snapshot: %v", err)
+			}
+		}
+	}
+	if err := e.Rebuild(); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The snapshot taken mid-churn must be loadable: each manifest size
+	// is captured under the same lock hold as the shard stream, so live
+	// writers cannot desynchronise the two.
+	loaded, err := LoadSnapshot(e.SnapshotDir(), Options{CacheSize: -1})
+	if err != nil {
+		t.Fatalf("loading mid-churn snapshot: %v", err)
+	}
+	probe := db[0].Clone()
+	probe.ID = 4_900_000
+	if res, _ := loaded.KNN(probe, 3); len(res) == 0 {
+		t.Fatal("mid-churn snapshot answers nothing")
+	}
+
+	st := e.Stats()
+	if st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Fatalf("stats shards %d / per-shard %d, want 4", st.Shards, len(st.PerShard))
+	}
+	sum, maxH := 0, 0
+	for _, ps := range st.PerShard {
+		sum += ps.Size
+		if ps.Height > maxH {
+			maxH = ps.Height
+		}
+	}
+	if sum != st.Size || maxH != st.Height {
+		t.Fatalf("per-shard sum %d/max %d disagree with totals %d/%d", sum, maxH, st.Size, st.Height)
+	}
+	if st.Snapshots != 1 {
+		t.Fatalf("snapshots counter %d, want 1", st.Snapshots)
+	}
+}
+
+// TestShardRoutingIsStable pins the placement hash: shard assignment is
+// part of the snapshot format, so accidental changes must fail loudly.
+func TestShardRoutingIsStable(t *testing.T) {
+	if shardIndex(0, 1) != 0 || shardIndex(12345, 1) != 0 {
+		t.Fatal("single shard must own everything")
+	}
+	for _, n := range []int{2, 4, 8} {
+		counts := make([]int, n)
+		for id := 0; id < 4096; id++ {
+			s := shardIndex(id, n)
+			if s < 0 || s >= n {
+				t.Fatalf("shardIndex(%d, %d) = %d out of range", id, n, s)
+			}
+			counts[s]++
+		}
+		for s, c := range counts {
+			if c < 4096/n/2 || c > 4096/n*2 {
+				t.Fatalf("n=%d: shard %d holds %d of 4096 — placement badly skewed", n, s, c)
+			}
+		}
+	}
+}

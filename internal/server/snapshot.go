@@ -1,0 +1,205 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"trajmatch/internal/par"
+	"trajmatch/internal/trajtree"
+)
+
+// A snapshot is a directory holding one trajtree.Save stream per shard
+// plus a JSON manifest recording the format version, the shard count and
+// the tree options. The shard count is load-bearing: trajectories are
+// hash-placed (router.go), so the files only mean what they say under
+// the shard count they were written with — LoadSnapshot therefore adopts
+// the manifest's count regardless of what the caller's Options ask for.
+//
+// Saves are two-phase: every shard streams to a temp file first, and
+// only when all streams succeed are they renamed into place, manifest
+// last. A failed save (disk full, I/O error) therefore never touches
+// the previous snapshot; the residual risk is a crash inside the final
+// rename loop, which mixes epochs — a state LoadSnapshot detects and
+// rejects through its per-shard size and option checks instead of
+// serving from it.
+
+// snapshotVersion is bumped whenever the manifest layout, the per-shard
+// stream format, or the placement hash changes incompatibly.
+const snapshotVersion = 1
+
+// manifestName is the manifest file inside a snapshot directory.
+const manifestName = "MANIFEST.json"
+
+type snapshotManifest struct {
+	Version     int              `json:"version"`
+	Shards      int              `json:"shards"`
+	TreeOptions trajtree.Options `json:"tree_options"`
+	Sizes       []int            `json:"sizes"`
+	SavedAt     time.Time        `json:"saved_at"`
+}
+
+func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.tree", i) }
+
+// SnapshotDir returns the configured snapshot directory ("" when
+// snapshotting is not configured).
+func (e *Engine) SnapshotDir() string { return e.opt.SnapshotDir }
+
+// SaveSnapshot writes a sharded snapshot of the engine to dir (created
+// if needed). Each shard is serialised under its read lock, so queries
+// keep flowing and updates stall only on the shard currently streaming
+// out; consequently the snapshot is per-shard consistent but, under a
+// live write load, not a single global point in time. Quiesce writers
+// first if global point-in-time semantics matter. Concurrent
+// SaveSnapshot calls serialise against each other, so overlapping
+// POST /snapshot requests cannot interleave shard files and manifests
+// from different saves.
+func (e *Engine) SaveSnapshot(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("server: snapshot: no directory configured")
+	}
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	man := snapshotManifest{
+		Version:     snapshotVersion,
+		Shards:      len(e.shards),
+		TreeOptions: e.shards[0].options(),
+		Sizes:       make([]int, len(e.shards)),
+		SavedAt:     time.Now().UTC(),
+	}
+	// Phase 1: stream every shard to a temp file. No final name is
+	// touched yet, so any failure here (disk full, I/O error) leaves the
+	// previous snapshot fully intact.
+	tmps := make([]string, len(e.shards))
+	cleanup := func() {
+		for _, t := range tmps {
+			if t != "" {
+				os.Remove(t)
+			}
+		}
+	}
+	err := par.ForErr(e.opt.Workers, len(e.shards), func(i int) error {
+		tmp, err := os.CreateTemp(dir, shardFileName(i)+".tmp")
+		if err != nil {
+			return err
+		}
+		tmps[i] = tmp.Name()
+		bw := bufio.NewWriterSize(tmp, 1<<20)
+		size, err := e.shards[i].save(bw)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		man.Sizes[i] = size
+		return nil
+	})
+	if err != nil {
+		cleanup()
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	// Phase 2: every shard streamed successfully — rename them into
+	// place, manifest last. The remaining inconsistency window is a
+	// crash inside this loop of renames, which mixes new shard files
+	// with the old manifest; LoadSnapshot's per-shard size and option
+	// checks reject such a directory rather than serving from it.
+	for i, tmp := range tmps {
+		if err := os.Rename(tmp, filepath.Join(dir, shardFileName(i))); err != nil {
+			cleanup()
+			return fmt.Errorf("server: snapshot: %w", err)
+		}
+		tmps[i] = ""
+	}
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	e.snapshots.Add(1)
+	return nil
+}
+
+// SnapshotExists reports whether dir holds a snapshot manifest.
+func SnapshotExists(dir string) bool {
+	if dir == "" {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// LoadSnapshot reconstructs an engine from a snapshot directory written
+// by SaveSnapshot. Shard trees load in parallel. The shard count always
+// comes from the manifest (see the placement note above); the remaining
+// opt fields — cache, workers, snapshot dir — apply as given.
+func LoadSnapshot(dir string, opt Options) (*Engine, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("server: load snapshot: %w", err)
+	}
+	var man snapshotManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("server: load snapshot: manifest: %w", err)
+	}
+	if man.Version != snapshotVersion {
+		return nil, fmt.Errorf("server: load snapshot: unsupported version %d (want %d)", man.Version, snapshotVersion)
+	}
+	if man.Shards < 1 {
+		return nil, fmt.Errorf("server: load snapshot: invalid shard count %d", man.Shards)
+	}
+	// The sizes array is the cross-check that catches mixed-epoch
+	// directories (a crash between shard renames and the manifest
+	// rename); a manifest that cannot vouch for every shard is rejected
+	// rather than partially verified.
+	if len(man.Sizes) != man.Shards {
+		return nil, fmt.Errorf("server: load snapshot: manifest records %d sizes for %d shards", len(man.Sizes), man.Shards)
+	}
+	opt = opt.withDefaults()
+	opt.Shards = man.Shards
+	shards := make([]*shard, man.Shards)
+	err = par.ForErr(opt.Workers, man.Shards, func(i int) error {
+		f, err := os.Open(filepath.Join(dir, shardFileName(i)))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tree, err := trajtree.Load(bufio.NewReaderSize(f, 1<<20))
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if tree.Size() != man.Sizes[i] {
+			return fmt.Errorf("shard %d: size %d does not match manifest %d", i, tree.Size(), man.Sizes[i])
+		}
+		// Each stream carries its own (normalised) tree options; they
+		// must agree with the manifest, or the directory mixes shard
+		// files from differently configured engines.
+		if tree.Options() != man.TreeOptions.WithDefaults() {
+			return fmt.Errorf("shard %d: tree options %+v do not match manifest %+v",
+				i, tree.Options(), man.TreeOptions.WithDefaults())
+		}
+		shards[i] = &shard{tree: tree}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: load snapshot: %w", err)
+	}
+	return newEngine(shards, opt), nil
+}

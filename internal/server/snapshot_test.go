@@ -1,0 +1,146 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trajmatch/internal/trajtree"
+)
+
+// TestSnapshotRoundTrip saves a sharded engine and reloads it, asserting
+// the reloaded engine answers KNN and RangeSearch byte-identically, the
+// manifest records what it should, and the shard count is adopted from
+// the manifest regardless of the loader's options.
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := testDB(120, 43)
+	topt := trajtree.Options{Seed: 1, LeafSize: 5}
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			e, err := NewEngineFromDB(db, topt, Options{CacheSize: -1, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if SnapshotExists(dir) {
+				t.Fatal("empty dir reported as snapshot")
+			}
+			if err := e.SaveSnapshot(dir); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			if !SnapshotExists(dir) {
+				t.Fatal("snapshot not detected after save")
+			}
+
+			raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var man snapshotManifest
+			if err := json.Unmarshal(raw, &man); err != nil {
+				t.Fatal(err)
+			}
+			if man.Version != snapshotVersion || man.Shards != shards {
+				t.Fatalf("manifest %+v: want version %d, shards %d", man, snapshotVersion, shards)
+			}
+			total := 0
+			for _, s := range man.Sizes {
+				total += s
+			}
+			if total != len(db) {
+				t.Fatalf("manifest sizes sum %d, want %d", total, len(db))
+			}
+			if man.TreeOptions.LeafSize != 5 {
+				t.Fatalf("manifest tree options %+v did not record LeafSize 5", man.TreeOptions)
+			}
+
+			// Deliberately wrong shard count in the loader options: the
+			// manifest must win, because placement depends on it.
+			loaded, err := LoadSnapshot(dir, Options{CacheSize: -1, Shards: shards + 3})
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if loaded.Shards() != shards {
+				t.Fatalf("loaded %d shards, want manifest's %d", loaded.Shards(), shards)
+			}
+			if loaded.Size() != e.Size() {
+				t.Fatalf("loaded size %d, want %d", loaded.Size(), e.Size())
+			}
+			for it := 0; it < 10; it++ {
+				q := db[(it*11)%len(db)].Clone()
+				q.ID = 5_000_000 + it
+				got, _ := loaded.KNN(q, 6)
+				want, _ := e.KNN(q, 6)
+				sameResults(t, fmt.Sprintf("KNN it=%d", it), got, want)
+				gotR, _ := loaded.RangeSearch(q, 30)
+				wantR, _ := e.RangeSearch(q, 30)
+				sameResults(t, fmt.Sprintf("Range it=%d", it), gotR, wantR)
+			}
+
+			// Updates keep working after a reload (hash placement must
+			// agree with what the snapshot was written under).
+			nt := testDB(121, 47)[120]
+			nt.ID = 70_000
+			if err := loaded.Insert(nt); err != nil {
+				t.Fatalf("post-load insert: %v", err)
+			}
+			if loaded.Lookup(70_000) == nil {
+				t.Fatal("post-load insert not found by lookup")
+			}
+			if !loaded.Delete(70_000) {
+				t.Fatal("post-load delete missed")
+			}
+		})
+	}
+}
+
+func TestSnapshotRejectsBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadSnapshot(dir, Options{}); err == nil {
+		t.Fatal("load from empty dir succeeded")
+	}
+	bad := snapshotManifest{Version: snapshotVersion + 1, Shards: 1}
+	raw, _ := json.Marshal(bad)
+	if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(dir, Options{}); err == nil {
+		t.Fatal("future-versioned snapshot loaded")
+	}
+}
+
+// TestHTTPSnapshotEndpoint exercises POST /snapshot end to end: 412
+// without a configured directory, then a real write that a fresh engine
+// loads and answers from.
+func TestHTTPSnapshotEndpoint(t *testing.T) {
+	unarmed := newTestEngine(t, 30, Options{})
+	srv := httptest.NewServer(NewHandler(unarmed))
+	if resp := postJSON(t, srv, "/snapshot", nil, nil); resp.StatusCode != 412 {
+		t.Fatalf("unarmed /snapshot status %d, want 412", resp.StatusCode)
+	}
+	srv.Close()
+
+	dir := t.TempDir()
+	e := newTestEngine(t, 40, Options{Shards: 2, SnapshotDir: dir})
+	srv = httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+	var resp SnapshotResponse
+	if r := postJSON(t, srv, "/snapshot", nil, &resp); r.StatusCode != 200 {
+		t.Fatalf("POST /snapshot status %d", r.StatusCode)
+	}
+	if resp.Dir != dir || resp.Shards != 2 || resp.Size != 40 {
+		t.Fatalf("snapshot response %+v", resp)
+	}
+	loaded, err := LoadSnapshot(dir, Options{CacheSize: -1})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	q := testDB(40, 7)[3].Clone()
+	q.ID = 6_000_000
+	got, _ := loaded.KNN(q, 3)
+	want, _ := e.KNN(q, 3)
+	sameResults(t, "endpoint snapshot KNN", got, want)
+}

@@ -1,0 +1,171 @@
+package trajtree
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"trajmatch/internal/pqueue"
+	"trajmatch/internal/traj"
+)
+
+func TestSharedBoundTightensMonotonically(t *testing.T) {
+	b := NewSharedBound(math.Inf(1))
+	if !math.IsInf(b.Load(), 1) {
+		t.Fatalf("fresh bound %v, want +Inf", b.Load())
+	}
+	b.Tighten(5)
+	b.Tighten(9) // looser: ignored
+	if b.Load() != 5 {
+		t.Fatalf("bound %v after Tighten(5), Tighten(9); want 5", b.Load())
+	}
+	b.Tighten(2)
+	if b.Load() != 2 {
+		t.Fatalf("bound %v after Tighten(2); want 2", b.Load())
+	}
+
+	// Concurrent tightening converges to the minimum offered value.
+	b = NewSharedBound(math.Inf(1))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 100; i > 0; i-- {
+				b.Tighten(float64(g*100 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Load() != 1 {
+		t.Fatalf("concurrent tighten converged to %v, want 1", b.Load())
+	}
+}
+
+// TestKNNWithBoundInfMatchesKNN pins the compatibility contract: an
+// infinite seed bound is exactly the plain search.
+func TestKNNWithBoundInfMatchesKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	db := testDB(rng, 100)
+	tree, err := New(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 10; it++ {
+		q := db[rng.Intn(len(db))].Clone()
+		q.ID = 10_000_000 + it
+		got, gst := tree.KNNWithBound(q, 6, math.Inf(1))
+		want, wst := tree.KNN(q, 6)
+		sameResults(t, "KNNWithBound(+Inf)", got, want)
+		if gst != wst {
+			t.Fatalf("stats diverge: %+v != %+v", gst, wst)
+		}
+	}
+}
+
+// TestKNNWithBoundPrunesAboveLimit seeds the search with a finite
+// admissible bound and checks two things: every returned distance is
+// within the bound, and the results agree with the plain search's
+// results filtered to the bound — the seed prunes work, never answers.
+func TestKNNWithBoundPrunesAboveLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	db := testDB(rng, 120)
+	tree, err := New(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunedSomething := false
+	for it := 0; it < 15; it++ {
+		q := db[rng.Intn(len(db))].Clone()
+		q.ID = 11_000_000 + it
+		k := 4 + rng.Intn(6)
+		full, _ := tree.KNN(q, k)
+		// Seed with the median answer distance: a valid upper bound on
+		// the k/2-th best, so querying for k/2 neighbours must return
+		// exactly the first k/2 of the full answer.
+		half := len(full) / 2
+		if half == 0 {
+			continue
+		}
+		limit := full[half-1].Dist
+		got, st := tree.KNNWithBound(q, half, limit)
+		sameResults(t, "KNNWithBound(seeded)", got, full[:half])
+		for _, r := range got {
+			if r.Dist > limit {
+				t.Fatalf("result %v exceeds seed bound %v", r.Dist, limit)
+			}
+		}
+		if st.EarlyAbandons > 0 || st.NodesPruned > 0 {
+			prunedSomething = true
+		}
+	}
+	if !prunedSomething {
+		t.Error("a finite seed bound never pruned anything across the workload")
+	}
+}
+
+// TestKNNSharedPartitionsMatchSingleTree is the trajtree-level fan-out
+// property behind the sharded engine: partition one corpus into disjoint
+// trees, run KNNShared over all partitions with one shared bound, merge
+// with a k-bounded heap, and compare with the single tree over the whole
+// corpus. Run both sequentially and with goroutines (the latter matters
+// under -race).
+func TestKNNSharedPartitionsMatchSingleTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(117))
+	db := testDB(rng, 150)
+	whole, err := New(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{2, 4, 7} {
+		groups := make([][]*traj.Trajectory, parts)
+		for i, tr := range db {
+			groups[i%parts] = append(groups[i%parts], tr)
+		}
+		trees := make([]*Tree, parts)
+		for i := range groups {
+			if trees[i], err = New(groups[i], testOptions()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for it := 0; it < 12; it++ {
+			q := db[rng.Intn(len(db))].Clone()
+			q.ID = 12_000_000 + it
+			k := 1 + rng.Intn(9)
+			want, _ := whole.KNN(q, k)
+
+			for _, concurrent := range []bool{false, true} {
+				bound := NewSharedBound(math.Inf(1))
+				per := make([][]Result, parts)
+				if concurrent {
+					var wg sync.WaitGroup
+					for i := range trees {
+						wg.Add(1)
+						go func(i int) {
+							defer wg.Done()
+							per[i], _ = trees[i].KNNShared(q, k, bound)
+						}(i)
+					}
+					wg.Wait()
+				} else {
+					for i := range trees {
+						per[i], _ = trees[i].KNNShared(q, k, bound)
+					}
+				}
+				merged := pqueue.NewTopK[*traj.Trajectory](k)
+				for _, rs := range per {
+					for _, r := range rs {
+						merged.Offer(r.Traj, r.Dist)
+					}
+				}
+				items := merged.Items()
+				got := make([]Result, len(items))
+				for i, it := range items {
+					got[i] = Result{Traj: it.Value, Dist: it.Priority}
+				}
+				sameResults(t, "merged partitions", got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package trajtree
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPersistRoundTripAnswersIdentically is the Save/Load acceptance
+// test: a reloaded tree must answer KNN and RangeSearch byte-identically
+// to the original — same IDs, same distances, same order — and with
+// identical per-query statistics, which proves the reloaded structure
+// (tBoxSeq summaries, vantage points, VP descriptors, member placement)
+// is the same tree, not merely an equivalent one.
+func TestPersistRoundTripAnswersIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	db := testDB(rng, 130)
+	tree, err := New(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.Size() != tree.Size() || loaded.Height() != tree.Height() {
+		t.Fatalf("loaded shape %d/%d, want %d/%d", loaded.Size(), loaded.Height(), tree.Size(), tree.Height())
+	}
+
+	for it := 0; it < 15; it++ {
+		q := db[rng.Intn(len(db))].Clone()
+		q.ID = 8_000_000 + it
+		if it%2 == 0 {
+			for i := range q.Points {
+				q.Points[i].X += rng.NormFloat64() * 8
+				q.Points[i].Y += rng.NormFloat64() * 8
+			}
+		}
+		k := 1 + rng.Intn(9)
+		got, gst := loaded.KNN(q, k)
+		want, wst := tree.KNN(q, k)
+		sameResults(t, "KNN", got, want)
+		if gst != wst {
+			// Equal stats mean the traversal — including the VP top-k
+			// passes driven by the persisted descriptors — was identical.
+			t.Fatalf("KNN stats diverge after reload: %+v != %+v", gst, wst)
+		}
+
+		radius := []float64{0.05, 0.3, 1.5}[it%3]
+		gotR, grst := loaded.RangeSearch(q, radius)
+		wantR, wrst := tree.RangeSearch(q, radius)
+		sameResults(t, "RangeSearch", gotR, wantR)
+		if grst != wrst {
+			t.Fatalf("RangeSearch stats diverge after reload: %+v != %+v", grst, wrst)
+		}
+	}
+}
+
+// TestPersistPreservesVPDescriptors reloads a tree and asserts the
+// root's vantage machinery survived: VPUpperBound — which runs entirely
+// on the persisted VPs and descriptor table — returns the same bound and
+// the same candidate distance profile.
+func TestPersistPreservesVPDescriptors(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	db := testDB(rng, 100)
+	tree, err := New(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := db[9].Clone()
+	q.ID = 9_000_000
+	ub, ds := tree.VPUpperBound(q, 6)
+	lub, lds := loaded.VPUpperBound(q, 6)
+	if ub == 0 || math.IsInf(ub, 1) {
+		t.Fatalf("degenerate reference upper bound %v", ub)
+	}
+	if ub != lub {
+		t.Fatalf("VP upper bound %v != %v after reload", lub, ub)
+	}
+	if len(ds) != len(lds) {
+		t.Fatalf("VP candidate profile length %d != %d", len(lds), len(ds))
+	}
+	for i := range ds {
+		if ds[i] != lds[i] {
+			t.Fatalf("VP candidate %d distance %v != %v after reload", i, lds[i], ds[i])
+		}
+	}
+}
+
+// TestPersistRoundTripSurvivesUpdates reloads a tree and keeps using it:
+// inserts and deletes on the reloaded tree must behave exactly as on a
+// never-persisted one.
+func TestPersistRoundTripSurvivesUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	db := testDB(rng, 60)
+	tree, err := New(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := testDB(rng, 20)
+	for i, tr := range extra {
+		tr.ID = 40_000 + i
+		if err := loaded.Insert(tr); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := loaded.Insert(extra[0]); err == nil {
+		t.Fatal("duplicate insert into reloaded tree succeeded")
+	}
+	if !loaded.Delete(40_003) {
+		t.Fatal("delete on reloaded tree missed")
+	}
+	if loaded.Size() != 60+20-1 {
+		t.Fatalf("size %d after churn, want %d", loaded.Size(), 79)
+	}
+	if err := loaded.checkInvariants(); err != nil {
+		t.Fatalf("invariants after churn on reloaded tree: %v", err)
+	}
+	q := db[3].Clone()
+	q.ID = 9_500_000
+	got, _ := loaded.KNN(q, 8)
+	sameResults(t, "post-churn", got, loaded.KNNBrute(q, 8))
+}

@@ -47,6 +47,43 @@ func (v *visitSet) mark(id int) { v.marks[id] = v.gen }
 //
 // KNN is safe for concurrent use provided no Insert/Delete/Rebuild runs.
 func (t *Tree) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
+	return t.knnSearch(q, k, nil)
+}
+
+// KNNWithBound is KNN seeded with an external upper bound: candidates
+// whose distance exceeds limit are pruned from the very first evaluation,
+// and subtrees whose lower bound is not below limit are never opened —
+// even before the local answer set holds k members. The returned results
+// therefore contain only distances ≤ limit (possibly fewer than k).
+// KNNWithBound(q, k, +Inf) is identical to KNN(q, k).
+//
+// The caller's limit must be admissible: it must be a known upper bound
+// on the global k-th-best distance (for example a k-th best already found
+// in another shard of a partitioned corpus), otherwise true neighbours
+// can be cut off.
+func (t *Tree) KNNWithBound(q *traj.Trajectory, k int, limit float64) ([]Result, Stats) {
+	if math.IsInf(limit, 1) {
+		return t.knnSearch(q, k, nil)
+	}
+	return t.knnSearch(q, k, NewSharedBound(limit))
+}
+
+// KNNShared is the fan-out entry point: the search prunes against
+// bound in addition to its local k-th best, and publishes its own local
+// k-th best back through bound.Tighten the moment its answer set fills.
+// Concurrent KNNShared calls on disjoint trees therefore tighten each
+// other: a close neighbour found in one shard abandons DP work in every
+// other shard's search. The union of the per-shard results is a superset
+// of the global k-NN set (see SharedBound for the admissibility
+// argument); callers merge it with a k-bounded heap.
+func (t *Tree) KNNShared(q *traj.Trajectory, k int, bound *SharedBound) ([]Result, Stats) {
+	return t.knnSearch(q, k, bound)
+}
+
+// knnSearch is the common best-first search. With a nil bound it is the
+// plain Algorithm 2; with a bound it additionally prunes against — and
+// tightens — the shared limit.
+func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound) ([]Result, Stats) {
 	var st Stats
 	if t.root == nil || k <= 0 {
 		return nil, st
@@ -60,26 +97,47 @@ func (t *Tree) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
 	processed.begin()
 	defer visitPool.Put(processed)
 
-	// evaluate computes the (bounded) exact distance of tr and offers it
-	// to the answer set, reporting whether it was kept.
-	evaluate := func(tr *traj.Trajectory) bool {
-		st.DistanceCalls++
+	// effLimit is the tightest admissible abandon limit currently known:
+	// the local k-th best once the answer set is full, lowered further by
+	// the shared bound when one is attached.
+	effLimit := func() float64 {
 		limit := math.Inf(1)
 		if worst, full := ans.Worst(); full {
 			limit = worst
 		}
-		d, abandoned := t.distBounded(q, tr, limit)
+		if bound != nil {
+			if b := bound.Load(); b < limit {
+				limit = b
+			}
+		}
+		return limit
+	}
+
+	// evaluate computes the (bounded) exact distance of tr and offers it
+	// to the answer set, reporting whether it was kept. Abandoned
+	// candidates are never offered: under a shared bound the local answer
+	// set may not be full yet, and a +Inf entry would poison it.
+	evaluate := func(tr *traj.Trajectory) bool {
+		st.DistanceCalls++
+		d, abandoned := t.distBounded(q, tr, effLimit())
 		if abandoned {
 			st.EarlyAbandons++
+			return false
 		}
-		return ans.Offer(tr, d)
+		kept := ans.Offer(tr, d)
+		if kept && bound != nil {
+			if worst, full := ans.Worst(); full {
+				bound.Tighten(worst)
+			}
+		}
+		return kept
 	}
 
 	for cands.Len() > 0 {
 		it := cands.Pop()
-		if worst, full := ans.Worst(); full && it.Priority >= worst {
+		if it.Priority >= effLimit() {
 			// The queue is ordered by lower bound: nothing left can beat
-			// the current k-th best.
+			// the current k-th best (local or shared).
 			st.NodesPruned += 1 + cands.Len()
 			break
 		}
@@ -125,7 +183,7 @@ func (t *Tree) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
 		for _, child := range c.children {
 			st.LowerBoundCalls++
 			lb := t.lower(q, qLen, child)
-			if worst, full := ans.Worst(); full && lb >= worst {
+			if lb >= effLimit() {
 				st.NodesPruned++
 				continue
 			}

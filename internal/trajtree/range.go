@@ -15,7 +15,20 @@ import (
 // Every exact evaluation passes the radius to the bounded kernel: members
 // outside the radius are abandoned part-way through the dynamic program
 // (Stats.EarlyAbandons), while members inside it get their exact distance.
+//
+// The radius is the seed bound of the whole search: unlike k-NN — whose
+// pruning threshold only tightens as answers accumulate — a range query
+// starts maximally tight, so fanning one query out over the shards of a
+// partitioned corpus needs no shared state at all. Each shard search is
+// seeded with the same radius and the per-shard result lists merge by
+// concatenation; the sharded engine in internal/server does exactly that.
 func (t *Tree) RangeSearch(q *traj.Trajectory, radius float64) ([]Result, Stats) {
+	return t.rangeSeeded(q, radius)
+}
+
+// rangeSeeded walks the tree pruning subtrees whose lower bound exceeds
+// the seed limit and abandoning member evaluations at it.
+func (t *Tree) rangeSeeded(q *traj.Trajectory, radius float64) ([]Result, Stats) {
 	var st Stats
 	if t.root == nil {
 		return nil, st
@@ -72,9 +85,15 @@ func (t *Tree) NearestDissimilar(q *traj.Trajectory, k int) []Result {
 	return out
 }
 
+// sortResults orders by ascending distance with trajectory ID breaking
+// exact-distance ties, so a range result is a deterministic function of
+// the answer *set* alone — the sharded fan-out concatenates per-shard
+// lists and re-sorts with the same key, making range answers identical
+// across shard counts even when distances tie exactly.
 func sortResults(rs []Result) {
 	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && rs[j].Dist < rs[j-1].Dist; j-- {
+		for j := i; j > 0 && (rs[j].Dist < rs[j-1].Dist ||
+			(rs[j].Dist == rs[j-1].Dist && rs[j].Traj.ID < rs[j-1].Traj.ID)); j-- {
 			rs[j], rs[j-1] = rs[j-1], rs[j]
 		}
 	}

@@ -73,6 +73,12 @@ type Options struct {
 	Parallel bool
 }
 
+// WithDefaults returns o with every unset field replaced by the paper's
+// default, the normal form a built Tree reports through Tree.Options.
+// The server's snapshot loader uses it to compare a manifest's recorded
+// options (which may have been hand-edited) against the loaded shards'.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.Theta == 0 {
 		o.Theta = 0.8
@@ -163,6 +169,13 @@ func (t *Tree) Size() int { return t.size }
 // server engine keys its LRU invalidation on it. Like every Tree accessor
 // it requires the caller to serialise updates against reads.
 func (t *Tree) Generation() uint64 { return t.gen }
+
+// Options returns the tree's construction options with defaults filled
+// in. The sharded snapshot manifest records them, and the snapshot
+// loader verifies every reloaded shard carries the same parameters, so
+// a snapshot directory cannot silently mix shards from differently
+// configured engines.
+func (t *Tree) Options() Options { return t.opt }
 
 // Height returns the height of the tree (leaves have height 1).
 func (t *Tree) Height() int { return height(t.root) }

@@ -155,15 +155,29 @@ func LoadIndex(r io.Reader) (*Index, error) {
 	return trajtree.Load(r)
 }
 
-// Engine is a thread-safe concurrent query engine over an Index: KNN and
-// RangeSearch reads run concurrently, Insert/Delete/Rebuild updates are
-// serialised behind a write lock, KNNBatch fans queries across a worker
-// pool, and repeated k-NN queries hit an LRU result cache. cmd/trajserve
-// serves it over HTTP.
+// SharedBound is an atomically tightening upper bound shared by
+// concurrent searches over disjoint indexes; see Index.KNNShared.
+type SharedBound = trajtree.SharedBound
+
+// NewSharedBound returns a shared bound seeded at limit (+Inf for an
+// unconstrained search). Concurrent Index.KNNShared calls over disjoint
+// partitions of one corpus tighten it cooperatively; the per-partition
+// answers merge into the exact global k-NN set.
+func NewSharedBound(limit float64) *SharedBound { return trajtree.NewSharedBound(limit) }
+
+// Engine is a thread-safe sharded query engine: trajectories hash to
+// independent index shards, each behind its own lock, so updates
+// serialise per shard while k-NN queries fan out across all shards under
+// a shared tightening bound and merge exactly. KNNBatch fans queries
+// across a worker pool, repeated k-NN queries hit an LRU result cache,
+// and SaveSnapshot/LoadEngineSnapshot persist the whole sharded index.
+// cmd/trajserve serves it over HTTP.
 type Engine = server.Engine
 
 // EngineOptions configure an Engine; the zero value enables a 1024-entry
-// cache and GOMAXPROCS batch workers.
+// cache, GOMAXPROCS batch workers and a single shard. Set Shards for
+// per-shard update locking and parallel builds, and SnapshotDir to arm
+// POST /snapshot.
 type EngineOptions = server.Options
 
 // EngineStats is a snapshot of an Engine's traffic counters and index
@@ -183,9 +197,25 @@ func NewEngineFromIndex(idx *Index, eopt EngineOptions) *Engine {
 }
 
 // NewHTTPHandler returns the trajserve HTTP API over e: POST /knn,
-// /knn/batch, /range, /insert and GET /stats, /healthz with JSON bodies.
+// /knn/batch, /range, /insert, /delete, /rebuild, /snapshot and
+// GET /stats, /healthz with JSON bodies.
 func NewHTTPHandler(e *Engine) http.Handler {
 	return server.NewHandler(e)
+}
+
+// LoadEngineSnapshot reconstructs an engine from a sharded snapshot
+// directory written by Engine.SaveSnapshot (or POST /snapshot). The
+// shard count comes from the snapshot's manifest; the remaining options
+// apply as given.
+func LoadEngineSnapshot(dir string, eopt EngineOptions) (*Engine, error) {
+	return server.LoadSnapshot(dir, eopt)
+}
+
+// EngineSnapshotExists reports whether dir holds an engine snapshot
+// manifest; cmd/trajserve uses it to decide between loading a snapshot
+// and bulk-building from a database file.
+func EngineSnapshotExists(dir string) bool {
+	return server.SnapshotExists(dir)
 }
 
 // EDRIndex answers exact k-NN queries under EDR; it is the indexed
