@@ -10,6 +10,7 @@
 package trajmatch_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -263,7 +264,7 @@ func BenchmarkAblationVantagePoints(b *testing.B) {
 			calls := 0
 			for i := 0; i < b.N; i++ {
 				for _, q := range queries {
-					_, st := tree.KNN(q, 10)
+					_, st, _, _ := tree.SearchKNN(q, 10, nil, nil)
 					calls += st.DistanceCalls
 				}
 			}
@@ -355,7 +356,7 @@ func BenchmarkIndexKNN(b *testing.B) {
 	q := benchQueries(1)[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tree.KNN(q, 10)
+		tree.SearchKNN(q, 10, nil, nil)
 	}
 }
 
@@ -374,7 +375,7 @@ func BenchmarkTreeKNN(b *testing.B) {
 	b.ResetTimer()
 	calls, abandons := 0, 0
 	for i := 0; i < b.N; i++ {
-		_, st := tree.KNN(queries[i%len(queries)], 10)
+		_, st, _, _ := tree.SearchKNN(queries[i%len(queries)], 10, nil, nil)
 		calls += st.DistanceCalls
 		abandons += st.EarlyAbandons
 	}
@@ -424,7 +425,7 @@ func BenchmarkEngineKNNBatch(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, q := range queries {
-				tree.KNN(q, 10)
+				tree.SearchKNN(q, 10, nil, nil)
 			}
 		}
 	})
@@ -433,9 +434,12 @@ func BenchmarkEngineKNNBatch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		req := trajmatch.Query{Kind: trajmatch.QueryKNN, K: 10}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			engine.KNNBatch(queries, 10)
+			if _, err := engine.SearchBatch(context.Background(), queries, req); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("batch-cached", func(b *testing.B) {
@@ -443,10 +447,13 @@ func BenchmarkEngineKNNBatch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		engine.KNNBatch(queries, 10) // warm the cache
+		req := trajmatch.Query{Kind: trajmatch.QueryKNN, K: 10}
+		engine.SearchBatch(context.Background(), queries, req) // warm the cache
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			engine.KNNBatch(queries, 10)
+			if _, err := engine.SearchBatch(context.Background(), queries, req); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }
@@ -492,9 +499,13 @@ func BenchmarkShardedKNN(b *testing.B) {
 				b.Fatal(err)
 			}
 			before := engine.Stats()
+			req := trajmatch.Query{Kind: trajmatch.QueryKNN, K: 10}
+			ctx := context.Background()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				engine.KNN(queries[i%len(queries)], 10)
+				if _, err := engine.Search(ctx, queries[i%len(queries)], req); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.StopTimer()
 			after := engine.Stats()
@@ -527,7 +538,7 @@ func BenchmarkShardedKNN(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				bound := trajmatch.NewSharedBound(math.Inf(1))
 				for s, tree := range trees {
-					res, st := tree.KNNShared(queries[i%len(queries)], 10, bound)
+					res, st, _, _ := tree.SearchKNN(queries[i%len(queries)], 10, bound, nil)
 					per[s] = res
 					distcalls += st.DistanceCalls
 					fulls += st.DistanceCalls - st.EarlyAbandons
@@ -544,7 +555,7 @@ func BenchmarkShardedKNN(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for s, tree := range trees {
-					res, st := tree.KNN(queries[i%len(queries)], 10)
+					res, st, _, _ := tree.SearchKNN(queries[i%len(queries)], 10, nil, nil)
 					per[s] = res
 					distcalls += st.DistanceCalls
 					fulls += st.DistanceCalls - st.EarlyAbandons

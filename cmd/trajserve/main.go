@@ -1,19 +1,30 @@
-// Command trajserve serves k-NN, range and update traffic over a sharded
-// TrajTree index via JSON-over-HTTP. It loads a trajectory database (or a
-// previously written snapshot), bulk-loads hash-partitioned index shards
-// in parallel, and exposes the concurrent engine of internal/server:
+// Command trajserve serves k-NN, range, sub-trajectory and update
+// traffic over a sharded TrajTree index via JSON-over-HTTP. It loads a
+// trajectory database (or a previously written snapshot), bulk-loads
+// hash-partitioned index shards in parallel, and exposes the concurrent
+// engine of internal/server on the versioned /v1 API:
 //
-//	POST /knn        {"query": {"id": 1, "points": [[x,y,t], ...]}, "k": 10}
-//	POST /knn/batch  {"queries": [...], "k": 10}
-//	POST /range      {"query": {...}, "radius": 250.0}
-//	POST /insert     {"trajectories": [{...}, ...]}
-//	POST /delete     {"ids": [17, 42]}
-//	POST /rebuild    (no body)
-//	POST /snapshot   (no body; requires -snapshot)
-//	GET  /stats
-//	GET  /healthz
+//	POST /v1/search    {"kind": "knn"|"range"|"subknn",
+//	                    "query": {"id": 1, "points": [[x,y,t], ...]} | "queries": [...],
+//	                    "k": 10, "radius": 250.0, "limit": 0, "max_evals": 0, "with_stats": true}
+//	POST /v1/insert    {"trajectories": [{...}, ...]}
+//	POST /v1/delete    {"ids": [17, 42]}
+//	POST /v1/rebuild   (no body)
+//	POST /v1/snapshot  (no body; requires -snapshot)
+//	GET  /v1/stats
+//	GET  /v1/healthz
 //
-// GET /stats includes the bounded-kernel counters (distance_calls,
+// One search endpoint serves every query kind; a "queries" array batches
+// over the engine's worker pool. Failures answer the JSON envelope
+// {"error": ..., "code": ...}. With -query-timeout every search request
+// runs under a deadline honoured cooperatively down to the EDwP dynamic
+// program (an expiry answers 504 {"code": "deadline_exceeded"}), and a
+// client disconnect cancels its query the same way. The pre-versioning
+// routes (/knn, /knn/batch, /range, /insert, /delete, /rebuild,
+// /snapshot, /stats, /healthz) keep answering with their original wire
+// shapes plus a "Deprecation: true" header naming the /v1 successor.
+//
+// GET /v1/stats includes the bounded-kernel counters (distance_calls,
 // early_abandons, lower_bound_calls, ...) accumulated over all queries
 // plus a per-shard size/height breakdown. With -pprof the standard
 // net/http/pprof handlers are mounted under /debug/pprof/ for live CPU,
@@ -27,9 +38,9 @@
 // Usage:
 //
 //	trajgen -kind taxi -n 2000 -o db.csv
-//	trajserve -db db.csv -shards 4 -snapshot snap/ -addr :8080 -pprof
-//	curl -s localhost:8080/knn -d '{"query":{"id":0,"points":[[0,0,0],[100,50,60]]},"k":5}'
-//	curl -s -X POST localhost:8080/snapshot           # persist the index
+//	trajserve -db db.csv -shards 4 -snapshot snap/ -addr :8080 -query-timeout 5s -pprof
+//	curl -s localhost:8080/v1/search -d '{"kind":"knn","query":{"id":0,"points":[[0,0,0],[100,50,60]]},"k":5}'
+//	curl -s -X POST localhost:8080/v1/snapshot        # persist the index
 //	trajserve -snapshot snap/ -addr :8080             # instant warm boot
 //	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
 package main
@@ -64,6 +75,7 @@ func main() {
 		snapshot = flag.String("snapshot", "", "snapshot directory: load on boot if present, POST /snapshot writes here")
 		seed     = flag.Int64("seed", 1, "index build seed")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		queryTO  = flag.Duration("query-timeout", 0, "per-request search deadline, honoured down to the EDwP kernel (0 disables)")
 	)
 	flag.Parse()
 
@@ -110,7 +122,7 @@ func main() {
 		fatalf("-db is required (or -snapshot pointing at an existing snapshot)")
 	}
 
-	handler := trajmatch.NewHTTPHandler(engine)
+	handler := trajmatch.NewAPIHandler(engine, trajmatch.HandlerOptions{QueryTimeout: *queryTO})
 	if *pprofOn {
 		// Opt-in profiling: the handlers are registered explicitly on the
 		// API mux, which is the only mux this server ever serves. (The

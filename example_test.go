@@ -1,6 +1,7 @@
 package trajmatch_test
 
 import (
+	"context"
 	"fmt"
 
 	"trajmatch"
@@ -64,7 +65,8 @@ func ExampleAlignEDwP() {
 	// rep 1
 }
 
-// NewEngine wraps the index in a thread-safe engine: queries run
+// NewEngine wraps the index in a thread-safe engine whose single entry
+// point, Search, executes any query kind under a context: queries run
 // concurrently with each other, and updates are serialised against them.
 // A repeated query is answered from the LRU cache until an update
 // invalidates it.
@@ -78,16 +80,24 @@ func ExampleNewEngine() {
 	if err != nil {
 		panic(err)
 	}
+	ctx := context.Background()
 	q := trajmatch.FromXY(9, 0, 2, 10, 2)
-	res, _ := engine.KNN(q, 1)
-	fmt.Println("nearest:", res[0].Traj.ID)
+	knn1 := trajmatch.Query{Kind: trajmatch.QueryKNN, K: 1}
+	ans, err := engine.Search(ctx, q, knn1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nearest:", ans.Results[0].Traj.ID)
 
-	engine.KNN(q, 1) // identical geometry: served from the cache
+	engine.Search(ctx, q, knn1) // identical geometry: served from the cache
 	if err := engine.Insert(trajmatch.FromXY(4, 0, 2, 10, 2)); err != nil {
 		panic(err)
 	}
-	res, _ = engine.KNN(q, 1) // insert invalidated the cache; fresh answer
-	fmt.Println("after insert:", res[0].Traj.ID)
+	ans, err = engine.Search(ctx, q, knn1) // insert invalidated the cache; fresh answer
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("after insert:", ans.Results[0].Traj.ID)
 	fmt.Println("cache hits:", engine.Stats().CacheHits)
 	// Output:
 	// nearest: 2
@@ -95,9 +105,9 @@ func ExampleNewEngine() {
 	// cache hits: 1
 }
 
-// KNNBatch answers many queries on a worker pool, returning answer lists
-// in input order.
-func ExampleEngine_KNNBatch() {
+// SearchBatch answers many queries on a worker pool, returning one
+// Answer per query in input order.
+func ExampleEngine_SearchBatch() {
 	db := []*trajmatch.Trajectory{
 		trajmatch.FromXY(1, 0, 0, 10, 0),
 		trajmatch.FromXY(2, 0, 10, 10, 10),
@@ -111,15 +121,21 @@ func ExampleEngine_KNNBatch() {
 		trajmatch.FromXY(91, 0, 1, 10, 1),
 		trajmatch.FromXY(92, 0, 19, 10, 19),
 	}
-	for i, res := range engine.KNNBatch(queries, 1) {
-		fmt.Printf("query %d -> trajectory %d\n", i, res[0].Traj.ID)
+	answers, err := engine.SearchBatch(context.Background(), queries,
+		trajmatch.Query{Kind: trajmatch.QueryKNN, K: 1})
+	if err != nil {
+		panic(err)
+	}
+	for i, a := range answers {
+		fmt.Printf("query %d -> trajectory %d\n", i, a.Results[0].Traj.ID)
 	}
 	// Output:
 	// query 0 -> trajectory 1
 	// query 1 -> trajectory 3
 }
 
-// NewIndex bulk-loads a TrajTree; KNN answers are exact.
+// NewIndex bulk-loads a TrajTree; SearchKNN answers are exact (the nil
+// arguments decline a shared fan-out bound and a cancellation control).
 func ExampleNewIndex() {
 	db := []*trajmatch.Trajectory{
 		trajmatch.FromXY(1, 0, 0, 10, 0),
@@ -131,7 +147,7 @@ func ExampleNewIndex() {
 	if err != nil {
 		panic(err)
 	}
-	res, _ := idx.KNN(trajmatch.FromXY(9, 0, 2, 10, 2), 2)
+	res, _, _, _ := idx.SearchKNN(trajmatch.FromXY(9, 0, 2, 10, 2), 2, nil, nil)
 	fmt.Println(res[0].Traj.ID, res[1].Traj.ID)
 	// Output:
 	// 2 1

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -70,17 +71,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Serve the reloaded index through the concurrent engine and its
+	// unified Search API, the way a fresh process would.
+	engine := trajmatch.NewEngineFromIndex(loaded, trajmatch.EngineOptions{})
+	ctx := context.Background()
 	query := clean[0]
-	res, _ := loaded.KNN(query, 5)
+	ans, err := engine.Search(ctx, query, trajmatch.Query{Kind: trajmatch.QueryKNN, K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n5-NN of ingested trip %d after reload:\n", query.ID)
-	for i, r := range res {
+	for i, r := range ans.Results {
 		fmt.Printf("  %d. trip %-5d EDwPavg %.4f\n", i+1, r.Traj.ID, r.Dist)
 	}
 
 	// 7. Range query: everything within 1.5× the nearest non-self match.
-	radius := res[1].Dist * 1.5
-	within, _ := loaded.RangeSearch(query, radius)
-	fmt.Printf("\n%d trips within radius %.2f of trip %d\n", len(within), radius, query.ID)
+	radius := ans.Results[1].Dist * 1.5
+	within, err := engine.Search(ctx, query, trajmatch.Query{Kind: trajmatch.QueryRange, Radius: radius})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d trips within radius %.2f of trip %d\n", len(within.Results), radius, query.ID)
 }
 
 // rawStream synthesises a day of one cab: three trips with parking gaps.

@@ -3,8 +3,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"trajmatch"
 )
@@ -48,18 +50,28 @@ func main() {
 			e.BPiece[0].X, e.BPiece[0].Y, e.BPiece[1].X, e.BPiece[1].Y)
 	}
 
-	// Index a small synthetic city and ask for the query's 5 nearest trips.
+	// Index a small synthetic city and ask for the query's 5 nearest
+	// trips through the unified Search API. The context bounds the query:
+	// a fired deadline would abort the search down in the dynamic program.
 	db := trajmatch.GenerateTaxi(trajmatch.DefaultTaxiConfig(500))
-	idx, err := trajmatch.NewIndex(db, trajmatch.IndexOptions{Parallel: true, Seed: 1})
+	engine, err := trajmatch.NewEngine(db,
+		trajmatch.IndexOptions{Parallel: true, Seed: 1}, trajmatch.EngineOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
 	query := db[42]
-	results, stats := idx.KNN(query, 5)
+	ans, err := engine.Search(ctx, query, trajmatch.Query{
+		Kind: trajmatch.QueryKNN, K: 5, WithStats: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n5-NN of trip %d over %d trips "+
 		"(%d exact distances computed, %d nodes pruned):\n",
-		query.ID, idx.Size(), stats.DistanceCalls, stats.NodesPruned)
-	for rank, r := range results {
+		query.ID, engine.Size(), ans.Stats.DistanceCalls, ans.Stats.NodesPruned)
+	for rank, r := range ans.Results {
 		fmt.Printf("  %d. trip %-4d EDwPavg %.4f\n", rank+1, r.Traj.ID, r.Dist)
 	}
 }

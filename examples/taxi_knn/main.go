@@ -1,12 +1,14 @@
-// taxi_knn: the paper's headline retrieval scenario. Build a TrajTree over
-// a city of taxi trips, then compare indexed k-NN against a sequential scan
-// and the EDR index — Figs. 5(j)/6(a) in miniature — and demonstrate
-// incremental updates.
+// taxi_knn: the paper's headline retrieval scenario. Build a sharded
+// engine over a city of taxi trips, then compare indexed k-NN through
+// the unified Search API against a sequential scan and the EDR index —
+// Figs. 5(j)/6(a) in miniature — and demonstrate incremental updates.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"trajmatch"
@@ -16,34 +18,40 @@ func main() {
 	const n = 1500
 	fmt.Printf("generating %d taxi trips...\n", n)
 	db := trajmatch.GenerateTaxi(trajmatch.DefaultTaxiConfig(n))
+	ctx := context.Background()
 
 	t0 := time.Now()
-	idx, err := trajmatch.NewIndex(db[:n-100], trajmatch.IndexOptions{Parallel: true, Seed: 1})
+	engine, err := trajmatch.NewEngine(db[:n-100],
+		trajmatch.IndexOptions{Parallel: true, Seed: 1},
+		trajmatch.EngineOptions{CacheSize: -1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("TrajTree built over %d trips in %v\n", idx.Size(), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("engine built over %d trips in %v\n", engine.Size(), time.Since(t0).Round(time.Millisecond))
 
 	// Incremental inserts: the last 100 trips arrive after the bulk load.
 	t0 = time.Now()
 	for _, tr := range db[n-100:] {
-		if err := idx.Insert(tr); err != nil {
+		if err := engine.Insert(tr); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Printf("inserted 100 more trips in %v (index now %d)\n",
-		time.Since(t0).Round(time.Millisecond), idx.Size())
+		time.Since(t0).Round(time.Millisecond), engine.Size())
 
 	query := db[7].Clone()
 	query.ID = 1_000_000
 
 	const k = 10
 	t0 = time.Now()
-	indexed, stats := idx.KNN(query, k)
+	ans, err := engine.Search(ctx, query, trajmatch.Query{Kind: trajmatch.QueryKNN, K: k, WithStats: true})
+	if err != nil {
+		log.Fatal(err)
+	}
 	tIndexed := time.Since(t0)
 
 	t0 = time.Now()
-	scanned := idx.KNNBrute(query, k)
+	scanned := bruteScan(db, query, k)
 	tScan := time.Since(t0)
 
 	// The EDR competitor follows the paper's setup: EDR needs uniform
@@ -60,21 +68,38 @@ func main() {
 	fmt.Printf("\n%d-NN latency: TrajTree %v | EDwP scan %v | EDR-I index %v\n",
 		k, tIndexed.Round(time.Microsecond), tScan.Round(time.Microsecond), tEDR.Round(time.Microsecond))
 	fmt.Printf("TrajTree computed %d exact distances (%.1f%% of the database), pruned %d nodes\n",
-		stats.DistanceCalls, 100*float64(stats.DistanceCalls)/float64(idx.Size()), stats.NodesPruned)
+		ans.Stats.DistanceCalls, 100*float64(ans.Stats.DistanceCalls)/float64(engine.Size()), ans.Stats.NodesPruned)
 
 	fmt.Println("\nresults (indexed vs sequential scan):")
-	for i := range indexed {
+	for i, r := range ans.Results {
 		match := "✓"
-		if indexed[i].Dist != scanned[i].Dist {
+		if r.Dist != scanned[i] {
 			match = "✗"
 		}
-		fmt.Printf("  %2d. trip %-5d dist %.5f %s\n", i+1, indexed[i].Traj.ID, indexed[i].Dist, match)
+		fmt.Printf("  %2d. trip %-5d dist %.5f %s\n", i+1, r.Traj.ID, r.Dist, match)
 	}
 
 	// Deleting the best match re-ranks the answers.
-	best := indexed[0].Traj.ID
-	idx.Delete(best)
-	after, _ := idx.KNN(query, 1)
+	best := ans.Results[0].Traj.ID
+	engine.Delete(best)
+	after, err := engine.Search(ctx, query, trajmatch.Query{Kind: trajmatch.QueryKNN, K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nafter deleting trip %d, nearest is now trip %d (dist %.5f)\n",
-		best, after[0].Traj.ID, after[0].Dist)
+		best, after.Results[0].Traj.ID, after.Results[0].Dist)
+}
+
+// bruteScan is the "EDwP Sequential Scan" competitor: the k smallest
+// EDwPavg distances over the whole database, no index.
+func bruteScan(db []*trajmatch.Trajectory, q *trajmatch.Trajectory, k int) []float64 {
+	ds := make([]float64, len(db))
+	for i, tr := range db {
+		ds[i] = trajmatch.EDwPAvg(q, tr)
+	}
+	sort.Float64s(ds)
+	if len(ds) > k {
+		ds = ds[:k]
+	}
+	return ds
 }

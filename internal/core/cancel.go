@@ -1,0 +1,28 @@
+package core
+
+import "sync/atomic"
+
+// Cancel is a cooperative cancellation flag for the dynamic-program
+// kernels. The query layers above (trajtree, server) arm one per logical
+// query — typically from a context.Context via context.AfterFunc — and the
+// kernels poll it once per DP row, so a fired context stops an in-flight
+// EDwP evaluation after at most one more row of work instead of running
+// the quadratic program to completion.
+//
+// The flag is deliberately not a context.Context: the kernel's poll sits
+// on the hottest loop in the repository, and an atomic load is the most
+// it can afford. Ctx→flag translation happens once per query, not once
+// per row.
+//
+// A nil *Cancel never reports cancellation, so kernels take it
+// unconditionally and callers without a deadline simply pass nil.
+type Cancel struct {
+	v atomic.Bool
+}
+
+// Set marks the flag cancelled. Safe to call from any goroutine and
+// idempotent.
+func (c *Cancel) Set() { c.v.Store(true) }
+
+// Cancelled reports whether Set has been called. Safe on a nil receiver.
+func (c *Cancel) Cancelled() bool { return c != nil && c.v.Load() }

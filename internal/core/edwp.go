@@ -48,7 +48,7 @@ const (
 // Following the paper's definition, it returns 0 when both trajectories
 // have no segments and +Inf when exactly one of them has none.
 func Distance(t1, t2 *traj.Trajectory) float64 {
-	d, _ := run(t1, t2, modeGlobal, math.Inf(1))
+	d, _ := run(t1, t2, modeGlobal, math.Inf(1), nil)
 	return d
 }
 
@@ -61,7 +61,19 @@ func Distance(t1, t2 *traj.Trajectory) float64 {
 // above the bound cost a fraction of a full evaluation.
 // DistanceBounded(t1, t2, +Inf) is identical to Distance.
 func DistanceBounded(t1, t2 *traj.Trajectory, limit float64) (float64, bool) {
-	return run(t1, t2, modeGlobal, limit)
+	return run(t1, t2, modeGlobal, limit, nil)
+}
+
+// DistanceBoundedCancel is DistanceBounded with a cooperative
+// cancellation flag: once cancel fires the dynamic program stops within
+// one more DP row and the call returns (+Inf, true), exactly as if it had
+// been abandoned by the limit. The result of a cancelled call is
+// therefore meaningless on its own — callers must check their
+// cancellation source and discard the whole query, which is what the
+// trajtree search loop does. A nil cancel is identical to
+// DistanceBounded.
+func DistanceBoundedCancel(t1, t2 *traj.Trajectory, limit float64, cancel *Cancel) (float64, bool) {
+	return run(t1, t2, modeGlobal, limit, cancel)
 }
 
 // AvgDistance returns the length-normalised EDwP of Eq. 4:
@@ -80,9 +92,22 @@ func AvgDistance(t1, t2 *traj.Trajectory) float64 {
 // floating-point rounding inside the DP, and the quotient is re-checked
 // against limit afterwards so a finite result never exceeds it.
 func AvgDistanceBounded(t1, t2 *traj.Trajectory, limit float64) (float64, bool) {
+	return AvgDistanceBoundedCancel(t1, t2, limit, nil)
+}
+
+// AvgDistanceBoundedCancel is AvgDistanceBounded with a cooperative
+// cancellation flag polled at DP-row granularity; see
+// DistanceBoundedCancel for the contract. A nil cancel is identical to
+// AvgDistanceBounded.
+func AvgDistanceBoundedCancel(t1, t2 *traj.Trajectory, limit float64, cancel *Cancel) (float64, bool) {
 	sum := t1.Length() + t2.Length()
 	if sum == 0 {
-		d, _ := run(t1, t2, modeGlobal, math.Inf(1))
+		d, abandoned := run(t1, t2, modeGlobal, math.Inf(1), cancel)
+		if abandoned {
+			// With an infinite limit the only abandon source is the cancel
+			// flag; preserve the (+Inf, true) cancellation contract.
+			return math.Inf(1), true
+		}
 		if d == 0 {
 			return 0, false
 		}
@@ -93,7 +118,7 @@ func AvgDistanceBounded(t1, t2 *traj.Trajectory, limit float64) (float64, bool) 
 		raw = limit * sum
 		raw += raw * 1e-12 // keep d/sum == limit reachable despite rounding
 	}
-	d, abandoned := run(t1, t2, modeGlobal, raw)
+	d, abandoned := run(t1, t2, modeGlobal, raw, cancel)
 	if math.IsInf(d, 1) {
 		return d, abandoned
 	}
@@ -107,7 +132,7 @@ func AvgDistanceBounded(t1, t2 *traj.Trajectory, limit float64) (float64, bool) 
 // whole of q against any contiguous sub-trajectory of t (Eq. 6). It is
 // asymmetric; prefixes and suffixes of t are skipped free of charge.
 func SubDistance(q, t *traj.Trajectory) float64 {
-	d, _ := run(q, t, modeSub, math.Inf(1))
+	d, _ := run(q, t, modeSub, math.Inf(1), nil)
 	return d
 }
 
@@ -115,13 +140,21 @@ func SubDistance(q, t *traj.Trajectory) float64 {
 // exceed limit, and +Inf otherwise; the second return reports whether the
 // +Inf was caused by the limit (see DistanceBounded).
 func SubDistanceBounded(q, t *traj.Trajectory, limit float64) (float64, bool) {
-	return run(q, t, modeSub, limit)
+	return run(q, t, modeSub, limit, nil)
+}
+
+// SubDistanceBoundedCancel is SubDistanceBounded with a cooperative
+// cancellation flag polled at DP-row granularity; see
+// DistanceBoundedCancel for the contract. A nil cancel is identical to
+// SubDistanceBounded.
+func SubDistanceBoundedCancel(q, t *traj.Trajectory, limit float64, cancel *Cancel) (float64, bool) {
+	return run(q, t, modeSub, limit, cancel)
 }
 
 // PrefixDistance returns PrefixDist(q, t) of Eq. 5: all of q aligned
 // against any prefix of t (only t's suffix may be skipped).
 func PrefixDistance(q, t *traj.Trajectory) float64 {
-	d, _ := run(q, t, modePrefix, math.Inf(1))
+	d, _ := run(q, t, modePrefix, math.Inf(1), nil)
 	return d
 }
 
@@ -129,7 +162,15 @@ func PrefixDistance(q, t *traj.Trajectory) float64 {
 // does not exceed limit, and +Inf otherwise; the second return reports
 // whether the +Inf was caused by the limit (see DistanceBounded).
 func PrefixDistanceBounded(q, t *traj.Trajectory, limit float64) (float64, bool) {
-	return run(q, t, modePrefix, limit)
+	return run(q, t, modePrefix, limit, nil)
+}
+
+// PrefixDistanceBoundedCancel is PrefixDistanceBounded with a cooperative
+// cancellation flag polled at DP-row granularity; see
+// DistanceBoundedCancel for the contract. A nil cancel is identical to
+// PrefixDistanceBounded.
+func PrefixDistanceBoundedCancel(q, t *traj.Trajectory, limit float64, cancel *Cancel) (float64, bool) {
+	return run(q, t, modePrefix, limit, cancel)
 }
 
 // seg returns the spatial segment between two st-points.
@@ -179,10 +220,16 @@ func repCost(h1, a1, h2, a2 geom.Point) float64 {
 // projections come from the trajectories' caches, so steady-state calls
 // allocate nothing.
 //
+// cancel, when non-nil, is polled once per DP row (the same cadence as
+// the row-min test): a fired flag abandons the program within one more
+// row of work and the call returns (+Inf, true). Cancelled results carry
+// no information — the caller's query layer is responsible for noticing
+// the cancellation and discarding the whole query.
+//
 // The second return reports whether a +Inf result was caused by the limit
 // (abandoned early, or the completed value exceeded it) rather than by
 // degenerate inputs whose distance is genuinely infinite.
-func run(t1, t2 *traj.Trajectory, mode alignMode, limit float64) (float64, bool) {
+func run(t1, t2 *traj.Trajectory, mode alignMode, limit float64, cancel *Cancel) (float64, bool) {
 	n, m := len(t1.Points), len(t2.Points)
 	if n <= 1 {
 		if m <= 1 || mode != modeGlobal {
@@ -214,6 +261,13 @@ func run(t1, t2 *traj.Trajectory, mode alignMode, limit float64) (float64, bool)
 
 	best := inf
 	for i := 0; i < n; i++ {
+		if cancel.Cancelled() {
+			// Row-granularity cancellation poll: one atomic load per row,
+			// so a fired context stops the quadratic program after at most
+			// one more row of cells.
+			scratchPool.Put(scratch)
+			return inf, true
+		}
 		nextMin := inf
 		last1 := i == n-1
 		var e1 geom.Segment

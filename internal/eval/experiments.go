@@ -234,7 +234,7 @@ func QueryCompetitors(db []*traj.Trajectory, queries []*traj.Trajectory, ks []in
 		var tTree, tScan, tEDR, tMA time.Duration
 		for _, q := range queries {
 			t0 := time.Now()
-			tree.KNN(q, k)
+			tree.SearchKNN(q, k, nil, nil)
 			tTree += time.Since(t0)
 
 			t0 = time.Now()
@@ -395,7 +395,7 @@ func QueryVsTheta(sc Scale, thetas []float64, k int) ([]Series, error) {
 		}
 		t0 := time.Now()
 		for _, q := range queries {
-			tree.KNN(q, k)
+			tree.SearchKNN(q, k, nil, nil)
 		}
 		s.X = append(s.X, th)
 		s.Y = append(s.Y, time.Since(t0).Seconds()/float64(len(queries)))

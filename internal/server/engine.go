@@ -1,26 +1,39 @@
 // Package server wraps the TrajTree index in a sharded, thread-safe
-// query engine and exposes it over HTTP. Trajectories hash to one of N
-// independent trajtree.Tree shards (router.go), each behind its own
-// RWMutex (shard.go), so Insert/Delete/Rebuild serialise per shard
-// instead of stalling the whole index, and bulk builds construct shards
-// in parallel. A k-NN query fans out across the shards sharing one
-// atomically tightening k-th-best bound (trajtree.SharedBound): the
-// moment any shard's local answer set fills, every other shard's dynamic
-// programs abandon against that bound, and the per-shard answer lists
-// merge by (distance, ID) — the same distances as the single-tree
-// answer, with deterministic membership under exact boundary ties.
-// Range queries fan the radius out and concatenate.
+// query engine and exposes it over HTTP. The query surface is one
+// context-aware API: Engine.Search(ctx, q, Query) executes a Query
+// (kind: KNN | Range | SubKNN, plus knobs like a seed bound and an
+// evaluation budget) and returns an Answer bundling results, stats and a
+// truncation disposition; SearchBatch fans many query trajectories over
+// a worker pool. Cancellation threads cooperatively through the whole
+// stack — the shard fan-out skips un-started shards, the tree search
+// polls a flag between candidate pops, and the EDwP kernel polls it per
+// DP row — so a fired deadline stops a query within one DP row of work.
+// The per-variant methods (KNN, RangeSearch, KNNBatch) survive as thin
+// deprecated wrappers with byte-identical answers.
 //
-// On top sit a worker-pool batch API (KNNBatch), an LRU cache of k-NN
-// answers invalidated through an engine-wide generation counter, and a
-// versioned sharded snapshot (snapshot.go) that persists every shard
-// plus a manifest and reloads into an identically answering engine.
+// Trajectories hash to one of N independent trajtree.Tree shards
+// (router.go), each behind its own RWMutex (shard.go), so
+// Insert/Delete/Rebuild serialise per shard instead of stalling the
+// whole index, and bulk builds construct shards in parallel. A k-NN
+// query fans out across the shards sharing one atomically tightening
+// k-th-best bound (trajtree.SharedBound): the moment any shard's local
+// answer set fills, every other shard's dynamic programs abandon against
+// that bound, and the per-shard answer lists merge by (distance, ID) —
+// the same distances as the single-tree answer, with deterministic
+// membership under exact boundary ties. Range queries fan the radius out
+// and concatenate; sub-trajectory queries fan a bounded EDwPsub scan.
 //
-// cmd/trajserve serves the Handler in this package; the trajmatch facade
-// re-exports Engine for library users.
+// On top sit an LRU cache of k-NN answers invalidated through an
+// engine-wide generation counter, and a versioned sharded snapshot
+// (snapshot.go) that persists every shard plus a manifest and reloads
+// into an identically answering engine.
+//
+// cmd/trajserve serves the versioned HTTP surface in http.go; the
+// trajmatch facade re-exports Engine for library users.
 package server
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -217,69 +230,229 @@ func (e *Engine) Lookup(id int) *traj.Trajectory {
 	return e.shards[shardIndex(id, len(e.shards))].lookup(id)
 }
 
-// KNN answers an exact k-nearest-neighbour query, fanning out across the
-// shards with a shared tightening bound. Cached answers are returned
-// without touching any shard; the returned slice is shared with the
-// cache and must not be mutated.
-func (e *Engine) KNN(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Stats) {
-	res, st, _ := e.knn(q, k)
-	return res, st
-}
-
-// knn is KNN plus a flag reporting whether the answer came from the
-// cache — cache hits return zero Stats, which the HTTP layer surfaces
-// rather than letting them pollute pruning measurements.
-func (e *Engine) knn(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Stats, bool) {
-	res, st, cached := e.knnUnrecorded(q, k, true)
-	if !cached {
-		e.recordQueryStats(st)
+// Search executes one Query against the index, honouring ctx
+// cooperatively through the whole stack: the shard fan-out skips
+// un-started shards once ctx fires, the tree search polls a cancellation
+// flag between candidate pops, and the EDwP kernel polls it once per DP
+// row — a fired context aborts the query within one DP row of work. A
+// never-fired context leaves every answer byte-identical to the
+// deprecated per-variant methods (property-tested).
+//
+// On success the Answer carries the (distance, ID)-sorted results, the
+// per-query stats when req.WithStats is set, and Truncated when a
+// MaxEvals budget ran out before the search completed. On error —
+// ErrInvalidQuery for a malformed request, or ctx.Err() once the context
+// fires — the Answer is empty; partial work already performed still
+// lands in the engine's cumulative counters.
+//
+// Cached KNN answers are returned without touching any shard; the
+// Results slice is then shared with the cache and must not be mutated.
+func (e *Engine) Search(ctx context.Context, q *traj.Trajectory, req Query) (Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return res, st, cached
+	if q == nil {
+		return Answer{}, fmt.Errorf("%w: nil query trajectory", ErrInvalidQuery)
+	}
+	if err := req.validate(); err != nil {
+		return Answer{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Answer{}, err
+	}
+	ans, raw, err := e.searchOne(ctx, q, req, true)
+	if !ans.Cached {
+		e.recordQueryStats(raw)
+	}
+	return ans, err
 }
 
-// knnUnrecorded answers a k-NN query without folding its Stats into the
-// engine's cumulative counters; KNNBatch uses it to flush one aggregate
-// per batch instead of contending on the atomics once per query.
-// concurrent selects between a goroutine fan-out across shards (single
-// interactive queries) and an inline shard loop (batch workers, which
-// are already saturating the pool — the inline loop still shares the
-// bound, so later shards benefit from earlier shards' answers).
-func (e *Engine) knnUnrecorded(q *traj.Trajectory, k int, concurrent bool) ([]trajtree.Result, trajtree.Stats, bool) {
+// SearchBatch executes the same Query for len(qs) independent query
+// trajectories on the engine's worker pool, returning one Answer per
+// query in input order — unlike the deprecated KNNBatch, per-query Stats
+// survive (each Answer carries its own when req.WithStats is set). The
+// engine's cumulative counters accumulate every query's work exactly
+// once, flushed as one aggregate per batch to keep the workers off the
+// shared atomics.
+//
+// All queries share ctx: once it fires, finished answers keep their
+// values, un-started queries are skipped, and SearchBatch returns the
+// partial answers alongside ctx's error. Workers reuse kernel and
+// visit-set scratch from sync.Pools across their queries, so a batch
+// performs no per-query scratch allocation.
+func (e *Engine) SearchBatch(ctx context.Context, qs []*traj.Trajectory, req Query) ([]Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	for i, q := range qs {
+		if q == nil {
+			return nil, fmt.Errorf("%w: nil query trajectory at index %d", ErrInvalidQuery, i)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	answers := make([]Answer, len(qs))
+	raws := make([]trajtree.Stats, len(qs))
+	errs := make([]error, len(qs))
+	par.For(e.opt.Workers, len(qs), func(i int) {
+		answers[i], raws[i], errs[i] = e.searchOne(ctx, qs[i], req, false)
+	})
+	var total trajtree.Stats
+	for i := range raws {
+		if !answers[i].Cached {
+			total.Add(raws[i])
+		}
+	}
+	e.recordQueryStats(total)
+	if err := ctx.Err(); err != nil {
+		return answers, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return answers, err
+		}
+	}
+	return answers, nil
+}
+
+// searchOne runs one query without folding its stats into the engine
+// counters (returned raw for the caller to record — once per query for
+// Search, one aggregate per batch for SearchBatch). concurrent selects
+// between a goroutine fan-out across shards (single interactive queries)
+// and an inline shard loop (batch workers, which are already saturating
+// the pool — the inline loop still shares the bound, so later shards
+// benefit from earlier shards' answers).
+func (e *Engine) searchOne(ctx context.Context, q *traj.Trajectory, req Query, concurrent bool) (Answer, trajtree.Stats, error) {
 	e.queries.Add(1)
 	var key cacheKey
 	gen := e.gen.load()
-	if e.cache != nil {
-		key = knnKey(q, k)
+	useCache := e.cache != nil && req.cacheable()
+	if useCache {
+		key = knnKey(q, req.K)
 		if res, ok := e.cache.get(key, gen); ok {
 			e.cacheHits.Add(1)
-			return res, trajtree.Stats{}, true
+			return Answer{Results: res, Cached: true}, trajtree.Stats{}, nil
 		}
 	}
-	res, st := e.searchKNN(q, k, concurrent)
+	// The Ctl is only armed when it can matter — a cancellable context or
+	// an eval budget. Background-context, unbudgeted queries (the legacy
+	// wrappers) run the exact pre-redesign path with a nil Ctl.
+	var ctl *trajtree.Ctl
+	if ctx.Done() != nil || req.MaxEvals > 0 {
+		ctl = trajtree.NewCtl(ctx, req.MaxEvals)
+		defer ctl.Release()
+	}
+	res, st, truncated, err := e.fanout(q, req, ctl, concurrent)
+	if err != nil {
+		return Answer{}, st, err
+	}
 	// Only cache answers computed against a quiescent generation: if an
 	// update completed mid-fan-out the answer is still correct (see the
 	// Engine atomicity note) but may not correspond to any generation the
-	// cache can name, so it is simply not cached.
-	if e.cache != nil && e.gen.load() == gen {
+	// cache can name, so it is simply not cached. Truncated answers are
+	// never cached — they are not the exact KNN the key promises.
+	if useCache && !truncated && e.gen.load() == gen {
 		e.cache.put(key, gen, res)
 	}
-	return res, st, false
+	ans := Answer{Results: res, Truncated: truncated}
+	if req.WithStats {
+		ans.Stats = st
+	}
+	return ans, st, nil
 }
 
-// mergeResults concatenates per-shard answer lists, folds their stats,
-// and sorts by (distance, ID), keeping the best k when k >= 0 (pass a
-// negative k to keep everything, the range-query case). The ID
-// tie-break is the load-bearing determinism guarantee: it makes the
-// merged answer a function of the candidate set alone, independent of
-// shard count, shard order, and scheduling, even when distances tie
-// exactly. (A single-shard engine bypasses the merge entirely — it is
-// the plain tree search, whose boundary ties follow traversal order;
-// see the sharding notes in docs/ARCHITECTURE.md.)
-func mergeResults(per [][]trajtree.Result, sts []trajtree.Stats, k int) ([]trajtree.Result, trajtree.Stats) {
-	var all []trajtree.Result
+// fanout dispatches one validated query across the shards and merges the
+// per-shard answers. KNN kinds share one tightening bound (seeded with
+// the query's Limit) so a close neighbour found in any shard abandons DP
+// work in all the others; range queries are seeded by their radius and
+// need no shared state. Once ctl fires, shards whose search has not
+// started are skipped entirely and the merged answer is discarded.
+func (e *Engine) fanout(q *traj.Trajectory, req Query, ctl *trajtree.Ctl, concurrent bool) ([]trajtree.Result, trajtree.Stats, bool, error) {
+	shardRun := func(s *shard, bound *trajtree.SharedBound) ([]trajtree.Result, trajtree.Stats, bool, error) {
+		switch req.Kind {
+		case KindRange:
+			return s.searchRange(q, req.Radius, ctl)
+		case KindSubKNN:
+			return s.searchSub(q, req.K, bound, ctl)
+		default: // KindKNN; validate guarantees the kind set
+			return s.searchKNN(q, req.K, bound, ctl)
+		}
+	}
+	// One bound for both fan-out shapes: the k-NN kinds prune against a
+	// tightening bound seeded with the query's Limit, range needs none
+	// (its radius already is the bound). A single shard with no Limit
+	// keeps the legacy nil-bound fast path instead of a +Inf bound it
+	// could only tighten against itself.
+	var bound *trajtree.SharedBound
+	if req.Kind != KindRange {
+		if limit := req.seedLimit(); !math.IsInf(limit, 1) {
+			bound = trajtree.NewSharedBound(limit)
+		} else if len(e.shards) > 1 {
+			bound = trajtree.NewSharedBound(math.Inf(1))
+		}
+	}
+	if len(e.shards) == 1 {
+		return shardRun(e.shards[0], bound)
+	}
+	per := make([][]trajtree.Result, len(e.shards))
+	sts := make([]trajtree.Stats, len(e.shards))
+	truncs := make([]bool, len(e.shards))
+	errs := make([]error, len(e.shards))
+	run := func(i int) {
+		if ctl.Cancelled() {
+			// Cancellation abort for shards whose search has not started;
+			// already-running shards notice the same flag themselves.
+			errs[i] = ctl.Err()
+			return
+		}
+		per[i], sts[i], truncs[i], errs[i] = shardRun(e.shards[i], bound)
+	}
+	if concurrent {
+		par.For(e.opt.Workers, len(e.shards), run)
+	} else {
+		for i := range e.shards {
+			run(i)
+		}
+	}
+	// Fold stats before the error checks: partial work performed by
+	// shards that ran before the cancellation still counts.
 	var total trajtree.Stats
-	for i, rs := range per {
+	truncated := false
+	for i := range sts {
 		total.Add(sts[i])
+		truncated = truncated || truncs[i]
+	}
+	if err := ctl.Err(); err != nil {
+		return nil, total, false, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, total, false, err
+		}
+	}
+	k := req.K
+	if req.Kind == KindRange {
+		k = -1
+	}
+	return mergeResults(per, k), total, truncated, nil
+}
+
+// mergeResults concatenates per-shard answer lists and sorts by
+// (distance, ID), keeping the best k when k >= 0 (pass a negative k to
+// keep everything, the range-query case). The ID tie-break is the
+// load-bearing determinism guarantee: it makes the merged answer a
+// function of the candidate set alone, independent of shard count, shard
+// order, and scheduling, even when distances tie exactly. (A single-shard
+// engine bypasses the merge entirely — it is the plain tree search,
+// whose boundary ties follow traversal order; see the sharding notes in
+// docs/ARCHITECTURE.md.)
+func mergeResults(per [][]trajtree.Result, k int) []trajtree.Result {
+	var all []trajtree.Result
+	for _, rs := range per {
 		all = append(all, rs...)
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -291,76 +464,43 @@ func mergeResults(per [][]trajtree.Result, sts []trajtree.Stats, k int) ([]trajt
 	if k >= 0 && len(all) > k {
 		all = all[:k]
 	}
-	return all, total
+	return all
 }
 
-// searchKNN fans the query out across the shards and merges the
-// per-shard answers (each at most k long, so the merge sorts ≤ N·k
-// candidates).
-func (e *Engine) searchKNN(q *traj.Trajectory, k int, concurrent bool) ([]trajtree.Result, trajtree.Stats) {
-	if len(e.shards) == 1 {
-		return e.shards[0].knnShared(q, k, nil)
-	}
-	bound := trajtree.NewSharedBound(math.Inf(1))
-	per := make([][]trajtree.Result, len(e.shards))
-	sts := make([]trajtree.Stats, len(e.shards))
-	run := func(i int) {
-		per[i], sts[i] = e.shards[i].knnShared(q, k, bound)
-	}
-	if concurrent {
-		par.For(e.opt.Workers, len(e.shards), run)
-	} else {
-		for i := range e.shards {
-			run(i)
-		}
-	}
-	return mergeResults(per, sts, k)
+// KNN answers an exact k-nearest-neighbour query, fanning out across the
+// shards with a shared tightening bound.
+//
+// Deprecated: use Search with a KindKNN Query, which adds cancellation,
+// seed bounds and evaluation budgets. With a background context the
+// answers are byte-identical.
+func (e *Engine) KNN(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Stats) {
+	ans, _ := e.Search(context.Background(), q, Query{Kind: KindKNN, K: k, WithStats: true})
+	return ans.Results, ans.Stats
 }
 
 // RangeSearch returns every indexed trajectory within radius of q,
-// sorted ascending. The radius itself seeds every shard's search — range
-// fan-out needs no shared bound — and the per-shard lists concatenate
-// and re-sort. Range answers are not cached: radii are continuous, so
-// repeats are rare.
+// sorted ascending.
+//
+// Deprecated: use Search with a KindRange Query.
 func (e *Engine) RangeSearch(q *traj.Trajectory, radius float64) ([]trajtree.Result, trajtree.Stats) {
-	e.queries.Add(1)
-	if len(e.shards) == 1 {
-		res, st := e.shards[0].rangeSearch(q, radius)
-		e.recordQueryStats(st)
-		return res, st
-	}
-	per := make([][]trajtree.Result, len(e.shards))
-	sts := make([]trajtree.Stats, len(e.shards))
-	par.For(e.opt.Workers, len(e.shards), func(i int) {
-		per[i], sts[i] = e.shards[i].rangeSearch(q, radius)
-	})
-	out, total := mergeResults(per, sts, -1)
-	e.recordQueryStats(total)
-	return out, total
+	ans, _ := e.Search(context.Background(), q, Query{Kind: KindRange, Radius: radius, WithStats: true})
+	return ans.Results, ans.Stats
 }
 
 // KNNBatch answers len(qs) independent k-NN queries on the engine's
-// worker pool and returns the answers in input order. Each query visits
-// shards under their read locks independently, so a concurrent Insert
-// interleaves with a running batch instead of waiting for it to drain.
+// worker pool and returns the answers in input order.
 //
-// Workers reuse scratch across their queries: the DP rows of the bounded
-// EDwP kernel and the visited sets of the tree search live in sync.Pools
-// whose per-P caches hand each worker its previous buffers back, so a
-// batch performs no per-query scratch allocation. Per-query Stats are
-// folded into the engine counters once per batch rather than once per
-// query to keep the workers off the shared atomics.
+// Deprecated: use SearchBatch, which additionally returns per-query
+// Stats and honours a context.
 func (e *Engine) KNNBatch(qs []*traj.Trajectory, k int) [][]trajtree.Result {
+	answers, err := e.SearchBatch(context.Background(), qs, Query{Kind: KindKNN, K: k})
 	out := make([][]trajtree.Result, len(qs))
-	stats := make([]trajtree.Stats, len(qs))
-	par.For(e.opt.Workers, len(qs), func(i int) {
-		out[i], stats[i], _ = e.knnUnrecorded(qs[i], k, false)
-	})
-	var total trajtree.Stats
-	for i := range stats {
-		total.Add(stats[i])
+	if err != nil {
+		return out // invalid k: every answer list empty, as before
 	}
-	e.recordQueryStats(total)
+	for i, a := range answers {
+		out[i] = a.Results
+	}
 	return out
 }
 

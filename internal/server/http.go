@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -68,7 +70,50 @@ func toWireStats(st trajtree.Stats) WireStats {
 	}
 }
 
-// KNNRequest is the body of POST /knn.
+// SearchRequest is the body of POST /v1/search: the embedded Query's
+// own wire form (kind, k, radius, limit, max_evals, with_stats) plus
+// the query trajectory — or trajectories, for a batch; exactly one of
+// the two must be set. The kind travels in the body, so one endpoint
+// serves every search variant.
+type SearchRequest struct {
+	Query
+	QueryTraj *WireTrajectory  `json:"query,omitempty"`
+	Queries   []WireTrajectory `json:"queries,omitempty"`
+}
+
+// WireAnswer is one Answer on the wire; Stats appears only when the
+// request set with_stats.
+type WireAnswer struct {
+	Results   []Neighbor `json:"results"`
+	Stats     *WireStats `json:"stats,omitempty"`
+	Cached    bool       `json:"cached,omitempty"`
+	Truncated bool       `json:"truncated,omitempty"`
+}
+
+func toWireAnswer(a Answer, withStats bool) WireAnswer {
+	w := WireAnswer{Results: toNeighbors(a.Results), Cached: a.Cached, Truncated: a.Truncated}
+	if withStats {
+		st := toWireStats(a.Stats)
+		w.Stats = &st
+	}
+	return w
+}
+
+// SearchResponse is the body of a successful single-query POST
+// /v1/search.
+type SearchResponse struct {
+	WireAnswer
+	TookMS float64 `json:"took_ms"`
+}
+
+// SearchBatchResponse is the body of a successful batched POST
+// /v1/search: one WireAnswer per query, in request order.
+type SearchBatchResponse struct {
+	Answers []WireAnswer `json:"answers"`
+	TookMS  float64      `json:"took_ms"`
+}
+
+// KNNRequest is the body of the deprecated POST /knn.
 type KNNRequest struct {
 	Query WireTrajectory `json:"query"`
 	K     int            `json:"k"`
@@ -84,7 +129,7 @@ type KNNResponse struct {
 	TookMS  float64    `json:"took_ms"`
 }
 
-// KNNBatchRequest is the body of POST /knn/batch.
+// KNNBatchRequest is the body of the deprecated POST /knn/batch.
 type KNNBatchRequest struct {
 	Queries []WireTrajectory `json:"queries"`
 	K       int              `json:"k"`
@@ -96,7 +141,7 @@ type KNNBatchResponse struct {
 	TookMS  float64      `json:"took_ms"`
 }
 
-// RangeRequest is the body of POST /range.
+// RangeRequest is the body of the deprecated POST /range.
 type RangeRequest struct {
 	Query  WireTrajectory `json:"query"`
 	Radius float64        `json:"radius"`
@@ -109,8 +154,8 @@ type RangeResponse struct {
 	TookMS  float64    `json:"took_ms"`
 }
 
-// InsertRequest is the body of POST /insert; several trajectories may be
-// inserted in one call.
+// InsertRequest is the body of POST /v1/insert; several trajectories may
+// be inserted in one call.
 type InsertRequest struct {
 	Trajectories []WireTrajectory `json:"trajectories"`
 }
@@ -121,8 +166,8 @@ type InsertResponse struct {
 	Size     int `json:"size"`
 }
 
-// DeleteRequest is the body of POST /delete; several trajectories may be
-// removed in one call.
+// DeleteRequest is the body of POST /v1/delete; several trajectories may
+// be removed in one call.
 type DeleteRequest struct {
 	IDs []int `json:"ids"`
 }
@@ -135,14 +180,14 @@ type DeleteResponse struct {
 	Size    int   `json:"size"`
 }
 
-// RebuildResponse is the body of a successful POST /rebuild.
+// RebuildResponse is the body of a successful POST /v1/rebuild.
 type RebuildResponse struct {
 	Size   int     `json:"size"`
 	Shards int     `json:"shards"`
 	TookMS float64 `json:"took_ms"`
 }
 
-// SnapshotResponse is the body of a successful POST /snapshot.
+// SnapshotResponse is the body of a successful POST /v1/snapshot.
 type SnapshotResponse struct {
 	Dir    string  `json:"dir"`
 	Shards int     `json:"shards"`
@@ -150,177 +195,378 @@ type SnapshotResponse struct {
 	TookMS float64 `json:"took_ms"`
 }
 
-// ErrorResponse is the body of every non-2xx answer produced by the
-// handlers themselves. Routing-level rejections (404 for unknown paths,
-// 405 for wrong methods) come from net/http's ServeMux and are plain
-// text.
+// Error codes of the JSON error envelope. Machine-readable and stable;
+// the human-readable message may change freely.
+const (
+	CodeBadRequest         = "bad_request"
+	CodeInvalidQuery       = "invalid_query"
+	CodeDeadlineExceeded   = "deadline_exceeded"
+	CodeCanceled           = "canceled"
+	CodeNotFound           = "not_found"
+	CodeMethodNotAllowed   = "method_not_allowed"
+	CodePreconditionFailed = "precondition_failed"
+	CodeInternal           = "internal"
+)
+
+// ErrorResponse is the consistent JSON error envelope of every non-2xx
+// answer produced under /v1 (and, since the envelope is additive, of the
+// deprecated routes too): a human-readable message plus a stable
+// machine-readable code.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
-// NewHandler returns the HTTP surface over e:
+// HandlerOptions configure the HTTP surface. The zero value serves with
+// no per-request timeout.
+type HandlerOptions struct {
+	// QueryTimeout, when positive, bounds every search request: the
+	// request context is wrapped in a deadline that the engine honours
+	// cooperatively, and an expiry surfaces as a 504 with code
+	// "deadline_exceeded". Updates (insert/delete/rebuild/snapshot) are
+	// not bounded — aborting them midway would be worse than finishing.
+	QueryTimeout time.Duration
+}
+
+// NewAPIHandler returns the versioned HTTP surface over e:
 //
-//	POST /knn        {"query": {...}, "k": 10}
-//	POST /knn/batch  {"queries": [{...}, ...], "k": 10}
-//	POST /range      {"query": {...}, "radius": 250}
-//	POST /insert     {"trajectories": [{...}, ...]}
-//	POST /delete     {"ids": [17, 42]}
-//	POST /rebuild    (no body)
-//	POST /snapshot   (no body; 412 unless Options.SnapshotDir is set)
-//	GET  /stats
-//	GET  /healthz
-func NewHandler(e *Engine) http.Handler {
+//	POST /v1/search    {"kind": "knn"|"range"|"subknn", "query": {...} | "queries": [...],
+//	                    "k": 10, "radius": 250, "limit": 0, "max_evals": 0, "with_stats": true}
+//	POST /v1/insert    {"trajectories": [{...}, ...]}
+//	POST /v1/delete    {"ids": [17, 42]}
+//	POST /v1/rebuild   (no body)
+//	POST /v1/snapshot  (no body; 412 unless Options.SnapshotDir is set)
+//	GET  /v1/stats
+//	GET  /v1/healthz
+//
+// Every non-2xx answer is the JSON envelope {"error": ..., "code": ...}.
+// The pre-versioning routes (/knn, /knn/batch, /range, /insert, /delete,
+// /rebuild, /snapshot, /stats, /healthz) remain as aliases with their
+// original wire formats, answering with a "Deprecation: true" header and
+// a Link to their successor.
+func NewAPIHandler(e *Engine, opt HandlerOptions) http.Handler {
+	h := &api{e: e, opt: opt}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /knn", func(w http.ResponseWriter, r *http.Request) {
-		var req KNNRequest
-		if !decode(w, r, &req) {
+
+	v1 := map[string]struct {
+		method  string
+		handler http.HandlerFunc
+	}{
+		"/v1/search":   {http.MethodPost, h.search},
+		"/v1/insert":   {http.MethodPost, h.insert},
+		"/v1/delete":   {http.MethodPost, h.delete},
+		"/v1/rebuild":  {http.MethodPost, h.rebuild},
+		"/v1/snapshot": {http.MethodPost, h.snapshot},
+		"/v1/stats":    {http.MethodGet, h.stats},
+		"/v1/healthz":  {http.MethodGet, h.healthz},
+	}
+	for path, ep := range v1 {
+		mux.HandleFunc(ep.method+" "+path, ep.handler)
+	}
+	// Fallback for everything else under /v1: answer with the envelope,
+	// not net/http's plain text, so /v1 clients can always parse the
+	// body. The method-less "/v1/" pattern also shadows ServeMux's own
+	// 405 handling for the routes above, so wrong-method requests to real
+	// endpoints are distinguished here from genuinely unknown paths.
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		if ep, ok := v1[r.URL.Path]; ok {
+			w.Header().Set("Allow", ep.method)
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				fmt.Sprintf("%s requires %s, got %s", r.URL.Path, ep.method, r.Method))
 			return
 		}
-		q, err := req.Query.ToTrajectory()
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("query: %v", err))
-			return
-		}
-		if req.K <= 0 {
-			writeError(w, http.StatusBadRequest, "k must be positive")
-			return
-		}
-		t0 := time.Now()
-		res, st, cached := e.knn(q, req.K)
-		writeJSON(w, http.StatusOK, KNNResponse{
-			Results: toNeighbors(res),
-			Stats:   toWireStats(st),
-			Cached:  cached,
-			TookMS:  msSince(t0),
-		})
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path))
 	})
-	mux.HandleFunc("POST /knn/batch", func(w http.ResponseWriter, r *http.Request) {
-		var req KNNBatchRequest
-		if !decode(w, r, &req) {
-			return
-		}
-		if req.K <= 0 {
-			writeError(w, http.StatusBadRequest, "k must be positive")
-			return
-		}
-		qs := make([]*traj.Trajectory, len(req.Queries))
-		for i, wq := range req.Queries {
-			q, err := wq.ToTrajectory()
-			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
-				return
-			}
-			qs[i] = q
-		}
-		t0 := time.Now()
-		batches := e.KNNBatch(qs, req.K)
-		out := make([][]Neighbor, len(batches))
-		for i, rs := range batches {
-			out[i] = toNeighbors(rs)
-		}
-		writeJSON(w, http.StatusOK, KNNBatchResponse{Results: out, TookMS: msSince(t0)})
-	})
-	mux.HandleFunc("POST /range", func(w http.ResponseWriter, r *http.Request) {
-		var req RangeRequest
-		if !decode(w, r, &req) {
-			return
-		}
-		q, err := req.Query.ToTrajectory()
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("query: %v", err))
-			return
-		}
-		if req.Radius < 0 {
-			writeError(w, http.StatusBadRequest, "radius must be non-negative")
-			return
-		}
-		t0 := time.Now()
-		res, st := e.RangeSearch(q, req.Radius)
-		writeJSON(w, http.StatusOK, RangeResponse{
-			Results: toNeighbors(res),
-			Stats:   toWireStats(st),
-			TookMS:  msSince(t0),
-		})
-	})
-	mux.HandleFunc("POST /insert", func(w http.ResponseWriter, r *http.Request) {
-		var req InsertRequest
-		if !decode(w, r, &req) {
-			return
-		}
-		inserted := 0
-		for i, wt := range req.Trajectories {
-			tr, err := wt.ToTrajectory()
-			if err == nil {
-				err = e.Insert(tr)
-			}
-			if err != nil {
-				// Earlier trajectories stay inserted; report how far we got.
-				writeError(w, http.StatusBadRequest,
-					fmt.Sprintf("trajectory %d: %v (inserted %d before failure)", i, err, inserted))
-				return
-			}
-			inserted++
-		}
-		writeJSON(w, http.StatusOK, InsertResponse{Inserted: inserted, Size: e.Size()})
-	})
-	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) {
-		var req DeleteRequest
-		if !decode(w, r, &req) {
-			return
-		}
-		if len(req.IDs) == 0 {
-			writeError(w, http.StatusBadRequest, "ids must be non-empty")
-			return
-		}
-		resp := DeleteResponse{}
-		for _, id := range req.IDs {
-			if e.Delete(id) {
-				resp.Deleted++
-			} else {
-				resp.Missing = append(resp.Missing, id)
-			}
-		}
-		resp.Size = e.Size()
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("POST /rebuild", func(w http.ResponseWriter, r *http.Request) {
-		t0 := time.Now()
-		if err := e.Rebuild(); err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, RebuildResponse{
-			Size:   e.Size(),
-			Shards: e.Shards(),
-			TookMS: msSince(t0),
-		})
-	})
-	mux.HandleFunc("POST /snapshot", func(w http.ResponseWriter, r *http.Request) {
-		dir := e.SnapshotDir()
-		if dir == "" {
-			writeError(w, http.StatusPreconditionFailed,
-				"no snapshot directory configured (start with -snapshot or set Options.SnapshotDir)")
-			return
-		}
-		t0 := time.Now()
-		if err := e.SaveSnapshot(dir); err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, SnapshotResponse{
-			Dir:    dir,
-			Shards: e.Shards(),
-			Size:   e.Size(),
-			TookMS: msSince(t0),
-		})
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Stats())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+
+	mux.HandleFunc("POST /knn", deprecated("/v1/search", h.legacyKNN))
+	mux.HandleFunc("POST /knn/batch", deprecated("/v1/search", h.legacyKNNBatch))
+	mux.HandleFunc("POST /range", deprecated("/v1/search", h.legacyRange))
+	mux.HandleFunc("POST /insert", deprecated("/v1/insert", h.insert))
+	mux.HandleFunc("POST /delete", deprecated("/v1/delete", h.delete))
+	mux.HandleFunc("POST /rebuild", deprecated("/v1/rebuild", h.rebuild))
+	mux.HandleFunc("POST /snapshot", deprecated("/v1/snapshot", h.snapshot))
+	mux.HandleFunc("GET /stats", deprecated("/v1/stats", h.stats))
+	mux.HandleFunc("GET /healthz", deprecated("/v1/healthz", h.healthz))
 	return mux
+}
+
+// NewHandler returns the HTTP surface over e with default options.
+//
+// Deprecated: use NewAPIHandler, which takes HandlerOptions (notably the
+// per-request query timeout).
+func NewHandler(e *Engine) http.Handler {
+	return NewAPIHandler(e, HandlerOptions{})
+}
+
+// deprecated marks a legacy route's responses with the standard
+// deprecation headers pointing at its /v1 successor.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// api bundles the engine and options behind the handlers.
+type api struct {
+	e   *Engine
+	opt HandlerOptions
+}
+
+// queryCtx derives the context search handlers run under: the request's
+// own context (so a disconnecting client cancels its query) bounded by
+// the configured per-request timeout.
+func (h *api) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if h.opt.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), h.opt.QueryTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// writeSearchError maps an Engine.Search error onto the envelope.
+func writeSearchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrInvalidQuery):
+		writeError(w, http.StatusBadRequest, CodeInvalidQuery, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// Usually the client went away; the envelope is written for the
+		// rare caller still listening.
+		writeError(w, http.StatusServiceUnavailable, CodeCanceled, "query canceled")
+	default:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}
+
+func (h *api) search(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if (req.QueryTraj == nil) == (len(req.Queries) == 0) {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"exactly one of \"query\" and \"queries\" must be set")
+		return
+	}
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
+	if req.QueryTraj != nil {
+		q, err := req.QueryTraj.ToTrajectory()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("query: %v", err))
+			return
+		}
+		t0 := time.Now()
+		ans, err := h.e.Search(ctx, q, req.Query)
+		if err != nil {
+			writeSearchError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SearchResponse{
+			WireAnswer: toWireAnswer(ans, req.WithStats),
+			TookMS:     msSince(t0),
+		})
+		return
+	}
+	qs := make([]*traj.Trajectory, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := wq.ToTrajectory()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	t0 := time.Now()
+	answers, err := h.e.SearchBatch(ctx, qs, req.Query)
+	if err != nil {
+		writeSearchError(w, err)
+		return
+	}
+	out := make([]WireAnswer, len(answers))
+	for i, a := range answers {
+		out[i] = toWireAnswer(a, req.WithStats)
+	}
+	writeJSON(w, http.StatusOK, SearchBatchResponse{Answers: out, TookMS: msSince(t0)})
+}
+
+func (h *api) legacyKNN(w http.ResponseWriter, r *http.Request) {
+	var req KNNRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := req.Query.ToTrajectory()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("query: %v", err))
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "k must be positive")
+		return
+	}
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
+	t0 := time.Now()
+	ans, err := h.e.Search(ctx, q, Query{Kind: KindKNN, K: req.K, WithStats: true})
+	if err != nil {
+		writeSearchError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, KNNResponse{
+		Results: toNeighbors(ans.Results),
+		Stats:   toWireStats(ans.Stats),
+		Cached:  ans.Cached,
+		TookMS:  msSince(t0),
+	})
+}
+
+func (h *api) legacyKNNBatch(w http.ResponseWriter, r *http.Request) {
+	var req KNNBatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "k must be positive")
+		return
+	}
+	qs := make([]*traj.Trajectory, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := wq.ToTrajectory()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
+	t0 := time.Now()
+	answers, err := h.e.SearchBatch(ctx, qs, Query{Kind: KindKNN, K: req.K})
+	if err != nil {
+		writeSearchError(w, err)
+		return
+	}
+	out := make([][]Neighbor, len(answers))
+	for i, a := range answers {
+		out[i] = toNeighbors(a.Results)
+	}
+	writeJSON(w, http.StatusOK, KNNBatchResponse{Results: out, TookMS: msSince(t0)})
+}
+
+func (h *api) legacyRange(w http.ResponseWriter, r *http.Request) {
+	var req RangeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := req.Query.ToTrajectory()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("query: %v", err))
+		return
+	}
+	if req.Radius < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "radius must be non-negative")
+		return
+	}
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
+	t0 := time.Now()
+	ans, err := h.e.Search(ctx, q, Query{Kind: KindRange, Radius: req.Radius, WithStats: true})
+	if err != nil {
+		writeSearchError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RangeResponse{
+		Results: toNeighbors(ans.Results),
+		Stats:   toWireStats(ans.Stats),
+		TookMS:  msSince(t0),
+	})
+}
+
+func (h *api) insert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	inserted := 0
+	for i, wt := range req.Trajectories {
+		tr, err := wt.ToTrajectory()
+		if err == nil {
+			err = h.e.Insert(tr)
+		}
+		if err != nil {
+			// Earlier trajectories stay inserted; report how far we got.
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("trajectory %d: %v (inserted %d before failure)", i, err, inserted))
+			return
+		}
+		inserted++
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{Inserted: inserted, Size: h.e.Size()})
+}
+
+func (h *api) delete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "ids must be non-empty")
+		return
+	}
+	resp := DeleteResponse{}
+	for _, id := range req.IDs {
+		if h.e.Delete(id) {
+			resp.Deleted++
+		} else {
+			resp.Missing = append(resp.Missing, id)
+		}
+	}
+	resp.Size = h.e.Size()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *api) rebuild(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	if err := h.e.Rebuild(); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, RebuildResponse{
+		Size:   h.e.Size(),
+		Shards: h.e.Shards(),
+		TookMS: msSince(t0),
+	})
+}
+
+func (h *api) snapshot(w http.ResponseWriter, r *http.Request) {
+	dir := h.e.SnapshotDir()
+	if dir == "" {
+		writeError(w, http.StatusPreconditionFailed, CodePreconditionFailed,
+			"no snapshot directory configured (start with -snapshot or set Options.SnapshotDir)")
+		return
+	}
+	t0 := time.Now()
+	if err := h.e.SaveSnapshot(dir); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Dir:    dir,
+		Shards: h.e.Shards(),
+		Size:   h.e.Size(),
+		TookMS: msSince(t0),
+	})
+}
+
+func (h *api) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.e.Stats())
+}
+
+func (h *api) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // maxBodyBytes bounds request bodies; batch inserts of long trajectories
@@ -331,7 +577,7 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return false
 	}
 	return true
@@ -343,8 +589,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, ErrorResponse{Error: msg})
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
 }
 
 func msSince(t0 time.Time) float64 {

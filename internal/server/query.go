@@ -1,0 +1,127 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"trajmatch/internal/trajtree"
+)
+
+// ErrInvalidQuery wraps every request-validation failure of
+// Engine.Search/SearchBatch, so callers (the HTTP layer in particular)
+// can distinguish a malformed query from an execution failure with
+// errors.Is.
+var ErrInvalidQuery = errors.New("invalid query")
+
+// QueryKind selects which search a Query runs. The values are the wire
+// strings of the /v1/search endpoint.
+type QueryKind string
+
+const (
+	// KindKNN is exact k-nearest-neighbour search under EDwPavg (or
+	// cumulative EDwP per the index options): the K closest indexed
+	// trajectories.
+	KindKNN QueryKind = "knn"
+	// KindRange returns every indexed trajectory within Radius.
+	KindRange QueryKind = "range"
+	// KindSubKNN is sub-trajectory search (EDwPsub, Eq. 6): the K indexed
+	// trajectories containing the contiguous sub-trajectory best matching
+	// the whole query. Answered by a bounded scan fanned across the
+	// shards — the tree's lower bounds target whole-trajectory EDwP and
+	// do not apply.
+	KindSubKNN QueryKind = "subknn"
+)
+
+// Query is the single request type of the engine's search API: one
+// struct carries the query kind and every knob, so new parameters extend
+// a field set instead of multiplying method variants. The zero value is
+// not valid — Kind is mandatory.
+type Query struct {
+	// Kind selects the search; see the QueryKind constants.
+	Kind QueryKind `json:"kind"`
+
+	// K is the answer-set size for KindKNN and KindSubKNN; ignored by
+	// KindRange.
+	K int `json:"k,omitempty"`
+
+	// Radius is the KindRange search radius; ignored by the k-NN kinds.
+	Radius float64 `json:"radius,omitempty"`
+
+	// Limit, when positive and finite, seeds KindKNN and KindSubKNN with
+	// an external upper bound: candidates above it are pruned from the
+	// first evaluation, and the answer may hold fewer than K results. It
+	// must be admissible — a known upper bound on the true K-th best
+	// distance — or true neighbours can be cut off. 0 (or +Inf) means
+	// unbounded. Ignored by KindRange, whose Radius already is the bound.
+	Limit float64 `json:"limit,omitempty"`
+
+	// MaxEvals, when positive, caps the exact distance evaluations the
+	// query may spend across its whole shard fan-out. A query that
+	// exhausts the budget stops early and returns its best-effort answer
+	// with Answer.Truncated set — no longer exact, but bounded in cost.
+	// 0 means unlimited.
+	MaxEvals int `json:"max_evals,omitempty"`
+
+	// WithStats asks for the per-query kernel instrumentation in
+	// Answer.Stats. The engine's cumulative counters accumulate either
+	// way; this only controls the per-answer copy.
+	WithStats bool `json:"with_stats,omitempty"`
+}
+
+// validate rejects malformed queries with ErrInvalidQuery-wrapped errors.
+func (q Query) validate() error {
+	switch q.Kind {
+	case KindKNN, KindSubKNN:
+		if q.K <= 0 {
+			return fmt.Errorf("%w: k must be positive for kind %q", ErrInvalidQuery, q.Kind)
+		}
+		if q.Limit < 0 || math.IsNaN(q.Limit) {
+			return fmt.Errorf("%w: limit must be non-negative", ErrInvalidQuery)
+		}
+	case KindRange:
+		if q.Radius < 0 || math.IsNaN(q.Radius) {
+			return fmt.Errorf("%w: radius must be non-negative", ErrInvalidQuery)
+		}
+	case "":
+		return fmt.Errorf("%w: missing kind (one of %q, %q, %q)", ErrInvalidQuery, KindKNN, KindRange, KindSubKNN)
+	default:
+		return fmt.Errorf("%w: unknown kind %q (one of %q, %q, %q)", ErrInvalidQuery, q.Kind, KindKNN, KindRange, KindSubKNN)
+	}
+	if q.MaxEvals < 0 {
+		return fmt.Errorf("%w: max_evals must be non-negative", ErrInvalidQuery)
+	}
+	return nil
+}
+
+// seedLimit returns the bound the fan-out is seeded with: +Inf unless a
+// positive finite Limit was given.
+func (q Query) seedLimit() float64 {
+	if q.Limit > 0 && !math.IsInf(q.Limit, 1) {
+		return q.Limit
+	}
+	return math.Inf(1)
+}
+
+// cacheable reports whether the answer may be served from / stored into
+// the LRU cache: only plain exact k-NN — a Limit can shrink the answer
+// set and a MaxEvals budget can truncate it, so neither matches the
+// cache key's "exact KNN(q, k)" meaning.
+func (q Query) cacheable() bool {
+	return q.Kind == KindKNN && q.seedLimit() == math.Inf(1) && q.MaxEvals == 0
+}
+
+// Answer is the result of one executed Query.
+type Answer struct {
+	// Results is the answer set, sorted by (distance, ID).
+	Results []trajtree.Result
+	// Stats is this query's kernel instrumentation, populated only when
+	// the Query set WithStats (and zero for cache hits — the index was
+	// never touched).
+	Stats trajtree.Stats
+	// Cached reports that the answer came from the LRU result cache.
+	Cached bool
+	// Truncated reports that the MaxEvals budget ran out: Results holds
+	// the neighbours confirmed so far and is no longer guaranteed exact.
+	Truncated bool
+}

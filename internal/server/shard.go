@@ -18,22 +18,27 @@ type shard struct {
 	tree *trajtree.Tree
 }
 
-// knnShared runs the bound-seeded k-NN search under the shard's read
-// lock; bound may be nil for a single-shard engine.
-func (s *shard) knnShared(q *traj.Trajectory, k int, bound *trajtree.SharedBound) ([]trajtree.Result, trajtree.Stats) {
+// searchKNN runs the bound-seeded k-NN search under the shard's read
+// lock; bound may be nil for a self-contained single-shard search, and
+// ctl may be nil for an uncancellable, unbudgeted one.
+func (s *shard) searchKNN(q *traj.Trajectory, k int, bound *trajtree.SharedBound, ctl *trajtree.Ctl) ([]trajtree.Result, trajtree.Stats, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if bound == nil {
-		return s.tree.KNN(q, k)
-	}
-	return s.tree.KNNShared(q, k, bound)
+	return s.tree.SearchKNN(q, k, bound, ctl)
 }
 
-// rangeSearch runs the radius-seeded search under the read lock.
-func (s *shard) rangeSearch(q *traj.Trajectory, radius float64) ([]trajtree.Result, trajtree.Stats) {
+// searchRange runs the radius-seeded search under the read lock.
+func (s *shard) searchRange(q *traj.Trajectory, radius float64, ctl *trajtree.Ctl) ([]trajtree.Result, trajtree.Stats, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.tree.RangeSearch(q, radius)
+	return s.tree.SearchRange(q, radius, ctl)
+}
+
+// searchSub runs the bounded EDwPsub scan under the read lock.
+func (s *shard) searchSub(q *traj.Trajectory, k int, bound *trajtree.SharedBound, ctl *trajtree.Ctl) ([]trajtree.Result, trajtree.Stats, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.SearchSub(q, k, bound, ctl)
 }
 
 func (s *shard) size() int {

@@ -1,3 +1,6 @@
+// Deprecated-API regression coverage:
+//
+//lint:file-ignore SA1019 pins the deprecated engine wrappers across shard counts on purpose.
 package server
 
 import (

@@ -1,3 +1,6 @@
+// Deprecated-API regression coverage:
+//
+//lint:file-ignore SA1019 pins stats accumulation of the deprecated wrappers on purpose.
 package server
 
 import (

@@ -1,3 +1,6 @@
+// Deprecated-API regression coverage:
+//
+//lint:file-ignore SA1019 exercises the deprecated KNN/KNNWithBound/KNNShared wrappers on purpose.
 package trajtree
 
 import (

@@ -1,3 +1,6 @@
+// Deprecated-API regression coverage:
+//
+//lint:file-ignore SA1019 pins the deprecated wrappers against the bounded kernel on purpose.
 package trajtree
 
 import (

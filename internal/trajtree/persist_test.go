@@ -1,3 +1,6 @@
+// Deprecated-API regression coverage:
+//
+//lint:file-ignore SA1019 pins the deprecated wrappers across save/load on purpose.
 package trajtree
 
 import (

@@ -46,8 +46,14 @@ func (v *visitSet) mark(id int) { v.marks[id] = v.gen }
 // displaced an answer.
 //
 // KNN is safe for concurrent use provided no Insert/Delete/Rebuild runs.
+//
+// Deprecated: use SearchKNN, which additionally supports cancellation
+// and evaluation budgets. KNN(q, k) is SearchKNN(q, k, nil, nil) with
+// the truncation flag and error dropped (both are always zero without a
+// Ctl).
 func (t *Tree) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
-	return t.knnSearch(q, k, nil)
+	res, st, _, _ := t.knnSearch(q, k, nil, nil)
+	return res, st
 }
 
 // KNNWithBound is KNN seeded with an external upper bound: candidates
@@ -61,11 +67,16 @@ func (t *Tree) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
 // on the global k-th-best distance (for example a k-th best already found
 // in another shard of a partitioned corpus), otherwise true neighbours
 // can be cut off.
+//
+// Deprecated: use SearchKNN with a bound seeded at limit
+// (NewSharedBound(limit), or nil for an infinite limit).
 func (t *Tree) KNNWithBound(q *traj.Trajectory, k int, limit float64) ([]Result, Stats) {
-	if math.IsInf(limit, 1) {
-		return t.knnSearch(q, k, nil)
+	var bound *SharedBound
+	if !math.IsInf(limit, 1) {
+		bound = NewSharedBound(limit)
 	}
-	return t.knnSearch(q, k, NewSharedBound(limit))
+	res, st, _, _ := t.knnSearch(q, k, bound, nil)
+	return res, st
 }
 
 // KNNShared is the fan-out entry point: the search prunes against
@@ -76,17 +87,24 @@ func (t *Tree) KNNWithBound(q *traj.Trajectory, k int, limit float64) ([]Result,
 // other shard's search. The union of the per-shard results is a superset
 // of the global k-NN set (see SharedBound for the admissibility
 // argument); callers merge it with a k-bounded heap.
+//
+// Deprecated: use SearchKNN, which takes the same shared bound plus a
+// cancellation/budget Ctl.
 func (t *Tree) KNNShared(q *traj.Trajectory, k int, bound *SharedBound) ([]Result, Stats) {
-	return t.knnSearch(q, k, bound)
+	res, st, _, _ := t.knnSearch(q, k, bound, nil)
+	return res, st
 }
 
 // knnSearch is the common best-first search. With a nil bound it is the
 // plain Algorithm 2; with a bound it additionally prunes against — and
-// tightens — the shared limit.
-func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound) ([]Result, Stats) {
+// tightens — the shared limit. ctl (may be nil) injects cancellation —
+// polled between candidate pops here and per DP row inside the kernel —
+// and the query-wide evaluation budget; an exhausted budget stops the
+// search and marks the answer truncated.
+func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl) ([]Result, Stats, bool, error) {
 	var st Stats
 	if t.root == nil || k <= 0 {
-		return nil, st
+		return nil, st, false, ctl.Err()
 	}
 	qLen := q.Length()
 
@@ -113,13 +131,21 @@ func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound) ([]Resul
 		return limit
 	}
 
+	// truncated flips when ctl's evaluation budget runs out; the search
+	// then stops expanding and returns the best-effort answer so far.
+	truncated := false
+
 	// evaluate computes the (bounded) exact distance of tr and offers it
 	// to the answer set, reporting whether it was kept. Abandoned
 	// candidates are never offered: under a shared bound the local answer
 	// set may not be full yet, and a +Inf entry would poison it.
 	evaluate := func(tr *traj.Trajectory) bool {
+		if !ctl.take() {
+			truncated = true
+			return false
+		}
 		st.DistanceCalls++
-		d, abandoned := t.distBounded(q, tr, effLimit())
+		d, abandoned := t.distBounded(q, tr, effLimit(), ctl.cancelFlag())
 		if abandoned {
 			st.EarlyAbandons++
 			return false
@@ -133,7 +159,13 @@ func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound) ([]Resul
 		return kept
 	}
 
-	for cands.Len() > 0 {
+	for cands.Len() > 0 && !truncated {
+		if ctl.Cancelled() {
+			// Cancellation poll between candidate pops. Any in-flight
+			// kernel call the flag interrupted mis-reported its candidate
+			// as abandoned, so the whole answer is discarded here.
+			return nil, st, false, ctl.Err()
+		}
 		it := cands.Pop()
 		if it.Priority >= effLimit() {
 			// The queue is ordered by lower bound: nothing left can beat
@@ -145,6 +177,9 @@ func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound) ([]Resul
 		st.NodesVisited++
 		if c.leaf() {
 			for _, tr := range c.members {
+				if truncated {
+					break
+				}
 				if processed.has(tr.ID) {
 					continue
 				}
@@ -166,6 +201,9 @@ func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound) ([]Resul
 			})
 			misses := 0
 			for _, idx := range top {
+				if truncated {
+					break
+				}
 				tr := c.members[idx]
 				if processed.has(tr.ID) {
 					continue
@@ -191,12 +229,17 @@ func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound) ([]Resul
 		}
 	}
 
+	if err := ctl.Err(); err != nil {
+		// The context fired after the last pop (possibly poisoning the
+		// final kernel calls); the answer cannot be trusted.
+		return nil, st, false, err
+	}
 	items := ans.Items()
 	out := make([]Result, len(items))
 	for i, it := range items {
 		out[i] = Result{Traj: it.Value, Dist: it.Priority}
 	}
-	return out, st
+	return out, st, truncated, nil
 }
 
 // KNNBrute computes the exact k-NN by sequential scan with the same
@@ -216,7 +259,7 @@ func (t *Tree) KNNBrute(q *traj.Trajectory, k int) []Result {
 				if worst, full := ans.Worst(); full {
 					limit = worst
 				}
-				d, _ := t.distBounded(q, tr, limit)
+				d, _ := t.distBounded(q, tr, limit, nil)
 				ans.Offer(tr, d)
 			}
 			return

@@ -22,26 +22,42 @@ import (
 // partitioned corpus needs no shared state at all. Each shard search is
 // seeded with the same radius and the per-shard result lists merge by
 // concatenation; the sharded engine in internal/server does exactly that.
+//
+// Deprecated: use SearchRange, which additionally supports cancellation
+// and evaluation budgets. RangeSearch(q, r) is SearchRange(q, r, nil)
+// with the truncation flag and error dropped (both are always zero
+// without a Ctl).
 func (t *Tree) RangeSearch(q *traj.Trajectory, radius float64) ([]Result, Stats) {
-	return t.rangeSeeded(q, radius)
+	res, st, _, _ := t.rangeSeeded(q, radius, nil)
+	return res, st
 }
 
 // rangeSeeded walks the tree pruning subtrees whose lower bound exceeds
-// the seed limit and abandoning member evaluations at it.
-func (t *Tree) rangeSeeded(q *traj.Trajectory, radius float64) ([]Result, Stats) {
+// the seed limit and abandoning member evaluations at it. ctl (may be
+// nil) injects cancellation — polled once per visited node and per DP
+// row inside the kernel — and the query-wide evaluation budget.
+func (t *Tree) rangeSeeded(q *traj.Trajectory, radius float64, ctl *Ctl) ([]Result, Stats, bool, error) {
 	var st Stats
 	if t.root == nil {
-		return nil, st
+		return nil, st, false, ctl.Err()
 	}
 	qLen := q.Length()
 	var out []Result
+	truncated := false
 	var walk func(n *node)
 	walk = func(n *node) {
+		if truncated || ctl.Cancelled() {
+			return
+		}
 		st.NodesVisited++
 		if n.leaf() {
 			for _, tr := range n.members {
+				if !ctl.take() {
+					truncated = true
+					return
+				}
 				st.DistanceCalls++
-				d, abandoned := t.distBounded(q, tr, radius)
+				d, abandoned := t.distBounded(q, tr, radius, ctl.cancelFlag())
 				if d <= radius {
 					out = append(out, Result{Traj: tr, Dist: d})
 				} else if abandoned {
@@ -51,6 +67,9 @@ func (t *Tree) rangeSeeded(q *traj.Trajectory, radius float64) ([]Result, Stats)
 			return
 		}
 		for _, child := range n.children {
+			if truncated || ctl.Cancelled() {
+				return
+			}
 			st.LowerBoundCalls++
 			if lb := t.lower(q, qLen, child); lb > radius {
 				st.NodesPruned++
@@ -60,8 +79,13 @@ func (t *Tree) rangeSeeded(q *traj.Trajectory, radius float64) ([]Result, Stats)
 		}
 	}
 	walk(t.root)
+	if err := ctl.Err(); err != nil {
+		// A fired context may have poisoned in-flight evaluations;
+		// discard the whole answer.
+		return nil, st, false, err
+	}
 	sortResults(out)
-	return out, st
+	return out, st, truncated, nil
 }
 
 // NearestDissimilar returns the k indexed trajectories *farthest* from q —

@@ -1,0 +1,181 @@
+package trajtree
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+
+	"trajmatch/internal/core"
+	"trajmatch/internal/pqueue"
+	"trajmatch/internal/traj"
+)
+
+// Ctl carries the cooperative controls of one logical query through the
+// search stack: a cancellation flag derived from the caller's
+// context.Context, and an optional budget of exact distance evaluations.
+// One Ctl is shared by every shard search a query fans out to, so the
+// budget is global to the query and a single context firing stops all of
+// its searches.
+//
+// The search loops poll Cancelled between candidate pops (an atomic
+// load), and hand the underlying core.Cancel to the EDwP kernel, which
+// polls it once per DP row — a fired context therefore aborts a query
+// within one DP row of work, even mid-evaluation.
+//
+// A nil *Ctl is valid everywhere and means "no deadline, no budget"; the
+// search paths are then bit-identical to the pre-Ctl implementations.
+type Ctl struct {
+	ctx     context.Context
+	flag    core.Cancel
+	stop    func() bool // detaches the context watcher; nil if none armed
+	budget  atomic.Int64
+	limited bool
+}
+
+// NewCtl arms a Ctl on ctx with an optional cap on exact distance
+// evaluations (maxEvals <= 0 means unlimited). Callers must Release the
+// Ctl when the query finishes to detach the context watcher.
+func NewCtl(ctx context.Context, maxEvals int) *Ctl {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := &Ctl{ctx: ctx}
+	if maxEvals > 0 {
+		c.limited = true
+		c.budget.Store(int64(maxEvals))
+	}
+	if ctx.Done() != nil {
+		c.stop = context.AfterFunc(ctx, c.flag.Set)
+	}
+	return c
+}
+
+// Release detaches the Ctl from its context. Safe on nil and idempotent;
+// callers should defer it next to NewCtl.
+func (c *Ctl) Release() {
+	if c != nil && c.stop != nil {
+		c.stop()
+	}
+}
+
+// Cancelled reports whether the context has fired. One atomic load; safe
+// on nil.
+func (c *Ctl) Cancelled() bool { return c != nil && c.flag.Cancelled() }
+
+// Err returns the context's error once the Ctl is cancelled, and nil
+// while the query may keep running. Safe on nil.
+func (c *Ctl) Err() error {
+	if c == nil {
+		return nil
+	}
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	if c.flag.Cancelled() {
+		// The flag can only be set by the context watcher, so ctx.Err()
+		// is non-nil by now in practice; this is a belt-and-braces
+		// fallback for a Set racing the ctx bookkeeping.
+		return context.Canceled
+	}
+	return nil
+}
+
+// cancelFlag returns the kernel-facing cancellation flag (nil for a nil
+// Ctl, which the kernel treats as "never cancelled").
+func (c *Ctl) cancelFlag() *core.Cancel {
+	if c == nil {
+		return nil
+	}
+	return &c.flag
+}
+
+// take consumes one unit of the evaluation budget, reporting false when
+// the budget is exhausted. Unlimited (or nil) Ctls always grant.
+func (c *Ctl) take() bool {
+	if c == nil || !c.limited {
+		return true
+	}
+	return c.budget.Add(-1) >= 0
+}
+
+// SearchKNN is the context-aware k-nearest-neighbour entry point, the
+// search every legacy KNN variant is now a wrapper over. bound may be nil
+// (self-contained search), seeded with a finite admissible limit
+// (KNNWithBound semantics), or shared across concurrent searches of
+// disjoint trees (KNNShared semantics — each search publishes its local
+// k-th best through it). ctl may be nil for an uncancellable, unbudgeted
+// search.
+//
+// The third return reports truncation: the Ctl's evaluation budget ran
+// out and the answer holds only the neighbours confirmed so far — a
+// best-effort, no longer exact, result. A non-nil error is ctl's context
+// error; the other returns are then meaningless and must be discarded
+// (a cancelled kernel call deliberately poisons in-flight candidate
+// evaluations).
+func (t *Tree) SearchKNN(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl) ([]Result, Stats, bool, error) {
+	return t.knnSearch(q, k, bound, ctl)
+}
+
+// SearchRange is the context-aware range query: every indexed trajectory
+// within radius of q, sorted by (distance, ID). Truncation and error
+// semantics match SearchKNN.
+func (t *Tree) SearchRange(q *traj.Trajectory, radius float64, ctl *Ctl) ([]Result, Stats, bool, error) {
+	return t.rangeSeeded(q, radius, ctl)
+}
+
+// SearchSub answers sub-trajectory k-NN under EDwPsub (Eq. 6): the k
+// indexed trajectories containing the contiguous sub-trajectory that
+// best matches the whole of q. The tree's lower bounds target
+// whole-trajectory EDwP, so this is a bounded sequential scan over the
+// members — each evaluation abandons against the running k-th best (and
+// the shared bound, when searches over disjoint trees fan out together),
+// exactly like KNNBrute does for the global distance. EDwPsub is
+// inherently cumulative; the Cumulative option does not apply.
+//
+// Truncation and error semantics match SearchKNN.
+func (t *Tree) SearchSub(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl) ([]Result, Stats, bool, error) {
+	var st Stats
+	if t.root == nil || k <= 0 {
+		return nil, st, false, ctl.Err()
+	}
+	ans := pqueue.NewTopK[*traj.Trajectory](k)
+	truncated := false
+	for _, tr := range t.root.members {
+		if ctl.Cancelled() {
+			return nil, st, false, ctl.Err()
+		}
+		if !ctl.take() {
+			truncated = true
+			break
+		}
+		limit := math.Inf(1)
+		if worst, full := ans.Worst(); full {
+			limit = worst
+		}
+		if bound != nil {
+			if b := bound.Load(); b < limit {
+				limit = b
+			}
+		}
+		st.DistanceCalls++
+		d, abandoned := core.SubDistanceBoundedCancel(q, tr, limit, ctl.cancelFlag())
+		if abandoned {
+			st.EarlyAbandons++
+			continue
+		}
+		if ans.Offer(tr, d) && bound != nil {
+			if worst, full := ans.Worst(); full {
+				bound.Tighten(worst)
+			}
+		}
+	}
+	if err := ctl.Err(); err != nil {
+		return nil, st, false, err
+	}
+	items := ans.Items()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Traj: it.Value, Dist: it.Priority}
+	}
+	return out, st, truncated, nil
+}

@@ -1,0 +1,180 @@
+// Deprecated-API regression coverage:
+//
+//lint:file-ignore SA1019 compares the new Search API against the deprecated wrappers on purpose.
+package trajtree
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"trajmatch/internal/core"
+	"trajmatch/internal/traj"
+)
+
+// A nil Ctl must leave the new Search* entry points byte-identical to
+// the legacy methods they replace.
+func TestSearchNilCtlMatchesLegacy(t *testing.T) {
+	db := testDB(rand.New(rand.NewSource(3)), 150)
+	tree, err := New(db, Options{Seed: 1, LeafSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 12; it++ {
+		q := db[(it*13)%len(db)].Clone()
+		q.ID = 700_000 + it
+		k := 1 + it%9
+
+		res, st, trunc, serr := tree.SearchKNN(q, k, nil, nil)
+		want, wst := tree.KNN(q, k)
+		if serr != nil || trunc {
+			t.Fatalf("it=%d: SearchKNN(nil ctl) reported trunc=%v err=%v", it, trunc, serr)
+		}
+		sameResults(t, "SearchKNN", res, want)
+		if st != wst {
+			t.Fatalf("it=%d: stats diverge: %+v != %+v", it, st, wst)
+		}
+
+		radius := []float64{5, 25, 90}[it%3]
+		rres, rst, rtrunc, rerr := tree.SearchRange(q, radius, nil)
+		rwant, rwst := tree.RangeSearch(q, radius)
+		if rerr != nil || rtrunc {
+			t.Fatalf("it=%d: SearchRange(nil ctl) reported trunc=%v err=%v", it, rtrunc, rerr)
+		}
+		sameResults(t, "SearchRange", rres, rwant)
+		if rst != rwst {
+			t.Fatalf("it=%d: range stats diverge: %+v != %+v", it, rst, rwst)
+		}
+	}
+}
+
+// SearchSub must agree with a brute-force EDwPsub scan.
+func TestSearchSubMatchesBruteScan(t *testing.T) {
+	db := testDB(rand.New(rand.NewSource(5)), 90)
+	tree, err := New(db, Options{Seed: 1, LeafSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 8; it++ {
+		full := db[(it*7)%len(db)]
+		// Query with a fragment of a database trajectory so sub-matching
+		// has something real to find.
+		n := len(full.Points)
+		lo, hi := n/4, n/4+max(2, n/3)
+		if hi > n {
+			hi = n
+		}
+		q := traj.New(800_000+it, append([]traj.Point(nil), full.Points[lo:hi]...))
+		k := 1 + it%5
+
+		type pair struct {
+			id int
+			d  float64
+		}
+		ref := make([]pair, 0, len(db))
+		for _, tr := range db {
+			ref = append(ref, pair{tr.ID, core.SubDistance(q, tr)})
+		}
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].d != ref[j].d {
+				return ref[i].d < ref[j].d
+			}
+			return ref[i].id < ref[j].id
+		})
+
+		got, st, trunc, err := tree.SearchSub(q, k, nil, nil)
+		if err != nil || trunc {
+			t.Fatalf("it=%d: SearchSub trunc=%v err=%v", it, trunc, err)
+		}
+		if len(got) != k {
+			t.Fatalf("it=%d: %d results, want %d", it, len(got), k)
+		}
+		if st.DistanceCalls != len(db) {
+			t.Fatalf("it=%d: %d distance calls, want %d (scan)", it, st.DistanceCalls, len(db))
+		}
+		for i, r := range got {
+			if diff := math.Abs(r.Dist - ref[i].d); diff > 1e-9 {
+				t.Fatalf("it=%d rank %d: dist %v, brute %v (T%d vs T%d)",
+					it, i, r.Dist, ref[i].d, r.Traj.ID, ref[i].id)
+			}
+		}
+	}
+}
+
+// A cancelled context surfaces as the context's error from every search
+// path, pre-fired or fired mid-search.
+func TestSearchCancelledContext(t *testing.T) {
+	db := testDB(rand.New(rand.NewSource(9)), 120)
+	tree, err := New(db, Options{Seed: 1, LeafSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := db[11].Clone()
+	q.ID = 900_001
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctl := NewCtl(ctx, 0)
+	defer ctl.Release()
+
+	if _, _, _, err := tree.SearchKNN(q, 5, nil, ctl); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SearchKNN on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, _, _, err := tree.SearchRange(q, 50, ctl); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SearchRange on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, _, _, err := tree.SearchSub(q, 5, nil, ctl); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SearchSub on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// An exhausted evaluation budget truncates the search instead of
+// erroring, and the budget is respected exactly.
+func TestSearchBudgetTruncates(t *testing.T) {
+	db := testDB(rand.New(rand.NewSource(13)), 140)
+	tree, err := New(db, Options{Seed: 1, LeafSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := db[17].Clone()
+	q.ID = 900_002
+
+	_, full, _, _ := tree.SearchKNN(q, 10, nil, nil)
+	budget := full.DistanceCalls / 2
+	if budget == 0 {
+		t.Fatalf("full search made no distance calls")
+	}
+
+	ctl := NewCtl(context.Background(), budget)
+	defer ctl.Release()
+	res, st, trunc, err := tree.SearchKNN(q, 10, nil, ctl)
+	if err != nil {
+		t.Fatalf("budgeted search errored: %v", err)
+	}
+	if !trunc {
+		t.Fatalf("budget %d of %d evals did not truncate", budget, full.DistanceCalls)
+	}
+	if st.DistanceCalls > budget {
+		t.Fatalf("made %d distance calls, budget %d", st.DistanceCalls, budget)
+	}
+	if len(res) == 0 {
+		t.Fatalf("truncated search returned no best-effort results")
+	}
+
+	// A budget covering the full search changes nothing and reports no
+	// truncation.
+	ctl2 := NewCtl(context.Background(), full.DistanceCalls)
+	defer ctl2.Release()
+	res2, st2, trunc2, err := tree.SearchKNN(q, 10, nil, ctl2)
+	if err != nil || trunc2 {
+		t.Fatalf("exact-budget search trunc=%v err=%v", trunc2, err)
+	}
+	want, _ := tree.KNN(q, 10)
+	sameResults(t, "exact-budget", res2, want)
+	if st2.DistanceCalls != full.DistanceCalls {
+		t.Fatalf("exact-budget made %d calls, want %d", st2.DistanceCalls, full.DistanceCalls)
+	}
+}

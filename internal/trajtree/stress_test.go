@@ -1,3 +1,6 @@
+// Deprecated-API regression coverage:
+//
+//lint:file-ignore SA1019 pins the deprecated KNN wrapper under churn on purpose.
 package trajtree
 
 import (

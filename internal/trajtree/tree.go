@@ -195,7 +195,7 @@ func height(n *node) int {
 
 // dist is the query distance: EDwPavg by default (Section V-A).
 func (t *Tree) dist(a, b *traj.Trajectory) float64 {
-	d, _ := t.distBounded(a, b, math.Inf(1))
+	d, _ := t.distBounded(a, b, math.Inf(1), nil)
 	return d
 }
 
@@ -206,12 +206,14 @@ func (t *Tree) dist(a, b *traj.Trajectory) float64 {
 // rather than from a genuinely infinite distance. Every query path passes
 // its current pruning threshold (the k-th best distance for KNN, the
 // radius for RangeSearch) so candidates that cannot enter the answer are
-// rejected at a fraction of a full evaluation's cost.
-func (t *Tree) distBounded(a, b *traj.Trajectory, limit float64) (float64, bool) {
+// rejected at a fraction of a full evaluation's cost. cancel (may be
+// nil) is the query's cooperative cancellation flag, polled by the
+// kernel once per DP row.
+func (t *Tree) distBounded(a, b *traj.Trajectory, limit float64, cancel *core.Cancel) (float64, bool) {
 	if t.opt.Cumulative {
-		return core.DistanceBounded(a, b, limit)
+		return core.DistanceBoundedCancel(a, b, limit, cancel)
 	}
-	return core.AvgDistanceBounded(a, b, limit)
+	return core.AvgDistanceBoundedCancel(a, b, limit, cancel)
 }
 
 // lower bounds EDwP-or-EDwPavg distance from q to every member below n.

@@ -18,8 +18,8 @@
 //	b := trajmatch.FromXY(2, 0, 0, 5, 5)
 //	d := trajmatch.EDwPAvg(a, b)
 //
-//	idx, err := trajmatch.NewIndex(db, trajmatch.IndexOptions{})
-//	results, stats := idx.KNN(query, 10)
+//	engine, err := trajmatch.NewEngine(db, trajmatch.IndexOptions{}, trajmatch.EngineOptions{})
+//	ans, err := engine.Search(ctx, query, trajmatch.Query{Kind: trajmatch.QueryKNN, K: 10})
 package trajmatch
 
 import (
@@ -167,12 +167,41 @@ func NewSharedBound(limit float64) *SharedBound { return trajtree.NewSharedBound
 
 // Engine is a thread-safe sharded query engine: trajectories hash to
 // independent index shards, each behind its own lock, so updates
-// serialise per shard while k-NN queries fan out across all shards under
-// a shared tightening bound and merge exactly. KNNBatch fans queries
-// across a worker pool, repeated k-NN queries hit an LRU result cache,
-// and SaveSnapshot/LoadEngineSnapshot persist the whole sharded index.
-// cmd/trajserve serves it over HTTP.
+// serialise per shard while queries fan out across all shards under a
+// shared tightening bound and merge exactly. The query surface is
+// Engine.Search(ctx, q, Query) — one context-aware entry point for k-NN,
+// range and sub-trajectory search — plus Engine.SearchBatch for many
+// query trajectories on a worker pool. Repeated k-NN queries hit an LRU
+// result cache, and SaveSnapshot/LoadEngineSnapshot persist the whole
+// sharded index. cmd/trajserve serves it over HTTP.
 type Engine = server.Engine
+
+// Query is the single request type of Engine.Search: the query kind
+// (QueryKNN | QueryRange | QuerySubKNN) plus every knob — K, Radius, an
+// admissible seed Limit, a MaxEvals budget, WithStats.
+type Query = server.Query
+
+// QueryKind selects which search a Query runs.
+type QueryKind = server.QueryKind
+
+// The query kinds of Engine.Search.
+const (
+	// QueryKNN is exact k-nearest-neighbour search.
+	QueryKNN = server.KindKNN
+	// QueryRange returns everything within Query.Radius.
+	QueryRange = server.KindRange
+	// QuerySubKNN is sub-trajectory search under EDwPsub (Eq. 6),
+	// answered by a bounded scan fanned across the shards.
+	QuerySubKNN = server.KindSubKNN
+)
+
+// Answer is the result of one executed Query: the (distance, ID)-sorted
+// results plus stats, cache and truncation dispositions.
+type Answer = server.Answer
+
+// ErrInvalidQuery wraps every request-validation failure of
+// Engine.Search and Engine.SearchBatch.
+var ErrInvalidQuery = server.ErrInvalidQuery
 
 // EngineOptions configure an Engine; the zero value enables a 1024-entry
 // cache, GOMAXPROCS batch workers and a single shard. Set Shards for
@@ -196,11 +225,27 @@ func NewEngineFromIndex(idx *Index, eopt EngineOptions) *Engine {
 	return server.NewEngine(idx, eopt)
 }
 
-// NewHTTPHandler returns the trajserve HTTP API over e: POST /knn,
-// /knn/batch, /range, /insert, /delete, /rebuild, /snapshot and
-// GET /stats, /healthz with JSON bodies.
+// HandlerOptions configure the HTTP surface, notably the per-request
+// query timeout honoured cooperatively through the whole search stack.
+type HandlerOptions = server.HandlerOptions
+
+// NewAPIHandler returns the versioned trajserve HTTP API over e:
+// POST /v1/search (one endpoint — the query kind travels in the body,
+// and a "queries" array batches), /v1/insert, /v1/delete, /v1/rebuild,
+// /v1/snapshot and GET /v1/stats, /v1/healthz, all with JSON bodies and
+// a consistent {"error", "code"} envelope on failure. The pre-versioning
+// routes remain as aliases answering with a Deprecation header.
+func NewAPIHandler(e *Engine, opt HandlerOptions) http.Handler {
+	return server.NewAPIHandler(e, opt)
+}
+
+// NewHTTPHandler returns the trajserve HTTP API over e with default
+// options.
+//
+// Deprecated: use NewAPIHandler, which takes HandlerOptions (notably
+// the per-request query timeout).
 func NewHTTPHandler(e *Engine) http.Handler {
-	return server.NewHandler(e)
+	return server.NewAPIHandler(e, server.HandlerOptions{})
 }
 
 // LoadEngineSnapshot reconstructs an engine from a sharded snapshot

@@ -46,7 +46,7 @@ func TestFacadeIndexAndGenerators(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := db[0]
-	res, stats := idx.KNN(q, 5)
+	res, stats, _, _ := idx.SearchKNN(q, 5, nil, nil)
 	if len(res) != 5 {
 		t.Fatalf("kNN returned %d results", len(res))
 	}
