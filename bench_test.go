@@ -568,3 +568,41 @@ func BenchmarkShardedKNN(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBackendKNN compares the three pluggable metric backends —
+// EDwP over the TrajTree, DTW and EDR over their bound-ordered flat
+// scans — answering the same k-NN workload through the same engine
+// Search path (ISSUE 5). Per-metric distcalls/query makes the pruning
+// structures comparable beyond wall clock: the tree prunes whole
+// subtrees by lower bound, the flat indexes prune candidates by theirs
+// and abandon the rest mid-DP. The result cache is disabled so every
+// query pays full price.
+func BenchmarkBackendKNN(b *testing.B) {
+	db := benchTaxi()
+	queries := benchQueries(16)
+	iopt := trajmatch.IndexOptions{NumVPs: 20, PivotCandidates: 32, Seed: 1}
+	engine, err := trajmatch.NewMultiEngine(db,
+		[]string{trajmatch.MetricNameEDwP, trajmatch.MetricNameDTW, trajmatch.MetricNameEDR},
+		iopt, trajmatch.EngineOptions{CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, metric := range engine.Metrics() {
+		b.Run(metric, func(b *testing.B) {
+			req := trajmatch.Query{Kind: trajmatch.QueryKNN, K: 10, Metric: metric, WithStats: true}
+			distcalls, abandons := 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ans, err := engine.Search(context.Background(), queries[i%len(queries)], req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				distcalls += ans.Stats.DistanceCalls
+				abandons += ans.Stats.EarlyAbandons
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(distcalls)/float64(b.N), "distcalls/query")
+			b.ReportMetric(float64(abandons)/float64(b.N), "abandons/query")
+		})
+	}
+}

@@ -1,10 +1,12 @@
 // Command trajserve serves k-NN, range, sub-trajectory and update
-// traffic over a sharded TrajTree index via JSON-over-HTTP. It loads a
+// traffic over sharded metric indexes via JSON-over-HTTP. It loads a
 // trajectory database (or a previously written snapshot), bulk-loads
-// hash-partitioned index shards in parallel, and exposes the concurrent
-// engine of internal/server on the versioned /v1 API:
+// hash-partitioned index shards in parallel for every metric named by
+// -metrics (edwp — the TrajTree index and the default — plus the flat
+// dtw and edr comparison indexes, all over the same corpus), and exposes
+// the concurrent engine of internal/server on the versioned /v1 API:
 //
-//	POST /v1/search    {"kind": "knn"|"range"|"subknn",
+//	POST /v1/search    {"kind": "knn"|"range"|"subknn", "metric": "edwp"|"dtw"|"edr",
 //	                    "query": {"id": 1, "points": [[x,y,t], ...]} | "queries": [...],
 //	                    "k": 10, "radius": 250.0, "limit": 0, "max_evals": 0, "with_stats": true}
 //	POST /v1/insert    {"trajectories": [{...}, ...]}
@@ -14,19 +16,25 @@
 //	GET  /v1/stats
 //	GET  /v1/healthz
 //
-// One search endpoint serves every query kind; a "queries" array batches
-// over the engine's worker pool. Failures answer the JSON envelope
-// {"error": ..., "code": ...}. With -query-timeout every search request
-// runs under a deadline honoured cooperatively down to the EDwP dynamic
-// program (an expiry answers 504 {"code": "deadline_exceeded"}), and a
-// client disconnect cancels its query the same way. The pre-versioning
-// routes (/knn, /knn/batch, /range, /insert, /delete, /rebuild,
-// /snapshot, /stats, /healthz) keep answering with their original wire
-// shapes plus a "Deprecation: true" header naming the /v1 successor.
+// One search endpoint serves every query kind and metric; a "queries"
+// array batches over the engine's worker pool. Failures answer the JSON
+// envelope {"error": ..., "code": ...} — an unregistered "metric" is 400
+// {"code": "unknown_metric"}, a registered one not booted by -metrics is
+// 400 {"code": "metric_not_loaded"}, and operations the loaded backends
+// cannot perform (updates or sub-trajectory search with dtw/edr loaded)
+// are 501 {"code": "not_implemented"}. With -query-timeout every search
+// request runs under a deadline honoured cooperatively down to the
+// distance dynamic programs of every metric (an expiry answers 504
+// {"code": "deadline_exceeded"}), and a client disconnect cancels its
+// query the same way. The pre-versioning routes (/knn, /knn/batch,
+// /range, /insert, /delete, /rebuild, /snapshot, /stats, /healthz) keep
+// answering with their original wire shapes plus a "Deprecation: true"
+// header naming the /v1 successor.
 //
 // GET /v1/stats includes the bounded-kernel counters (distance_calls,
-// early_abandons, lower_bound_calls, ...) accumulated over all queries
-// plus a per-shard size/height breakdown. With -pprof the standard
+// early_abandons, lower_bound_calls, ...) accumulated over all queries,
+// a per-metric breakdown with each backend's capability set, and a
+// per-shard size/height breakdown. With -pprof the standard
 // net/http/pprof handlers are mounted under /debug/pprof/ for live CPU,
 // heap and contention profiling.
 //
@@ -38,8 +46,9 @@
 // Usage:
 //
 //	trajgen -kind taxi -n 2000 -o db.csv
-//	trajserve -db db.csv -shards 4 -snapshot snap/ -addr :8080 -query-timeout 5s -pprof
+//	trajserve -db db.csv -metrics edwp,dtw,edr -shards 4 -snapshot snap/ -addr :8080 -query-timeout 5s -pprof
 //	curl -s localhost:8080/v1/search -d '{"kind":"knn","query":{"id":0,"points":[[0,0,0],[100,50,60]]},"k":5}'
+//	curl -s localhost:8080/v1/search -d '{"kind":"knn","metric":"dtw","query":{"id":0,"points":[[0,0,0],[100,50,60]]},"k":5}'
 //	curl -s -X POST localhost:8080/v1/snapshot        # persist the index
 //	trajserve -snapshot snap/ -addr :8080             # instant warm boot
 //	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
@@ -75,9 +84,15 @@ func main() {
 		snapshot = flag.String("snapshot", "", "snapshot directory: load on boot if present, POST /snapshot writes here")
 		seed     = flag.Int64("seed", 1, "index build seed")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		queryTO  = flag.Duration("query-timeout", 0, "per-request search deadline, honoured down to the EDwP kernel (0 disables)")
+		queryTO  = flag.Duration("query-timeout", 0, "per-request search deadline, honoured down to the distance kernels (0 disables)")
+		metricsF = flag.String("metrics", "edwp", "comma-separated metric backends to boot over the database (edwp, dtw, edr); the first is the default of /v1/search")
 	)
 	flag.Parse()
+
+	metricNames, err := parseMetrics(*metricsF)
+	if err != nil {
+		fatalf("-metrics: %v", err)
+	}
 
 	eopt := trajmatch.EngineOptions{
 		CacheSize:   *cache,
@@ -86,26 +101,27 @@ func main() {
 		SnapshotDir: *snapshot,
 	}
 	var engine *trajmatch.Engine
-	var err error
 	t0 := time.Now()
 	switch {
 	case trajmatch.EngineSnapshotExists(*snapshot):
 		if *dbPath != "" {
 			log.Printf("warning: snapshot %s exists; ignoring -db %s and the build flags (-theta/-vps/-cumulative/-seed) — remove the snapshot directory to rebuild from the database", *snapshot, *dbPath)
 		}
-		engine, err = trajmatch.LoadEngineSnapshot(*snapshot, eopt)
+		// The snapshot persists the tree-backed EDwP set; any other
+		// requested metric is rebuilt from the loaded corpus.
+		engine, err = trajmatch.LoadEngineSnapshotMetrics(*snapshot, metricNames, eopt)
 		if err != nil {
 			fatalf("load snapshot: %v", err)
 		}
 		if engine.Shards() != *shards && *shards != 1 {
 			log.Printf("warning: -shards %d ignored; snapshot manifest fixes the shard count at %d (placement depends on it)", *shards, engine.Shards())
 		}
-		log.Printf("loaded snapshot %s: %d trajectories in %d shards (height %d) in %v",
-			*snapshot, engine.Size(), engine.Shards(), engine.Height(),
+		log.Printf("loaded snapshot %s: %d trajectories in %d shards (height %d), metrics %v, in %v",
+			*snapshot, engine.Size(), engine.Shards(), engine.Height(), engine.Metrics(),
 			time.Since(t0).Round(time.Millisecond))
 	case *dbPath != "":
 		db := readFile(*dbPath)
-		engine, err = trajmatch.NewEngine(db, trajmatch.IndexOptions{
+		engine, err = trajmatch.NewMultiEngine(db, metricNames, trajmatch.IndexOptions{
 			Theta:      *theta,
 			NumVPs:     *vps,
 			Cumulative: *cumula,
@@ -115,8 +131,8 @@ func main() {
 		if err != nil {
 			fatalf("build: %v", err)
 		}
-		log.Printf("indexed %d trajectories in %d shards (height %d) in %v",
-			engine.Size(), engine.Shards(), engine.Height(),
+		log.Printf("indexed %d trajectories in %d shards (height %d), metrics %v, in %v",
+			engine.Size(), engine.Shards(), engine.Height(), engine.Metrics(),
 			time.Since(t0).Round(time.Millisecond))
 	default:
 		fatalf("-db is required (or -snapshot pointing at an existing snapshot)")
@@ -178,6 +194,35 @@ func logRequests(next http.Handler) http.Handler {
 		next.ServeHTTP(w, r)
 		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(t0).Round(time.Microsecond))
 	})
+}
+
+// parseMetrics splits and validates the -metrics list against the
+// registered backends, so a typo fails at boot instead of per query.
+func parseMetrics(s string) ([]string, error) {
+	known := map[string]bool{}
+	for _, n := range trajmatch.RegisteredMetrics() {
+		known[n] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown metric %q (registered: %s)", name, strings.Join(trajmatch.RegisteredMetrics(), ", "))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate metric %q", name)
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no metrics specified")
+	}
+	return out, nil
 }
 
 func readFile(path string) []*trajmatch.Trajectory {

@@ -1,0 +1,133 @@
+// Package backend defines the contract between the serving engine and a
+// metric index: one Backend interface capturing what the engine actually
+// needs — k-NN and range search under a Ctl (cancellation + evaluation
+// budget) and an optional SharedBound — plus the unified Result/Stats
+// types every implementation answers with, capability interfaces for the
+// operations not every metric can support (sub-trajectory search,
+// mutation, persistence), and a registry of known metric names.
+//
+// The package deliberately depends only on the trajectory model and the
+// kernel cancellation flag, so any index implementation can adopt it
+// without pulling in the engine: trajtree (the reference implementation,
+// fully capable) aliases these types directly, and the flat DTW/EDR
+// indexes implement the interface over the shared bound-ordered scan
+// (scan.go). The sharded engine in internal/server is generic over
+// Backend — sharding, shared-bound fan-out, caching, cancellation and
+// stats accounting are written once and serve every metric. (Snapshot
+// persistence is the one capability the engine recognises by concrete
+// type rather than an interface here, because the stream format is
+// tree-specific; see the server's snapshot notes.)
+package backend
+
+import (
+	"errors"
+
+	"trajmatch/internal/traj"
+)
+
+// Result is one search answer: a matched trajectory and its distance
+// under the backend's metric. All backends share this type, so the
+// engine's merge, cache and wire layers never see a metric-specific
+// answer shape.
+type Result struct {
+	Traj *traj.Trajectory
+	Dist float64
+}
+
+// Stats is per-query work instrumentation, shared by every backend. The
+// counters were named for the tree search but map naturally onto flat
+// bound-ordered scans too: DistanceCalls counts exact metric evaluations
+// started, EarlyAbandons the ones the bounded kernel cut short,
+// LowerBoundCalls the admissible lower bounds computed, NodesPruned the
+// candidates (or subtrees) rejected by a bound alone, and NodesVisited
+// the index nodes expanded (zero for a flat index).
+type Stats struct {
+	// DistanceCalls counts exact metric evaluations (possibly abandoned).
+	DistanceCalls int
+	// LowerBoundCalls counts admissible lower-bound evaluations.
+	LowerBoundCalls int
+	// NodesVisited counts index nodes expanded during the search.
+	NodesVisited int
+	// NodesPruned counts nodes or candidates discarded by a bound test
+	// without an exact evaluation.
+	NodesPruned int
+	// EarlyAbandons counts exact evaluations the bounded kernel cut short
+	// because no completion could beat the current pruning threshold.
+	// DistanceCalls - EarlyAbandons is the number of full evaluations.
+	EarlyAbandons int
+}
+
+// Add accumulates o into s; the engine uses it to fold per-shard and
+// per-query stats into cumulative counters.
+func (s *Stats) Add(o Stats) {
+	s.DistanceCalls += o.DistanceCalls
+	s.LowerBoundCalls += o.LowerBoundCalls
+	s.NodesVisited += o.NodesVisited
+	s.NodesPruned += o.NodesPruned
+	s.EarlyAbandons += o.EarlyAbandons
+}
+
+// Backend is one shard's worth of metric index: the minimal surface the
+// engine needs to build, route and answer queries. Implementations must
+// support concurrent searches; the engine serialises every mutation
+// (capability Mutable) against searches through a per-shard lock.
+//
+// Search contract, shared by all methods: bound may be nil (a
+// self-contained search) or shared across concurrent searches of disjoint
+// shards — the search may prune and abandon against it, and should
+// publish its local k-th best through Tighten the moment its answer set
+// fills, but ignoring the bound is merely slower, never wrong. ctl may be
+// nil (uncancellable, unbudgeted); otherwise the search must poll
+// Cancelled between candidate evaluations and hand CancelFlag to its DP
+// kernel so a fired context aborts within one row of work. Returns are
+// the (distance, ID)-deterministic answer list, the per-query Stats, a
+// truncation flag (the Ctl's evaluation budget ran out; the answer is
+// best-effort), and ctl's context error — when non-nil, the other returns
+// are meaningless and must be discarded.
+type Backend interface {
+	// Size returns the number of indexed trajectories.
+	Size() int
+	// Lookup returns the indexed trajectory with the given ID, or nil.
+	Lookup(id int) *traj.Trajectory
+	// SearchKNN answers exact k-nearest-neighbour search under the
+	// backend's metric, sorted by (distance, ID).
+	SearchKNN(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl) ([]Result, Stats, bool, error)
+	// SearchRange returns every indexed trajectory within radius of q,
+	// sorted by (distance, ID).
+	SearchRange(q *traj.Trajectory, radius float64, ctl *Ctl) ([]Result, Stats, bool, error)
+}
+
+// SubSearcher is the capability interface for sub-trajectory search
+// (EDwPsub, Eq. 6). Backends whose metric has no sub-trajectory form
+// simply do not implement it; the engine answers ErrNotSupported.
+type SubSearcher interface {
+	SearchSub(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl) ([]Result, Stats, bool, error)
+}
+
+// Mutable is the capability interface for in-place updates. The engine
+// only accepts Insert/Delete/Rebuild when every loaded backend is
+// Mutable — a partial update would let the metrics' views of the corpus
+// diverge — and answers ErrNotSupported otherwise.
+type Mutable interface {
+	Insert(tr *traj.Trajectory) error
+	Delete(id int) bool
+	Rebuild() error
+}
+
+// ErrNotSupported reports that a backend lacks the capability an
+// operation needs (mutation on a static index, sub-trajectory search on
+// a metric without one). The HTTP layer maps it to 501 not_implemented.
+var ErrNotSupported = errors.New("not supported by backend")
+
+// Spec names a bootable metric backend and knows how to build one
+// Backend per shard partition. Build is called once per shard with that
+// shard's slice of the database; any whole-database parameters (an ε
+// derived from global statistics, tree options) must be fixed inside the
+// closure before sharding, so every shard agrees on them.
+type Spec struct {
+	// Name is the metric identifier ("edwp", "dtw", "edr"); it must be
+	// registered via Register.
+	Name string
+	// Build constructs one shard's backend over db.
+	Build func(db []*traj.Trajectory) (Backend, error)
+}

@@ -1,0 +1,45 @@
+package backend
+
+import (
+	"sort"
+	"sync"
+)
+
+// The registry is the set of metric names the build knows about: every
+// index package registers its identifier from an init function, so a
+// binary that links a backend automatically knows its name. The serving
+// stack uses the set to distinguish a mistyped metric ("unknown_metric")
+// from a known one that was simply not booted ("metric_not_loaded"), and
+// to list the valid spellings in error messages.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]bool{}
+)
+
+// Register adds name to the set of known metric identifiers. Index
+// packages call it from init; registering the same name twice is a no-op
+// so tests may re-register freely.
+func Register(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = true
+}
+
+// Known reports whether name is a registered metric identifier.
+func Known(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[name]
+}
+
+// Names returns the sorted registered metric identifiers.
+func Names() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}

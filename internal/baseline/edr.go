@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"trajmatch/internal/core"
 	"trajmatch/internal/traj"
 )
 
@@ -19,23 +20,36 @@ func (EDR) Name() string { return "EDR" }
 
 // Dist implements Metric.
 func (e EDR) Dist(a, b *traj.Trajectory) float64 {
-	return float64(e.edits(a.Points, b.Points, -1))
+	d, _ := e.edits(a.Points, b.Points, -1, nil)
+	return float64(d)
 }
 
 // DistEarlyAbandon computes EDR but returns early with a value > bound as
 // soon as the distance probably exceeds bound (bound < 0 disables). The EDR
 // index uses this to cut off hopeless candidates.
 func (e EDR) DistEarlyAbandon(a, b *traj.Trajectory, bound int) float64 {
-	return float64(e.edits(a.Points, b.Points, bound))
+	d, _ := e.edits(a.Points, b.Points, bound, nil)
+	return float64(d)
 }
 
-func (e EDR) edits(P, Q []traj.Point, bound int) int {
+// DistEarlyAbandonCancel is DistEarlyAbandon with a cooperative
+// cancellation flag polled once per DP row, plus an explicit abandon
+// report: abandoned is true when the row-minimum test cut the program
+// short (the value is then a lower bound > bound, not the distance) or
+// the flag fired mid-evaluation (the value is then meaningless and the
+// caller must discard the whole answer via its Ctl's error).
+func (e EDR) DistEarlyAbandonCancel(a, b *traj.Trajectory, bound int, cancel *core.Cancel) (float64, bool) {
+	d, abandoned := e.edits(a.Points, b.Points, bound, cancel)
+	return float64(d), abandoned
+}
+
+func (e EDR) edits(P, Q []traj.Point, bound int, cancel *core.Cancel) (int, bool) {
 	n, m := len(P), len(Q)
 	if n == 0 {
-		return m
+		return m, false
 	}
 	if m == 0 {
-		return n
+		return n, false
 	}
 	prev := make([]int, m+1)
 	cur := make([]int, m+1)
@@ -43,6 +57,9 @@ func (e EDR) edits(P, Q []traj.Point, bound int) int {
 		prev[j] = j
 	}
 	for i := 1; i <= n; i++ {
+		if cancel.Cancelled() {
+			return 0, true
+		}
 		cur[0] = i
 		rowMin := cur[0]
 		for j := 1; j <= m; j++ {
@@ -63,9 +80,9 @@ func (e EDR) edits(P, Q []traj.Point, bound int) int {
 			}
 		}
 		if bound >= 0 && rowMin > bound {
-			return rowMin // every completion is at least this expensive
+			return rowMin, true // every completion is at least this expensive
 		}
 		prev, cur = cur, prev
 	}
-	return prev[m]
+	return prev[m], false
 }

@@ -12,30 +12,62 @@
 //
 // Candidates are visited in bound order with an early-abandoning DTW whose
 // row minima cut off once the running k-th best is exceeded.
+//
+// The Index implements backend.Backend (SearchKNN/SearchRange under a
+// shared bound and a cancellation Ctl), so the sharded engine of
+// internal/server serves DTW through the same /v1 API as EDwP. It is a
+// static index: no mutation, no persistence — the engine degrades those
+// operations to not_implemented.
 package dtwindex
 
 import (
-	"sort"
+	"math"
 
+	"trajmatch/internal/backend"
+	"trajmatch/internal/core"
 	"trajmatch/internal/geom"
-	"trajmatch/internal/pqueue"
 	"trajmatch/internal/traj"
 )
+
+// MetricName is the registered backend identifier of this index.
+const MetricName = "dtw"
+
+func init() { backend.Register(MetricName) }
+
+var _ backend.Backend = (*Index)(nil)
 
 // Index holds the database with one precomputed MBR per trajectory.
 type Index struct {
 	db   []*traj.Trajectory
 	mbrs []geom.Rect
+	byID map[int]*traj.Trajectory
 }
 
 // New builds the index.
 func New(db []*traj.Trajectory) *Index {
-	ix := &Index{db: db, mbrs: make([]geom.Rect, len(db))}
+	ix := &Index{db: db, mbrs: make([]geom.Rect, len(db)), byID: make(map[int]*traj.Trajectory, len(db))}
 	for i, t := range db {
 		ix.mbrs[i] = t.Bounds()
+		ix.byID[t.ID] = t
 	}
 	return ix
 }
+
+// BackendSpec returns the buildable backend spec for DTW.
+func BackendSpec() backend.Spec {
+	return backend.Spec{
+		Name: MetricName,
+		Build: func(db []*traj.Trajectory) (backend.Backend, error) {
+			return New(db), nil
+		},
+	}
+}
+
+// Size returns the number of indexed trajectories.
+func (ix *Index) Size() int { return len(ix.db) }
+
+// Lookup returns the indexed trajectory with the given ID, or nil.
+func (ix *Index) Lookup(id int) *traj.Trajectory { return ix.byID[id] }
 
 // lowerBound returns max(corner bound, MBR bound) for db[i].
 func (ix *Index) lowerBound(q *traj.Trajectory, i int) float64 {
@@ -56,84 +88,115 @@ func (ix *Index) lowerBound(q *traj.Trajectory, i int) float64 {
 	return corner
 }
 
-// Result is one k-NN answer under DTW.
-type Result struct {
-	Traj *traj.Trajectory
-	Dist float64
+// Result is one k-NN answer under DTW, the unified backend.Result type.
+type Result = backend.Result
+
+// Stats reports per-query work, the unified backend.Stats type: every
+// candidate costs one LowerBoundCall, candidates rejected by bound alone
+// count as NodesPruned, evaluated ones as DistanceCalls, and evaluations
+// the row-minimum test cut short as EarlyAbandons.
+type Stats = backend.Stats
+
+// orderCands computes every lower bound and hands back the candidates
+// in backend.SortCands order. The bound pass polls ctl periodically so
+// even the pre-scan setup stops promptly under a fired deadline.
+func (ix *Index) orderCands(q *traj.Trajectory, st *Stats, ctl *backend.Ctl) ([]backend.Cand, error) {
+	cands := make([]backend.Cand, len(ix.db))
+	for i := range ix.db {
+		if i%64 == 0 && ctl.Cancelled() {
+			return nil, ctl.Err()
+		}
+		st.LowerBoundCalls++
+		cands[i] = backend.Cand{I: i, ID: ix.db[i].ID, LB: ix.lowerBound(q, i)}
+	}
+	backend.SortCands(cands)
+	return cands, nil
 }
 
-// Stats reports per-query work.
-type Stats struct {
-	FullComputations, Pruned int
-}
-
-// KNN returns the exact DTW k-nearest neighbours of q, sorted ascending.
-func (ix *Index) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
+// SearchKNN returns the exact DTW k-nearest neighbours of q sorted by
+// (distance, ID) — deterministic membership under exact ties. bound may
+// be nil or shared across concurrent searches of disjoint shards; ctl
+// (may be nil) injects cancellation — polled between candidates by the
+// scan and per DP row inside the kernel — and the query-wide evaluation
+// budget.
+func (ix *Index) SearchKNN(q *traj.Trajectory, k int, bound *backend.SharedBound, ctl *backend.Ctl) ([]Result, Stats, bool, error) {
 	var st Stats
 	if k <= 0 || len(ix.db) == 0 {
-		return nil, st
+		return nil, st, false, ctl.Err()
 	}
-	type cand struct {
-		i  int
-		lb float64
+	cands, err := ix.orderCands(q, &st, ctl)
+	if err != nil {
+		return nil, st, false, err
 	}
-	cands := make([]cand, len(ix.db))
-	for i := range ix.db {
-		cands[i] = cand{i, ix.lowerBound(q, i)}
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
-
-	ans := pqueue.NewTopK[*traj.Trajectory](k)
-	for _, c := range cands {
-		if worst, full := ans.Worst(); full && c.lb >= worst {
-			st.Pruned++
-			continue
-		}
-		bound := -1.0
-		if worst, full := ans.Worst(); full {
-			bound = worst
-		}
-		st.FullComputations++
-		d := dtwEarlyAbandon(q.Points, ix.db[c.i].Points, bound)
-		ans.Offer(ix.db[c.i], d)
-	}
-	items := ans.Items()
-	out := make([]Result, len(items))
-	for i, it := range items {
-		out[i] = Result{Traj: it.Value, Dist: it.Priority}
-	}
-	return out, st
+	res, truncated, err := backend.ScanKNN(cands, k, bound, ctl, &st,
+		func(i int) *traj.Trajectory { return ix.db[i] },
+		func(i int, limit float64) (float64, bool) {
+			return dtwDist(q.Points, ix.db[i].Points, limit, ctl.CancelFlag())
+		})
+	return res, st, truncated, err
 }
 
-// KNNBrute is the unpruned scan for verification.
+// SearchRange returns every indexed trajectory with DTW(q, t) ≤ radius,
+// sorted by (distance, ID). The radius seeds the abandon limit of every
+// evaluation, so members far outside it cost a fraction of a full DP.
+func (ix *Index) SearchRange(q *traj.Trajectory, radius float64, ctl *backend.Ctl) ([]Result, Stats, bool, error) {
+	var st Stats
+	if len(ix.db) == 0 {
+		return nil, st, false, ctl.Err()
+	}
+	cands, err := ix.orderCands(q, &st, ctl)
+	if err != nil {
+		return nil, st, false, err
+	}
+	res, truncated, err := backend.ScanRange(cands, radius, ctl, &st,
+		func(i int) *traj.Trajectory { return ix.db[i] },
+		func(i int, limit float64) (float64, bool) {
+			return dtwDist(q.Points, ix.db[i].Points, limit, ctl.CancelFlag())
+		})
+	return res, st, truncated, err
+}
+
+// KNN returns the exact DTW k-nearest neighbours of q, sorted by
+// (distance, ID). It is SearchKNN with no shared bound and no Ctl — the
+// standalone entry point the eval harness scans with.
+func (ix *Index) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
+	res, st, _, _ := ix.SearchKNN(q, k, nil, nil)
+	return res, st
+}
+
+// KNNBrute is the unpruned scan for verification, with the same
+// (distance, ID) ordering as KNN.
 func (ix *Index) KNNBrute(q *traj.Trajectory, k int) []Result {
-	ans := pqueue.NewTopK[*traj.Trajectory](k)
+	ans := backend.NewKBest(k)
 	for _, t := range ix.db {
-		ans.Offer(t, dtwEarlyAbandon(q.Points, t.Points, -1))
+		d, _ := dtwDist(q.Points, t.Points, math.Inf(1), nil)
+		ans.Offer(t, d)
 	}
-	items := ans.Items()
-	out := make([]Result, len(items))
-	for i, it := range items {
-		out[i] = Result{Traj: it.Value, Dist: it.Priority}
-	}
-	return out
+	return ans.Results()
 }
 
-// dtwEarlyAbandon computes DTW with Euclidean ground distance, abandoning
-// as soon as a whole row exceeds bound (bound < 0 disables). DTW costs only
-// accumulate, so the abandoned value is itself a valid lower bound > bound.
-func dtwEarlyAbandon(P, Q []traj.Point, bound float64) float64 {
+// dtwDist computes DTW with Euclidean ground distance, abandoning as soon
+// as a whole row exceeds limit (+Inf disables). DTW costs only
+// accumulate, so the abandoned value is itself a valid lower bound
+// > limit; the abandon test is strict, so a distance tying the limit
+// exactly is still computed in full. cancel (may be nil) is polled once
+// per DP row; a fired flag abandons immediately — the caller discards the
+// poisoned answer through its Ctl's error.
+func dtwDist(P, Q []traj.Point, limit float64, cancel *core.Cancel) (float64, bool) {
 	n, m := len(P), len(Q)
 	if n == 0 || m == 0 {
 		if n == m {
-			return 0
+			return 0, false
 		}
-		return 1e308
+		return 1e308, false // the no-alignment sentinel, exact as before
 	}
 	inf := 1e308
 	prev := make([]float64, m)
 	cur := make([]float64, m)
 	for i := 0; i < n; i++ {
+		if cancel.Cancelled() {
+			return 0, true
+		}
 		rowMin := inf
 		for j := 0; j < m; j++ {
 			d := P[i].Dist(Q[j])
@@ -158,10 +221,10 @@ func dtwEarlyAbandon(P, Q []traj.Point, bound float64) float64 {
 				rowMin = cur[j]
 			}
 		}
-		if bound >= 0 && rowMin > bound {
-			return rowMin
+		if rowMin > limit {
+			return rowMin, true
 		}
 		prev, cur = cur, prev
 	}
-	return prev[m-1]
+	return prev[m-1], false
 }

@@ -41,7 +41,7 @@ func TestDTWAgreesWithBaseline(t *testing.T) {
 	db := smallDB(20)
 	m := baseline.DTW{}
 	for i := 1; i < len(db); i++ {
-		a := dtwEarlyAbandon(db[0].Points, db[i].Points, -1)
+		a, _ := dtwDist(db[0].Points, db[i].Points, math.Inf(1), nil)
 		b := m.Dist(db[0], db[i])
 		if math.Abs(a-b) > 1e-9*(1+b) {
 			t.Fatalf("index DTW %v != baseline DTW %v", a, b)
@@ -57,7 +57,7 @@ func TestLowerBoundAdmissible(t *testing.T) {
 		q := db[rng.Intn(len(db))]
 		for i := range db {
 			lb := ix.lowerBound(q, i)
-			d := dtwEarlyAbandon(q.Points, db[i].Points, -1)
+			d, _ := dtwDist(q.Points, db[i].Points, math.Inf(1), nil)
 			if lb > d+1e-9*(1+d) {
 				t.Fatalf("DTW lower bound %v exceeds distance %v", lb, d)
 			}
@@ -71,14 +71,26 @@ func TestEarlyAbandonCertifiesBound(t *testing.T) {
 	for it := 0; it < 50; it++ {
 		a := db[rng.Intn(len(db))]
 		b := db[rng.Intn(len(db))]
-		full := dtwEarlyAbandon(a.Points, b.Points, -1)
-		if got := dtwEarlyAbandon(a.Points, b.Points, full); math.Abs(got-full) > 1e-9*(1+full) {
-			t.Fatalf("bound = true distance altered result: %v vs %v", got, full)
+		full, ab := dtwDist(a.Points, b.Points, math.Inf(1), nil)
+		if ab {
+			t.Fatal("unbounded evaluation abandoned")
+		}
+		// The abandon test is strict, so a limit equal to the true
+		// distance must still produce the exact value.
+		got, ab := dtwDist(a.Points, b.Points, full, nil)
+		if ab || math.Abs(got-full) > 1e-9*(1+full) {
+			t.Fatalf("limit = true distance altered result: %v (abandoned=%v) vs %v", got, ab, full)
 		}
 		if full > 1 {
-			got := dtwEarlyAbandon(a.Points, b.Points, full/2)
+			// Either the row-minimum test fires (the returned lower bound
+			// certifies the limit) or the program runs to completion and
+			// returns the exact distance; both prove d > limit.
+			got, ab := dtwDist(a.Points, b.Points, full/2, nil)
 			if got <= full/2 {
-				t.Fatalf("abandoned value %v does not certify bound %v", got, full/2)
+				t.Fatalf("value %v (abandoned=%v) does not certify limit %v", got, ab, full/2)
+			}
+			if !ab && math.Abs(got-full) > 1e-9*(1+full) {
+				t.Fatalf("unabandoned bounded value %v differs from exact %v", got, full)
 			}
 		}
 	}
@@ -88,8 +100,47 @@ func TestPruningHappens(t *testing.T) {
 	db := smallDB(150)
 	ix := New(db)
 	_, st := ix.KNN(db[3], 5)
-	if st.Pruned == 0 {
+	if st.NodesPruned == 0 {
 		t.Error("no candidates pruned")
+	}
+}
+
+// TestTieOrderingDeterministic is the regression test for the
+// nondeterministic tie ordering: with duplicated trajectories under
+// fresh IDs, exact distance ties are resolved by ID — the answer is a
+// pure function of the database, identical to the brute scan's
+// (distance, ID) order, whatever order candidates were visited in.
+func TestTieOrderingDeterministic(t *testing.T) {
+	base := smallDB(30)
+	var db []*traj.Trajectory
+	for i, tr := range base {
+		db = append(db, tr)
+		dup := tr.Clone()
+		dup.ID = 1000 + i
+		db = append(db, dup)
+	}
+	ix := New(db)
+	for it := 0; it < 10; it++ {
+		q := base[it*3%len(base)]
+		for _, k := range []int{1, 3, 7} {
+			got, _ := ix.KNN(q, k)
+			want := ix.KNNBrute(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results, want %d", k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Traj.ID != want[i].Traj.ID || got[i].Dist != want[i].Dist {
+					t.Fatalf("k=%d rank %d: (%d, %v) vs brute (%d, %v)",
+						k, i, got[i].Traj.ID, got[i].Dist, want[i].Traj.ID, want[i].Dist)
+				}
+			}
+			for i := 1; i < len(got); i++ {
+				prev, cur := got[i-1], got[i]
+				if cur.Dist < prev.Dist || (cur.Dist == prev.Dist && cur.Traj.ID <= prev.Traj.ID) {
+					t.Fatalf("k=%d: results not in (distance, ID) order at rank %d", k, i)
+				}
+			}
+		}
 	}
 }
 

@@ -5,16 +5,28 @@
 // difference and a grid-histogram mismatch count — and an early-abandoning
 // dynamic program ordered by those bounds (see DESIGN.md §3 for the
 // substitution note).
+//
+// The Index implements backend.Backend (SearchKNN/SearchRange under a
+// shared bound and a cancellation Ctl), so the sharded engine of
+// internal/server serves EDR through the same /v1 API as EDwP. It is a
+// static index: no mutation, no persistence — the engine degrades those
+// operations to not_implemented.
 package edrindex
 
 import (
 	"math"
-	"sort"
 
+	"trajmatch/internal/backend"
 	"trajmatch/internal/baseline"
-	"trajmatch/internal/pqueue"
 	"trajmatch/internal/traj"
 )
+
+// MetricName is the registered backend identifier of this index.
+const MetricName = "edr"
+
+func init() { backend.Register(MetricName) }
+
+var _ backend.Backend = (*Index)(nil)
 
 // cellKey addresses an ε-grid cell.
 type cellKey struct{ cx, cy int }
@@ -24,18 +36,48 @@ type Index struct {
 	eps   float64
 	db    []*traj.Trajectory
 	grids []map[cellKey]int // per-trajectory ε-grid histograms
+	byID  map[int]*traj.Trajectory
 	edr   baseline.EDR
 }
 
 // New builds the index: one ε-grid histogram per trajectory.
 func New(db []*traj.Trajectory, eps float64) *Index {
-	ix := &Index{eps: eps, db: db, edr: baseline.EDR{Eps: eps}}
+	ix := &Index{eps: eps, db: db, edr: baseline.EDR{Eps: eps}, byID: make(map[int]*traj.Trajectory, len(db))}
 	ix.grids = make([]map[cellKey]int, len(db))
 	for i, t := range db {
 		ix.grids[i] = gridOf(t, eps)
+		ix.byID[t.ID] = t
 	}
 	return ix
 }
+
+// DefaultEps derives the matching threshold ε from the database, half
+// the median segment length — the scaling the eval harness uses for
+// every threshold-based metric. Returns 1 for a degenerate database.
+func DefaultEps(db []*traj.Trajectory) float64 {
+	if m := traj.MedianSegmentLength(db); m > 0 {
+		return m * 0.5
+	}
+	return 1
+}
+
+// BackendSpec returns the buildable backend spec for EDR at the given ε.
+// The ε must be fixed from whole-database statistics (DefaultEps) before
+// sharding, so every shard prices edits identically.
+func BackendSpec(eps float64) backend.Spec {
+	return backend.Spec{
+		Name: MetricName,
+		Build: func(db []*traj.Trajectory) (backend.Backend, error) {
+			return New(db, eps), nil
+		},
+	}
+}
+
+// Size returns the number of indexed trajectories.
+func (ix *Index) Size() int { return len(ix.db) }
+
+// Lookup returns the indexed trajectory with the given ID, or nil.
+func (ix *Index) Lookup(id int) *traj.Trajectory { return ix.byID[id] }
 
 func gridOf(t *traj.Trajectory, eps float64) map[cellKey]int {
 	g := make(map[cellKey]int, t.NumPoints())
@@ -77,68 +119,98 @@ func (ix *Index) lowerBound(q *traj.Trajectory, qGrid map[cellKey]int, i int) fl
 	return float64(lenDiff)
 }
 
-// Result is one k-NN answer under EDR.
-type Result struct {
-	Traj *traj.Trajectory
-	Dist float64
+// Result is one k-NN answer under EDR, the unified backend.Result type.
+type Result = backend.Result
+
+// Stats reports how much work a query did, the unified backend.Stats
+// type: every candidate costs one LowerBoundCall, candidates rejected by
+// bound alone count as NodesPruned, evaluated ones as DistanceCalls, and
+// evaluations cut short by the row-minimum test as EarlyAbandons.
+type Stats = backend.Stats
+
+// orderCands computes every lower bound and hands back the candidates
+// in backend.SortCands order. The bound pass polls ctl periodically so
+// even the pre-scan setup stops promptly under a fired deadline.
+func (ix *Index) orderCands(q *traj.Trajectory, st *Stats, ctl *backend.Ctl) ([]backend.Cand, error) {
+	qGrid := gridOf(q, ix.eps)
+	cands := make([]backend.Cand, len(ix.db))
+	for i := range ix.db {
+		if i%64 == 0 && ctl.Cancelled() {
+			return nil, ctl.Err()
+		}
+		st.LowerBoundCalls++
+		cands[i] = backend.Cand{I: i, ID: ix.db[i].ID, LB: ix.lowerBound(q, qGrid, i)}
+	}
+	backend.SortCands(cands)
+	return cands, nil
 }
 
-// Stats reports how much work a query did.
-type Stats struct {
-	// FullComputations counts candidates whose EDR was evaluated (possibly
-	// abandoned early); Pruned counts candidates rejected by bounds alone.
-	FullComputations, Pruned int
+// intLimit converts a float abandon limit into the integer bound the EDR
+// dynamic program tests strictly: rowMin > limit ⟺ rowMin > ⌊limit⌋ for
+// the integer-valued rowMin. -1 (disabled) for an infinite limit.
+func intLimit(limit float64) int {
+	if math.IsInf(limit, 1) {
+		return -1
+	}
+	return int(math.Floor(limit))
 }
 
-// KNN returns the exact EDR k-nearest neighbours of q, sorted ascending.
-func (ix *Index) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
+// SearchKNN returns the exact EDR k-nearest neighbours of q sorted by
+// (distance, ID) — deterministic membership under exact ties. bound may
+// be nil or shared across concurrent searches of disjoint shards; ctl
+// (may be nil) injects cancellation — polled between candidates by the
+// scan and per DP row inside the kernel — and the query-wide evaluation
+// budget.
+func (ix *Index) SearchKNN(q *traj.Trajectory, k int, bound *backend.SharedBound, ctl *backend.Ctl) ([]Result, Stats, bool, error) {
 	var st Stats
 	if k <= 0 || len(ix.db) == 0 {
-		return nil, st
+		return nil, st, false, ctl.Err()
 	}
-	qGrid := gridOf(q, ix.eps)
-	type cand struct {
-		i  int
-		lb float64
+	cands, err := ix.orderCands(q, &st, ctl)
+	if err != nil {
+		return nil, st, false, err
 	}
-	cands := make([]cand, len(ix.db))
-	for i := range ix.db {
-		cands[i] = cand{i, ix.lowerBound(q, qGrid, i)}
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
-
-	ans := pqueue.NewTopK[*traj.Trajectory](k)
-	for _, c := range cands {
-		if worst, full := ans.Worst(); full && c.lb >= worst {
-			st.Pruned++
-			continue
-		}
-		bound := -1
-		if worst, full := ans.Worst(); full {
-			bound = int(worst)
-		}
-		st.FullComputations++
-		d := ix.edr.DistEarlyAbandon(q, ix.db[c.i], bound)
-		ans.Offer(ix.db[c.i], d)
-	}
-	items := ans.Items()
-	out := make([]Result, len(items))
-	for i, it := range items {
-		out[i] = Result{Traj: it.Value, Dist: it.Priority}
-	}
-	return out, st
+	res, truncated, err := backend.ScanKNN(cands, k, bound, ctl, &st,
+		func(i int) *traj.Trajectory { return ix.db[i] },
+		func(i int, limit float64) (float64, bool) {
+			return ix.edr.DistEarlyAbandonCancel(q, ix.db[i], intLimit(limit), ctl.CancelFlag())
+		})
+	return res, st, truncated, err
 }
 
-// KNNBrute is the unpruned scan, used to verify exactness.
+// SearchRange returns every indexed trajectory with EDR(q, t) ≤ radius,
+// sorted by (distance, ID).
+func (ix *Index) SearchRange(q *traj.Trajectory, radius float64, ctl *backend.Ctl) ([]Result, Stats, bool, error) {
+	var st Stats
+	if len(ix.db) == 0 {
+		return nil, st, false, ctl.Err()
+	}
+	cands, err := ix.orderCands(q, &st, ctl)
+	if err != nil {
+		return nil, st, false, err
+	}
+	res, truncated, err := backend.ScanRange(cands, radius, ctl, &st,
+		func(i int) *traj.Trajectory { return ix.db[i] },
+		func(i int, limit float64) (float64, bool) {
+			return ix.edr.DistEarlyAbandonCancel(q, ix.db[i], intLimit(limit), ctl.CancelFlag())
+		})
+	return res, st, truncated, err
+}
+
+// KNN returns the exact EDR k-nearest neighbours of q, sorted by
+// (distance, ID). It is SearchKNN with no shared bound and no Ctl — the
+// standalone entry point the eval harness scans with.
+func (ix *Index) KNN(q *traj.Trajectory, k int) ([]Result, Stats) {
+	res, st, _, _ := ix.SearchKNN(q, k, nil, nil)
+	return res, st
+}
+
+// KNNBrute is the unpruned scan, used to verify exactness, with the same
+// (distance, ID) ordering as KNN.
 func (ix *Index) KNNBrute(q *traj.Trajectory, k int) []Result {
-	ans := pqueue.NewTopK[*traj.Trajectory](k)
+	ans := backend.NewKBest(k)
 	for _, t := range ix.db {
 		ans.Offer(t, ix.edr.Dist(q, t))
 	}
-	items := ans.Items()
-	out := make([]Result, len(items))
-	for i, it := range items {
-		out[i] = Result{Traj: it.Value, Dist: it.Priority}
-	}
-	return out
+	return ans.Results()
 }

@@ -58,11 +58,49 @@ func TestPruningHappens(t *testing.T) {
 	ix := New(db, 60)
 	q := db[3]
 	_, st := ix.KNN(q, 5)
-	if st.Pruned == 0 {
+	if st.NodesPruned == 0 {
 		t.Error("no candidates pruned; bounds ineffective")
 	}
-	if st.FullComputations >= len(db) {
-		t.Errorf("all %d candidates fully computed", st.FullComputations)
+	if st.DistanceCalls >= len(db) {
+		t.Errorf("all %d candidates fully computed", st.DistanceCalls)
+	}
+}
+
+// TestTieOrderingDeterministic is the regression test for the
+// nondeterministic tie ordering: EDR's integer distances tie constantly,
+// and with duplicated trajectories the ties are exact — membership and
+// order must follow (distance, ID), matching the brute scan IDs exactly.
+func TestTieOrderingDeterministic(t *testing.T) {
+	base := smallDB(30)
+	var db []*traj.Trajectory
+	for i, tr := range base {
+		db = append(db, tr)
+		dup := tr.Clone()
+		dup.ID = 1000 + i
+		db = append(db, dup)
+	}
+	ix := New(db, 60)
+	for it := 0; it < 10; it++ {
+		q := base[it*3%len(base)]
+		for _, k := range []int{1, 3, 7} {
+			got, _ := ix.KNN(q, k)
+			want := ix.KNNBrute(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results, want %d", k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Traj.ID != want[i].Traj.ID || got[i].Dist != want[i].Dist {
+					t.Fatalf("k=%d rank %d: (%d, %v) vs brute (%d, %v)",
+						k, i, got[i].Traj.ID, got[i].Dist, want[i].Traj.ID, want[i].Dist)
+				}
+			}
+			for i := 1; i < len(got); i++ {
+				prev, cur := got[i-1], got[i]
+				if cur.Dist < prev.Dist || (cur.Dist == prev.Dist && cur.Traj.ID <= prev.Traj.ID) {
+					t.Fatalf("k=%d: results not in (distance, ID) order at rank %d", k, i)
+				}
+			}
+		}
 	}
 }
 

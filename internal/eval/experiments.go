@@ -7,6 +7,7 @@ import (
 
 	"trajmatch/internal/baseline"
 	"trajmatch/internal/edrindex"
+	"trajmatch/internal/metrics"
 	"trajmatch/internal/stats"
 	"trajmatch/internal/synth"
 	"trajmatch/internal/traj"
@@ -205,11 +206,21 @@ func robustnessSweep(sc Scale, d1, d2 []*traj.Trajectory, ks []int, queries []in
 // Section V-D, the EDR competitor runs over the uniformly interpolated
 // database (EDR-I), since that is the configuration whose robustness is
 // closest to EDwP's.
+//
+// The indexed competitors are built through the metric registry
+// (metrics.Spec) — the same entry point trajserve boots from — so the
+// index a figure benchmarks is byte-for-byte the index the serving
+// stack answers with.
 func QueryCompetitors(db []*traj.Trajectory, queries []*traj.Trajectory, ks []int, opt trajtree.Options) ([]Series, error) {
-	tree, err := trajtree.New(db, opt)
+	treeSpec, err := metrics.Spec(trajtree.MetricName, db, metrics.Config{Tree: opt})
 	if err != nil {
 		return nil, err
 	}
+	treeBe, err := treeSpec.Build(db)
+	if err != nil {
+		return nil, err
+	}
+	tree := treeBe.(*trajtree.Tree) // the EDwP scan competitor needs KNNBrute
 	eps := epsFor(db)
 	// The paper interpolates the EDR competitor's data to (near) the
 	// maximum observed sampling density — the costly preprocessing
@@ -217,7 +228,14 @@ func QueryCompetitors(db []*traj.Trajectory, queries []*traj.Trajectory, ks []in
 	// in Fig. 5(j) despite EDR's cheaper per-pair DP.
 	spacing := traj.PercentileSegmentLength(db, 0.01)
 	interp := traj.ResampleUniformAll(db, spacing)
-	edrIx := edrindex.New(interp, eps)
+	edrSpec, err := metrics.Spec(edrindex.MetricName, interp, metrics.Config{EDREps: eps})
+	if err != nil {
+		return nil, err
+	}
+	edrIx, err := edrSpec.Build(interp)
+	if err != nil {
+		return nil, err
+	}
 	iq := make(map[*traj.Trajectory]*traj.Trajectory, len(queries))
 	for _, q := range queries {
 		iq[q] = traj.ResampleUniform(q, spacing)
@@ -242,7 +260,7 @@ func QueryCompetitors(db []*traj.Trajectory, queries []*traj.Trajectory, ks []in
 			tScan += time.Since(t0)
 
 			t0 = time.Now()
-			edrIx.KNN(iq[q], k)
+			edrIx.SearchKNN(iq[q], k, nil, nil)
 			tEDR += time.Since(t0)
 
 			t0 = time.Now()

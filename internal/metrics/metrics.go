@@ -1,0 +1,67 @@
+// Package metrics is the single entry point for turning metric names
+// into buildable backend specs — shared by the serving stack (trajserve
+// -metrics edwp,dtw,edr) and the offline eval harness, so the index a
+// figure benchmarks is byte-for-byte the index the server answers with.
+//
+// Adding a metric is a three-step plug-in, no engine changes: implement
+// backend.Backend over your index, backend.Register its name from init,
+// and add a case to Spec here (fixing any whole-database parameters in
+// the spec's closure before sharding).
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"trajmatch/internal/backend"
+	"trajmatch/internal/dtwindex"
+	"trajmatch/internal/edrindex"
+	"trajmatch/internal/traj"
+	"trajmatch/internal/trajtree"
+)
+
+// Config carries the per-metric build parameters a deployment fixes
+// once for the whole corpus.
+type Config struct {
+	// Tree configures the EDwP TrajTree build.
+	Tree trajtree.Options
+	// EDREps is the EDR matching threshold ε; 0 derives it from the
+	// database (edrindex.DefaultEps — half the median segment length).
+	EDREps float64
+}
+
+// Spec resolves one registered metric name to its buildable spec. The
+// db is the full corpus the engine will shard: whole-database parameters
+// (EDR's ε) are derived from it here, before any partitioning, so every
+// shard agrees on them.
+func Spec(name string, db []*traj.Trajectory, cfg Config) (backend.Spec, error) {
+	switch name {
+	case trajtree.MetricName:
+		return trajtree.BackendSpec(cfg.Tree), nil
+	case dtwindex.MetricName:
+		return dtwindex.BackendSpec(), nil
+	case edrindex.MetricName:
+		eps := cfg.EDREps
+		if eps <= 0 {
+			eps = edrindex.DefaultEps(db)
+		}
+		return edrindex.BackendSpec(eps), nil
+	default:
+		return backend.Spec{}, fmt.Errorf("unknown metric %q (registered: %s)",
+			name, strings.Join(backend.Names(), ", "))
+	}
+}
+
+// Specs resolves a list of metric names in order (the first becomes the
+// engine's default metric).
+func Specs(names []string, db []*traj.Trajectory, cfg Config) ([]backend.Spec, error) {
+	specs := make([]backend.Spec, 0, len(names))
+	for _, n := range names {
+		s, err := Spec(n, db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}

@@ -7,21 +7,25 @@ import (
 	"math"
 	"sync"
 
+	"trajmatch/internal/backend"
 	"trajmatch/internal/traj"
-	"trajmatch/internal/trajtree"
 )
 
-// cacheKey identifies a k-NN query by a 64-bit FNV-1a hash of the query
-// geometry together with k. Collisions would silently serve a wrong
-// cached answer, so the full coordinate stream participates in the hash —
-// id and label do not, letting resubmitted queries with fresh IDs hit.
+// cacheKey identifies a k-NN query by the metric that answered it and a
+// 64-bit FNV-1a hash of the query geometry together with k. Collisions
+// would silently serve a wrong cached answer, so the full coordinate
+// stream participates in the hash — id and label do not, letting
+// resubmitted queries with fresh IDs hit — and the metric name
+// participates verbatim, so the same geometry queried under EDwP and DTW
+// occupies two distinct entries.
 type cacheKey struct {
-	hash uint64
-	k    int
+	metric string
+	hash   uint64
+	k      int
 }
 
-// knnKey hashes q's points and k into a cache key.
-func knnKey(q *traj.Trajectory, k int) cacheKey {
+// knnKey hashes q's points and k into a cache key under metric.
+func knnKey(metric string, q *traj.Trajectory, k int) cacheKey {
 	h := fnv.New64a()
 	var buf [8]byte
 	put := func(v float64) {
@@ -33,7 +37,7 @@ func knnKey(q *traj.Trajectory, k int) cacheKey {
 		put(p.Y)
 		put(p.T)
 	}
-	return cacheKey{hash: h.Sum64(), k: k}
+	return cacheKey{metric: metric, hash: h.Sum64(), k: k}
 }
 
 // lruCache is a fixed-capacity LRU of k-NN answers. Every entry records
@@ -52,7 +56,7 @@ type lruCache struct {
 type cacheEntry struct {
 	key cacheKey
 	gen uint64
-	res []trajtree.Result
+	res []backend.Result
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -63,7 +67,7 @@ func newLRUCache(capacity int) *lruCache {
 	}
 }
 
-func (c *lruCache) get(key cacheKey, gen uint64) ([]trajtree.Result, bool) {
+func (c *lruCache) get(key cacheKey, gen uint64) ([]backend.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
@@ -86,7 +90,7 @@ func (c *lruCache) get(key cacheKey, gen uint64) ([]trajtree.Result, bool) {
 	return ent.res, true
 }
 
-func (c *lruCache) put(key cacheKey, gen uint64, res []trajtree.Result) {
+func (c *lruCache) put(key cacheKey, gen uint64, res []backend.Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {

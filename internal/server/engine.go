@@ -1,39 +1,51 @@
-// Package server wraps the TrajTree index in a sharded, thread-safe
-// query engine and exposes it over HTTP. The query surface is one
-// context-aware API: Engine.Search(ctx, q, Query) executes a Query
-// (kind: KNN | Range | SubKNN, plus knobs like a seed bound and an
-// evaluation budget) and returns an Answer bundling results, stats and a
-// truncation disposition; SearchBatch fans many query trajectories over
-// a worker pool. Cancellation threads cooperatively through the whole
-// stack — the shard fan-out skips un-started shards, the tree search
-// polls a flag between candidate pops, and the EDwP kernel polls it per
-// DP row — so a fired deadline stops a query within one DP row of work.
-// The per-variant methods (KNN, RangeSearch, KNNBatch) survive as thin
-// deprecated wrappers with byte-identical answers.
+// Package server wraps pluggable metric indexes in a sharded,
+// thread-safe query engine and exposes it over HTTP. The engine is
+// generic over backend.Backend — the contract capturing what it actually
+// needs (build from a DB, SearchKNN/SearchRange under a Ctl and a shared
+// bound, unified Result/Stats) — and serves any number of metric
+// backends over one corpus: the TrajTree EDwP index (the reference
+// implementation, fully capable), the flat DTW and EDR indexes, and any
+// future distance that implements the contract. Sharding, the
+// shared-bound fan-out, the LRU result cache (keyed by metric), the
+// cooperative cancellation paths and the stats counters are written once
+// and are metric-agnostic; a metric registry routes Query.Metric to its
+// loaded backend and distinguishes a mistyped name from one that was not
+// booted.
 //
-// Trajectories hash to one of N independent trajtree.Tree shards
-// (router.go), each behind its own RWMutex (shard.go), so
+// The query surface is one context-aware API: Engine.Search(ctx, q,
+// Query) executes a Query (kind: KNN | Range | SubKNN, a Metric, plus
+// knobs like a seed bound and an evaluation budget) and returns an
+// Answer bundling results, stats and a truncation disposition;
+// SearchBatch fans many query trajectories over a worker pool.
+// Cancellation threads cooperatively through the whole stack — the shard
+// fan-out skips un-started shards, the backend scans poll a flag between
+// candidate evaluations, and the DP kernels poll it per row — so a fired
+// deadline stops a query within one DP row of work. The per-variant
+// methods (KNN, RangeSearch, KNNBatch) survive as thin deprecated
+// wrappers with byte-identical answers.
+//
+// Trajectories hash to one of N shards per metric (router.go; placement
+// is shared across metrics), each behind its own RWMutex (shard.go), so
 // Insert/Delete/Rebuild serialise per shard instead of stalling the
 // whole index, and bulk builds construct shards in parallel. A k-NN
-// query fans out across the shards sharing one atomically tightening
-// k-th-best bound (trajtree.SharedBound): the moment any shard's local
-// answer set fills, every other shard's dynamic programs abandon against
-// that bound, and the per-shard answer lists merge by (distance, ID) —
-// the same distances as the single-tree answer, with deterministic
-// membership under exact boundary ties. Range queries fan the radius out
-// and concatenate; sub-trajectory queries fan a bounded EDwPsub scan.
+// query fans out across its metric's shards sharing one atomically
+// tightening k-th-best bound (backend.SharedBound): the moment any
+// shard's local answer set fills, every other shard's dynamic programs
+// abandon against that bound, and the per-shard answer lists merge by
+// (distance, ID) — deterministic membership under exact boundary ties.
+// Operations not every backend supports are capability-gated: mutation
+// and persistence require the corresponding interfaces and otherwise
+// degrade to ErrNotSupported (HTTP 501), and snapshot manifests record
+// which metrics were persisted.
 //
-// On top sit an LRU cache of k-NN answers invalidated through an
-// engine-wide generation counter, and a versioned sharded snapshot
-// (snapshot.go) that persists every shard plus a manifest and reloads
-// into an identically answering engine.
-//
-// cmd/trajserve serves the versioned HTTP surface in http.go; the
-// trajmatch facade re-exports Engine for library users.
+// cmd/trajserve serves the versioned HTTP surface in http.go (-metrics
+// selects the backends); the trajmatch facade re-exports Engine for
+// library users.
 package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -41,6 +53,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"trajmatch/internal/backend"
 	"trajmatch/internal/par"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/trajtree"
@@ -55,10 +68,10 @@ type Options struct {
 	// width of a single query across shards. 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
-	// Shards is the number of hash-partitioned index shards. 0 or 1
-	// means a single shard (the pre-sharding engine); more shards mean
-	// finer-grained update locking and parallel builds at the cost of a
-	// per-query fan-out.
+	// Shards is the number of hash-partitioned index shards per metric.
+	// 0 or 1 means a single shard (the pre-sharding engine); more shards
+	// mean finer-grained update locking and parallel builds at the cost
+	// of a per-query fan-out.
 	Shards int
 	// SnapshotDir, when non-empty, is where POST /snapshot writes the
 	// sharded snapshot and where SaveSnapshot/LoadSnapshot default to.
@@ -94,20 +107,22 @@ type engineGen struct {
 func (g *engineGen) load() uint64 { return g.v.Load() }
 func (g *engineGen) bump()        { g.v.Add(1) }
 
-// Engine is a concurrency-safe sharded facade over trajtree. All methods
-// may be called from any goroutine: queries take the read lock of each
-// shard they visit, updates take only the owning shard's write lock, and
-// the result cache carries its own mutex so a cache hit never touches a
-// shard.
+// Engine is a concurrency-safe sharded facade over one or more metric
+// backends. All methods may be called from any goroutine: queries take
+// the read lock of each shard they visit, updates take only the owning
+// shards' write locks, and the result cache carries its own mutex so a
+// cache hit never touches a shard.
 //
 // With more than one shard, a query fanning out is *per-shard* atomic
 // but not globally atomic: an Insert that completes between two shard
 // visits may or may not appear in the answer, exactly as if the query
 // had run entirely before or after it. Answers never mix partial states
-// of a single update, because each update touches exactly one shard.
+// of a single update, because each update touches exactly one shard per
+// metric.
 type Engine struct {
 	opt    Options
-	shards []*shard
+	sets   []*metricSet // boot order; sets[0] is the default metric
+	byName map[string]*metricSet
 	cache  *lruCache // nil when caching is disabled
 	gen    engineGen
 	snapMu sync.Mutex // serialises SaveSnapshot calls against each other
@@ -119,10 +134,11 @@ type Engine struct {
 	rebuilds  atomic.Uint64
 	snapshots atomic.Uint64
 
-	// Cumulative per-query kernel instrumentation (trajtree.Stats summed
-	// over every non-cached query and every shard it fanned out to),
+	// Cumulative per-query kernel instrumentation (backend.Stats summed
+	// over every non-cached query and every shard it fanned out to,
+	// across all metrics; per-metric breakdowns live on the metric sets),
 	// surfaced on GET /stats so the benefit of the bounded distance
-	// kernel is observable in production.
+	// kernels is observable in production.
 	distanceCalls   atomic.Uint64
 	earlyAbandons   atomic.Uint64
 	lowerBoundCalls atomic.Uint64
@@ -131,92 +147,91 @@ type Engine struct {
 }
 
 // recordQueryStats folds one query's instrumentation into the engine's
-// cumulative counters.
-func (e *Engine) recordQueryStats(st trajtree.Stats) {
+// cumulative counters and its metric's breakdown.
+func (e *Engine) recordQueryStats(ms *metricSet, st backend.Stats) {
 	e.distanceCalls.Add(uint64(st.DistanceCalls))
 	e.earlyAbandons.Add(uint64(st.EarlyAbandons))
 	e.lowerBoundCalls.Add(uint64(st.LowerBoundCalls))
 	e.nodesVisited.Add(uint64(st.NodesVisited))
 	e.nodesPruned.Add(uint64(st.NodesPruned))
+	ms.recordStats(st)
 }
 
-// newEngine wraps pre-built shards.
-func newEngine(shards []*shard, opt Options) *Engine {
-	e := &Engine{opt: opt, shards: shards}
+// newEngine wraps pre-built metric sets.
+func newEngine(sets []*metricSet, opt Options) *Engine {
+	e := &Engine{opt: opt, sets: sets, byName: make(map[string]*metricSet, len(sets))}
+	for _, ms := range sets {
+		e.byName[ms.name] = ms
+	}
 	if opt.CacheSize > 0 {
 		e.cache = newLRUCache(opt.CacheSize)
 	}
 	return e
 }
 
-// buildShards hash-partitions db and bulk-loads one tree per partition,
-// constructing shards in parallel on the worker pool.
-func buildShards(db []*traj.Trajectory, topt trajtree.Options, opt Options) ([]*shard, error) {
-	groups := partitionByShard(db, opt.Shards, func(t *traj.Trajectory) int { return t.ID })
-	shards := make([]*shard, opt.Shards)
-	err := par.ForErr(opt.Workers, opt.Shards, func(i int) error {
-		tree, err := trajtree.New(groups[i], topt)
-		if err != nil {
-			return err
-		}
-		shards[i] = &shard{tree: tree}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return shards, nil
-}
-
-// NewEngine wraps an existing tree. The caller must not use the tree
-// directly afterwards; the engine owns it. With opt.Shards > 1 the
-// tree's members are re-distributed across hash-placed shards built with
-// the tree's own options (a rebuild, priced accordingly); with the
-// default single shard the tree is adopted as-is.
+// NewEngine wraps an existing tree as a single-metric EDwP engine. The
+// caller must not use the tree directly afterwards; the engine owns it.
+// With opt.Shards > 1 the tree's members are re-distributed across
+// hash-placed shards built with the tree's own options (a rebuild,
+// priced accordingly); with the default single shard the tree is adopted
+// as-is.
 func NewEngine(tree *trajtree.Tree, opt Options) *Engine {
 	opt = opt.withDefaults()
 	if opt.Shards > 1 {
-		shards, err := buildShards(tree.All(), tree.Options(), opt)
+		sets, err := buildMetricSets(tree.All(), []backend.Spec{trajtree.BackendSpec(tree.Options())}, opt)
 		if err != nil {
 			// Members of a valid tree are already validated and
-			// duplicate-free, so buildShards cannot fail on them. If it
+			// duplicate-free, so the build cannot fail on them. If it
 			// does, the invariant is broken — fail loudly rather than
 			// silently serve with a shard count the caller did not ask
 			// for.
 			panic(fmt.Sprintf("server: resharding a valid tree failed: %v", err))
 		}
-		return newEngine(shards, opt)
+		return newEngine(sets, opt)
 	}
-	return newEngine([]*shard{{tree: tree}}, opt)
+	set := &metricSet{name: trajtree.MetricName, shards: []*shard{{be: tree}}}
+	return newEngine([]*metricSet{set}, opt)
 }
 
 // NewEngineFromDB bulk-loads hash-partitioned TrajTree shards over db
-// and wraps them. Shards build in parallel across the worker pool.
+// and wraps them in a single-metric EDwP engine. Shards build in
+// parallel across the worker pool.
 func NewEngineFromDB(db []*traj.Trajectory, topt trajtree.Options, opt Options) (*Engine, error) {
+	return NewMultiEngineFromDB(db, []backend.Spec{trajtree.BackendSpec(topt)}, opt)
+}
+
+// NewMultiEngineFromDB bulk-loads one sharded backend per spec over the
+// same database and wraps them in one engine: every metric answers over
+// the same corpus through the same Search API, routed by Query.Metric
+// (the first spec is the default). Within each metric the shards build
+// in parallel on the worker pool.
+func NewMultiEngineFromDB(db []*traj.Trajectory, specs []backend.Spec, opt Options) (*Engine, error) {
 	opt = opt.withDefaults()
-	shards, err := buildShards(db, topt, opt)
+	sets, err := buildMetricSets(db, specs, opt)
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(shards, opt), nil
+	return newEngine(sets, opt), nil
 }
 
-// Shards returns the number of index shards.
-func (e *Engine) Shards() int { return len(e.shards) }
+// Shards returns the number of index shards per metric.
+func (e *Engine) Shards() int { return len(e.sets[0].shards) }
 
-// Size returns the number of indexed trajectories across all shards.
+// Size returns the number of indexed trajectories across all shards of
+// the default metric (every metric indexes the same corpus).
 func (e *Engine) Size() int {
 	total := 0
-	for _, s := range e.shards {
+	for _, s := range e.sets[0].shards {
 		total += s.size()
 	}
 	return total
 }
 
-// Height returns the maximum shard height.
+// Height returns the maximum shard height of the default metric's index
+// (0 for flat backends).
 func (e *Engine) Height() int {
 	max := 0
-	for _, s := range e.shards {
+	for _, s := range e.sets[0].shards {
 		if h := s.height(); h > max {
 			max = h
 		}
@@ -227,23 +242,28 @@ func (e *Engine) Height() int {
 // Lookup returns the indexed trajectory with the given ID, or nil. The
 // hash placement invariant routes it straight to the owning shard.
 func (e *Engine) Lookup(id int) *traj.Trajectory {
-	return e.shards[shardIndex(id, len(e.shards))].lookup(id)
+	shards := e.sets[0].shards
+	return shards[shardIndex(id, len(shards))].lookup(id)
 }
 
-// Search executes one Query against the index, honouring ctx
+// Search executes one Query against the index of the metric it names
+// (Query.Metric; empty means the default metric), honouring ctx
 // cooperatively through the whole stack: the shard fan-out skips
-// un-started shards once ctx fires, the tree search polls a cancellation
-// flag between candidate pops, and the EDwP kernel polls it once per DP
-// row — a fired context aborts the query within one DP row of work. A
-// never-fired context leaves every answer byte-identical to the
-// deprecated per-variant methods (property-tested).
+// un-started shards once ctx fires, the backend scans poll a
+// cancellation flag between candidate evaluations, and the DP kernels
+// poll it once per row — a fired context aborts the query within one DP
+// row of work. A never-fired context leaves every answer byte-identical
+// to the deprecated per-variant methods (property-tested), and — for the
+// DTW/EDR backends — to their standalone indexes.
 //
 // On success the Answer carries the (distance, ID)-sorted results, the
 // per-query stats when req.WithStats is set, and Truncated when a
-// MaxEvals budget ran out before the search completed. On error —
-// ErrInvalidQuery for a malformed request, or ctx.Err() once the context
-// fires — the Answer is empty; partial work already performed still
-// lands in the engine's cumulative counters.
+// MaxEvals budget ran out before the search completed. On error — an
+// unknown or unloaded metric (ErrUnknownMetric, ErrMetricNotLoaded), a
+// capability the backend lacks (ErrNotSupported), ErrInvalidQuery for a
+// malformed request, or ctx.Err() once the context fires — the Answer is
+// empty; partial work already performed still lands in the engine's
+// cumulative counters.
 //
 // Cached KNN answers are returned without touching any shard; the
 // Results slice is then shared with the cache and must not be mutated.
@@ -257,12 +277,16 @@ func (e *Engine) Search(ctx context.Context, q *traj.Trajectory, req Query) (Ans
 	if err := req.validate(); err != nil {
 		return Answer{}, err
 	}
+	ms, err := e.resolveMetric(req.Metric)
+	if err != nil {
+		return Answer{}, err
+	}
 	if err := ctx.Err(); err != nil {
 		return Answer{}, err
 	}
-	ans, raw, err := e.searchOne(ctx, q, req, true)
+	ans, raw, err := e.searchOne(ctx, ms, q, req, true)
 	if !ans.Cached {
-		e.recordQueryStats(raw)
+		e.recordQueryStats(ms, raw)
 	}
 	return ans, err
 }
@@ -287,6 +311,10 @@ func (e *Engine) SearchBatch(ctx context.Context, qs []*traj.Trajectory, req Que
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
+	ms, err := e.resolveMetric(req.Metric)
+	if err != nil {
+		return nil, err
+	}
 	for i, q := range qs {
 		if q == nil {
 			return nil, fmt.Errorf("%w: nil query trajectory at index %d", ErrInvalidQuery, i)
@@ -296,18 +324,18 @@ func (e *Engine) SearchBatch(ctx context.Context, qs []*traj.Trajectory, req Que
 		return nil, err
 	}
 	answers := make([]Answer, len(qs))
-	raws := make([]trajtree.Stats, len(qs))
+	raws := make([]backend.Stats, len(qs))
 	errs := make([]error, len(qs))
 	par.For(e.opt.Workers, len(qs), func(i int) {
-		answers[i], raws[i], errs[i] = e.searchOne(ctx, qs[i], req, false)
+		answers[i], raws[i], errs[i] = e.searchOne(ctx, ms, qs[i], req, false)
 	})
-	var total trajtree.Stats
+	var total backend.Stats
 	for i := range raws {
 		if !answers[i].Cached {
 			total.Add(raws[i])
 		}
 	}
-	e.recordQueryStats(total)
+	e.recordQueryStats(ms, total)
 	if err := ctx.Err(); err != nil {
 		return answers, err
 	}
@@ -319,35 +347,40 @@ func (e *Engine) SearchBatch(ctx context.Context, qs []*traj.Trajectory, req Que
 	return answers, nil
 }
 
-// searchOne runs one query without folding its stats into the engine
-// counters (returned raw for the caller to record — once per query for
-// Search, one aggregate per batch for SearchBatch). concurrent selects
-// between a goroutine fan-out across shards (single interactive queries)
-// and an inline shard loop (batch workers, which are already saturating
-// the pool — the inline loop still shares the bound, so later shards
-// benefit from earlier shards' answers).
-func (e *Engine) searchOne(ctx context.Context, q *traj.Trajectory, req Query, concurrent bool) (Answer, trajtree.Stats, error) {
+// searchOne runs one query against one metric set without folding its
+// stats into the engine counters (returned raw for the caller to record
+// — once per query for Search, one aggregate per batch for SearchBatch).
+// concurrent selects between a goroutine fan-out across shards (single
+// interactive queries) and an inline shard loop (batch workers, which
+// are already saturating the pool — the inline loop still shares the
+// bound, so later shards benefit from earlier shards' answers).
+func (e *Engine) searchOne(ctx context.Context, ms *metricSet, q *traj.Trajectory, req Query, concurrent bool) (Answer, backend.Stats, error) {
 	e.queries.Add(1)
+	ms.queries.Add(1)
 	var key cacheKey
 	gen := e.gen.load()
 	useCache := e.cache != nil && req.cacheable()
 	if useCache {
-		key = knnKey(q, req.K)
+		key = knnKey(ms.name, q, req.K)
 		if res, ok := e.cache.get(key, gen); ok {
 			e.cacheHits.Add(1)
-			return Answer{Results: res, Cached: true}, trajtree.Stats{}, nil
+			ms.cacheHits.Add(1)
+			return Answer{Results: res, Cached: true}, backend.Stats{}, nil
 		}
 	}
 	// The Ctl is only armed when it can matter — a cancellable context or
 	// an eval budget. Background-context, unbudgeted queries (the legacy
 	// wrappers) run the exact pre-redesign path with a nil Ctl.
-	var ctl *trajtree.Ctl
+	var ctl *backend.Ctl
 	if ctx.Done() != nil || req.MaxEvals > 0 {
-		ctl = trajtree.NewCtl(ctx, req.MaxEvals)
+		ctl = backend.NewCtl(ctx, req.MaxEvals)
 		defer ctl.Release()
 	}
-	res, st, truncated, err := e.fanout(q, req, ctl, concurrent)
+	res, st, truncated, err := e.fanout(ms, q, req, ctl, concurrent)
 	if err != nil {
+		if errors.Is(err, backend.ErrNotSupported) {
+			err = fmt.Errorf("metric %q: %w", ms.name, err)
+		}
 		return Answer{}, st, err
 	}
 	// Only cache answers computed against a quiescent generation: if an
@@ -365,14 +398,16 @@ func (e *Engine) searchOne(ctx context.Context, q *traj.Trajectory, req Query, c
 	return ans, st, nil
 }
 
-// fanout dispatches one validated query across the shards and merges the
-// per-shard answers. KNN kinds share one tightening bound (seeded with
-// the query's Limit) so a close neighbour found in any shard abandons DP
-// work in all the others; range queries are seeded by their radius and
-// need no shared state. Once ctl fires, shards whose search has not
-// started are skipped entirely and the merged answer is discarded.
-func (e *Engine) fanout(q *traj.Trajectory, req Query, ctl *trajtree.Ctl, concurrent bool) ([]trajtree.Result, trajtree.Stats, bool, error) {
-	shardRun := func(s *shard, bound *trajtree.SharedBound) ([]trajtree.Result, trajtree.Stats, bool, error) {
+// fanout dispatches one validated query across its metric's shards and
+// merges the per-shard answers. KNN kinds share one tightening bound
+// (seeded with the query's Limit) so a close neighbour found in any
+// shard abandons DP work in all the others; range queries are seeded by
+// their radius and need no shared state. Once ctl fires, shards whose
+// search has not started are skipped entirely and the merged answer is
+// discarded.
+func (e *Engine) fanout(ms *metricSet, q *traj.Trajectory, req Query, ctl *backend.Ctl, concurrent bool) ([]backend.Result, backend.Stats, bool, error) {
+	shards := ms.shards
+	shardRun := func(s *shard, bound *backend.SharedBound) ([]backend.Result, backend.Stats, bool, error) {
 		switch req.Kind {
 		case KindRange:
 			return s.searchRange(q, req.Radius, ctl)
@@ -387,21 +422,21 @@ func (e *Engine) fanout(q *traj.Trajectory, req Query, ctl *trajtree.Ctl, concur
 	// (its radius already is the bound). A single shard with no Limit
 	// keeps the legacy nil-bound fast path instead of a +Inf bound it
 	// could only tighten against itself.
-	var bound *trajtree.SharedBound
+	var bound *backend.SharedBound
 	if req.Kind != KindRange {
 		if limit := req.seedLimit(); !math.IsInf(limit, 1) {
-			bound = trajtree.NewSharedBound(limit)
-		} else if len(e.shards) > 1 {
-			bound = trajtree.NewSharedBound(math.Inf(1))
+			bound = backend.NewSharedBound(limit)
+		} else if len(shards) > 1 {
+			bound = backend.NewSharedBound(math.Inf(1))
 		}
 	}
-	if len(e.shards) == 1 {
-		return shardRun(e.shards[0], bound)
+	if len(shards) == 1 {
+		return shardRun(shards[0], bound)
 	}
-	per := make([][]trajtree.Result, len(e.shards))
-	sts := make([]trajtree.Stats, len(e.shards))
-	truncs := make([]bool, len(e.shards))
-	errs := make([]error, len(e.shards))
+	per := make([][]backend.Result, len(shards))
+	sts := make([]backend.Stats, len(shards))
+	truncs := make([]bool, len(shards))
+	errs := make([]error, len(shards))
 	run := func(i int) {
 		if ctl.Cancelled() {
 			// Cancellation abort for shards whose search has not started;
@@ -409,18 +444,18 @@ func (e *Engine) fanout(q *traj.Trajectory, req Query, ctl *trajtree.Ctl, concur
 			errs[i] = ctl.Err()
 			return
 		}
-		per[i], sts[i], truncs[i], errs[i] = shardRun(e.shards[i], bound)
+		per[i], sts[i], truncs[i], errs[i] = shardRun(shards[i], bound)
 	}
 	if concurrent {
-		par.For(e.opt.Workers, len(e.shards), run)
+		par.For(e.opt.Workers, len(shards), run)
 	} else {
-		for i := range e.shards {
+		for i := range shards {
 			run(i)
 		}
 	}
 	// Fold stats before the error checks: partial work performed by
 	// shards that ran before the cancellation still counts.
-	var total trajtree.Stats
+	var total backend.Stats
 	truncated := false
 	for i := range sts {
 		total.Add(sts[i])
@@ -446,12 +481,14 @@ func (e *Engine) fanout(q *traj.Trajectory, req Query, ctl *trajtree.Ctl, concur
 // keep everything, the range-query case). The ID tie-break is the
 // load-bearing determinism guarantee: it makes the merged answer a
 // function of the candidate set alone, independent of shard count, shard
-// order, and scheduling, even when distances tie exactly. (A single-shard
-// engine bypasses the merge entirely — it is the plain tree search,
-// whose boundary ties follow traversal order; see the sharding notes in
-// docs/ARCHITECTURE.md.)
-func mergeResults(per [][]trajtree.Result, k int) []trajtree.Result {
-	var all []trajtree.Result
+// order, and scheduling, even when distances tie exactly — and the
+// DTW/EDR backends resolve their internal ties by the same order, which
+// is what makes a sharded fan-out byte-identical to the standalone
+// index. (A single-shard EDwP engine bypasses the merge entirely — it is
+// the plain tree search, whose boundary ties follow traversal order; see
+// the sharding notes in docs/ARCHITECTURE.md.)
+func mergeResults(per [][]backend.Result, k int) []backend.Result {
+	var all []backend.Result
 	for _, rs := range per {
 		all = append(all, rs...)
 	}
@@ -467,22 +504,22 @@ func mergeResults(per [][]trajtree.Result, k int) []trajtree.Result {
 	return all
 }
 
-// KNN answers an exact k-nearest-neighbour query, fanning out across the
-// shards with a shared tightening bound.
+// KNN answers an exact k-nearest-neighbour query under the default
+// metric, fanning out across the shards with a shared tightening bound.
 //
 // Deprecated: use Search with a KindKNN Query, which adds cancellation,
-// seed bounds and evaluation budgets. With a background context the
-// answers are byte-identical.
-func (e *Engine) KNN(q *traj.Trajectory, k int) ([]trajtree.Result, trajtree.Stats) {
+// seed bounds, evaluation budgets and metric selection. With a
+// background context the answers are byte-identical.
+func (e *Engine) KNN(q *traj.Trajectory, k int) ([]backend.Result, backend.Stats) {
 	ans, _ := e.Search(context.Background(), q, Query{Kind: KindKNN, K: k, WithStats: true})
 	return ans.Results, ans.Stats
 }
 
-// RangeSearch returns every indexed trajectory within radius of q,
-// sorted ascending.
+// RangeSearch returns every indexed trajectory within radius of q under
+// the default metric, sorted ascending.
 //
 // Deprecated: use Search with a KindRange Query.
-func (e *Engine) RangeSearch(q *traj.Trajectory, radius float64) ([]trajtree.Result, trajtree.Stats) {
+func (e *Engine) RangeSearch(q *traj.Trajectory, radius float64) ([]backend.Result, backend.Stats) {
 	ans, _ := e.Search(context.Background(), q, Query{Kind: KindRange, Radius: radius, WithStats: true})
 	return ans.Results, ans.Stats
 }
@@ -492,9 +529,9 @@ func (e *Engine) RangeSearch(q *traj.Trajectory, radius float64) ([]trajtree.Res
 //
 // Deprecated: use SearchBatch, which additionally returns per-query
 // Stats and honours a context.
-func (e *Engine) KNNBatch(qs []*traj.Trajectory, k int) [][]trajtree.Result {
+func (e *Engine) KNNBatch(qs []*traj.Trajectory, k int) [][]backend.Result {
 	answers, err := e.SearchBatch(context.Background(), qs, Query{Kind: KindKNN, K: k})
-	out := make([][]trajtree.Result, len(qs))
+	out := make([][]backend.Result, len(qs))
 	if err != nil {
 		return out // invalid k: every answer list empty, as before
 	}
@@ -504,39 +541,90 @@ func (e *Engine) KNNBatch(qs []*traj.Trajectory, k int) [][]trajtree.Result {
 	return out
 }
 
-// Insert adds a trajectory to the index, blocking queries only on the
-// owning shard for the duration of the update.
+// Insert adds a trajectory to every loaded metric's index, blocking
+// queries only on the owning shards for the duration of the update. It
+// requires every loaded backend to be mutable (capability
+// backend.Mutable) — a partial update would let the metrics' views of
+// the corpus diverge — and returns ErrNotSupported naming the first
+// incapable metric otherwise.
+//
+// Metric sets update in boot order with no cross-metric transaction: if
+// a later set rejects the trajectory (today only possible for invalid
+// input, which every tree-backed set rejects identically before any
+// state changes), earlier sets keep it and the error reports the
+// divergence. A second mutable backend whose Insert can fail on valid
+// input would need a rollback here.
 func (e *Engine) Insert(tr *traj.Trajectory) error {
-	s := e.shards[shardIndex(tr.ID, len(e.shards))]
-	if err := s.insert(tr, &e.gen); err != nil {
-		return fmt.Errorf("server: %w", err)
+	if err := e.requireMutable(); err != nil {
+		return err
+	}
+	for _, ms := range e.sets {
+		s := ms.shards[shardIndex(tr.ID, len(ms.shards))]
+		if err := s.insert(tr, &e.gen); err != nil {
+			return fmt.Errorf("server: metric %q: %w", ms.name, err)
+		}
 	}
 	e.inserts.Add(1)
 	return nil
 }
 
-// Delete removes the trajectory with the given ID, reporting whether it
-// was present.
+// Delete removes the trajectory with the given ID from every loaded
+// metric's index, reporting whether it was present. Like Insert it
+// requires every loaded backend to be mutable.
 func (e *Engine) Delete(id int) bool {
-	s := e.shards[shardIndex(id, len(e.shards))]
-	if !s.delete(id, &e.gen) {
+	if e.requireMutable() != nil {
+		return false
+	}
+	present := false
+	for _, ms := range e.sets {
+		s := ms.shards[shardIndex(id, len(ms.shards))]
+		ok, err := s.delete(id, &e.gen)
+		if err != nil {
+			return false
+		}
+		present = present || ok
+	}
+	if !present {
 		return false
 	}
 	e.deletes.Add(1)
 	return true
 }
 
-// Rebuild reconstructs every shard from its current members as a
-// rolling update: shards rebuild strictly one at a time, so at any
-// moment at most one shard is write-locked and queries keep flowing
-// through the others (a k-NN fan-out stalls only on the shard currently
-// rebuilding, not on the whole index). Availability is deliberately
-// chosen over rebuild wall clock here — each shard's internal build
-// still parallelises when the tree's Parallel option is set.
+// CanMutate reports whether the engine accepts Insert/Delete/Rebuild:
+// nil when every loaded backend is mutable, otherwise an ErrNotSupported
+// error naming the first metric that is not. The HTTP layer gates the
+// update endpoints on it (501 not_implemented).
+func (e *Engine) CanMutate() error { return e.requireMutable() }
+
+// requireMutable returns ErrNotSupported naming the first loaded metric
+// whose backend cannot be updated in place.
+func (e *Engine) requireMutable() error {
+	for _, ms := range e.sets {
+		if !ms.mutable() {
+			return fmt.Errorf("server: metric %q: mutation %w", ms.name, backend.ErrNotSupported)
+		}
+	}
+	return nil
+}
+
+// Rebuild reconstructs every shard of every mutable metric from its
+// current members as a rolling update: shards rebuild strictly one at a
+// time, so at any moment at most one shard is write-locked and queries
+// keep flowing through the others (a k-NN fan-out stalls only on the
+// shard currently rebuilding, not on the whole index). Availability is
+// deliberately chosen over rebuild wall clock here — each shard's
+// internal build still parallelises when the tree's Parallel option is
+// set. Like Insert it requires every loaded backend to be mutable.
 func (e *Engine) Rebuild() error {
-	for _, s := range e.shards {
-		if err := s.rebuild(&e.gen); err != nil {
-			return fmt.Errorf("server: %w", err)
+	if err := e.requireMutable(); err != nil {
+		return err
+	}
+	for _, ms := range e.sets {
+		for _, s := range ms.shards {
+			if err := s.rebuild(&e.gen); err != nil {
+				return fmt.Errorf("server: metric %q: %w", ms.name, err)
+			}
 		}
 	}
 	e.rebuilds.Add(1)
@@ -550,28 +638,49 @@ type ShardStats struct {
 	Height int `json:"height"`
 }
 
+// MetricStats is one loaded metric's slice of the engine counters on
+// GET /stats: its capability set plus the traffic and kernel
+// instrumentation accumulated over its queries.
+type MetricStats struct {
+	Metric       string   `json:"metric"`
+	Capabilities []string `json:"capabilities"`
+	Queries      uint64   `json:"queries"`
+	CacheHits    uint64   `json:"cache_hits"`
+
+	DistanceCalls   uint64 `json:"distance_calls"`
+	EarlyAbandons   uint64 `json:"early_abandons"`
+	LowerBoundCalls uint64 `json:"lower_bound_calls"`
+	NodesVisited    uint64 `json:"nodes_visited"`
+	NodesPruned     uint64 `json:"nodes_pruned"`
+}
+
 // Stats is a point-in-time snapshot of the engine's counters and index
 // shape, the payload of GET /stats.
 type Stats struct {
-	Size      int    `json:"size"`
-	Height    int    `json:"height"`
-	Shards    int    `json:"shards"`
-	Queries   uint64 `json:"queries"`
-	CacheHits uint64 `json:"cache_hits"`
-	CacheLen  int    `json:"cache_len"`
-	Inserts   uint64 `json:"inserts"`
-	Deletes   uint64 `json:"deletes"`
-	Rebuilds  uint64 `json:"rebuilds"`
-	Snapshots uint64 `json:"snapshots"`
-	Workers   int    `json:"workers"`
+	Size      int      `json:"size"`
+	Height    int      `json:"height"`
+	Shards    int      `json:"shards"`
+	Metrics   []string `json:"metrics"`
+	Queries   uint64   `json:"queries"`
+	CacheHits uint64   `json:"cache_hits"`
+	CacheLen  int      `json:"cache_len"`
+	Inserts   uint64   `json:"inserts"`
+	Deletes   uint64   `json:"deletes"`
+	Rebuilds  uint64   `json:"rebuilds"`
+	Snapshots uint64   `json:"snapshots"`
+	Workers   int      `json:"workers"`
 
-	// PerShard breaks the index shape down by shard; Size is their sum
-	// and Height their max.
+	// PerShard breaks the default metric's index shape down by shard;
+	// Size is their sum and Height their max.
 	PerShard []ShardStats `json:"per_shard"`
 
-	// Cumulative kernel instrumentation over all non-cached queries.
-	// EarlyAbandons / DistanceCalls is the fraction of exact evaluations
-	// the bounded kernel cut short.
+	// PerMetric breaks the traffic and kernel counters down by loaded
+	// metric, in boot order (the first is the default metric).
+	PerMetric []MetricStats `json:"per_metric"`
+
+	// Cumulative kernel instrumentation over all non-cached queries of
+	// all metrics. EarlyAbandons / DistanceCalls is the fraction of exact
+	// evaluations the bounded kernels cut short.
 	DistanceCalls   uint64 `json:"distance_calls"`
 	EarlyAbandons   uint64 `json:"early_abandons"`
 	LowerBoundCalls uint64 `json:"lower_bound_calls"`
@@ -582,7 +691,8 @@ type Stats struct {
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Shards:          len(e.shards),
+		Shards:          len(e.sets[0].shards),
+		Metrics:         e.Metrics(),
 		Queries:         e.queries.Load(),
 		CacheHits:       e.cacheHits.Load(),
 		Inserts:         e.inserts.Load(),
@@ -596,15 +706,27 @@ func (e *Engine) Stats() Stats {
 		NodesVisited:    e.nodesVisited.Load(),
 		NodesPruned:     e.nodesPruned.Load(),
 	}
-	st.PerShard = make([]ShardStats, len(e.shards))
-	for i, s := range e.shards {
-		s.mu.RLock()
-		size, h := s.tree.Size(), s.tree.Height()
-		s.mu.RUnlock()
+	st.PerShard = make([]ShardStats, len(e.sets[0].shards))
+	for i, s := range e.sets[0].shards {
+		size, h := s.size(), s.height()
 		st.PerShard[i] = ShardStats{Shard: i, Size: size, Height: h}
 		st.Size += size
 		if h > st.Height {
 			st.Height = h
+		}
+	}
+	st.PerMetric = make([]MetricStats, len(e.sets))
+	for i, ms := range e.sets {
+		st.PerMetric[i] = MetricStats{
+			Metric:          ms.name,
+			Capabilities:    ms.capabilities(),
+			Queries:         ms.queries.Load(),
+			CacheHits:       ms.cacheHits.Load(),
+			DistanceCalls:   ms.distanceCalls.Load(),
+			EarlyAbandons:   ms.earlyAbandons.Load(),
+			LowerBoundCalls: ms.lowerBoundCalls.Load(),
+			NodesVisited:    ms.nodesVisited.Load(),
+			NodesPruned:     ms.nodesPruned.Load(),
 		}
 	}
 	if e.cache != nil {

@@ -214,7 +214,9 @@ func TestEngineConcurrentKNNDuringInsert(t *testing.T) {
 
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
-	k1, k2, k3 := cacheKey{1, 1}, cacheKey{2, 1}, cacheKey{3, 1}
+	k1 := cacheKey{metric: "edwp", hash: 1, k: 1}
+	k2 := cacheKey{metric: "edwp", hash: 2, k: 1}
+	k3 := cacheKey{metric: "edwp", hash: 3, k: 1}
 	c.put(k1, 0, nil)
 	c.put(k2, 0, nil)
 	c.get(k1, 0) // touch k1 so k2 becomes LRU

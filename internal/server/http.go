@@ -8,8 +8,8 @@ import (
 	"net/http"
 	"time"
 
+	"trajmatch/internal/backend"
 	"trajmatch/internal/traj"
-	"trajmatch/internal/trajtree"
 )
 
 // WireTrajectory is the JSON form of a trajectory shared by every
@@ -43,7 +43,7 @@ type Neighbor struct {
 	Dist  float64 `json:"dist"`
 }
 
-func toNeighbors(rs []trajtree.Result) []Neighbor {
+func toNeighbors(rs []backend.Result) []Neighbor {
 	out := make([]Neighbor, len(rs))
 	for i, r := range rs {
 		out[i] = Neighbor{ID: r.Traj.ID, Label: r.Traj.Label, Dist: r.Dist}
@@ -51,7 +51,7 @@ func toNeighbors(rs []trajtree.Result) []Neighbor {
 	return out
 }
 
-// WireStats mirrors trajtree.Stats in snake_case JSON.
+// WireStats mirrors backend.Stats in snake_case JSON.
 type WireStats struct {
 	DistanceCalls   int `json:"distance_calls"`
 	EarlyAbandons   int `json:"early_abandons"`
@@ -60,7 +60,7 @@ type WireStats struct {
 	NodesPruned     int `json:"nodes_pruned"`
 }
 
-func toWireStats(st trajtree.Stats) WireStats {
+func toWireStats(st backend.Stats) WireStats {
 	return WireStats{
 		DistanceCalls:   st.DistanceCalls,
 		EarlyAbandons:   st.EarlyAbandons,
@@ -200,6 +200,9 @@ type SnapshotResponse struct {
 const (
 	CodeBadRequest         = "bad_request"
 	CodeInvalidQuery       = "invalid_query"
+	CodeUnknownMetric      = "unknown_metric"
+	CodeMetricNotLoaded    = "metric_not_loaded"
+	CodeNotImplemented     = "not_implemented"
 	CodeDeadlineExceeded   = "deadline_exceeded"
 	CodeCanceled           = "canceled"
 	CodeNotFound           = "not_found"
@@ -230,7 +233,8 @@ type HandlerOptions struct {
 
 // NewAPIHandler returns the versioned HTTP surface over e:
 //
-//	POST /v1/search    {"kind": "knn"|"range"|"subknn", "query": {...} | "queries": [...],
+//	POST /v1/search    {"kind": "knn"|"range"|"subknn", "metric": "edwp"|"dtw"|"edr",
+//	                    "query": {...} | "queries": [...],
 //	                    "k": 10, "radius": 250, "limit": 0, "max_evals": 0, "with_stats": true}
 //	POST /v1/insert    {"trajectories": [{...}, ...]}
 //	POST /v1/delete    {"ids": [17, 42]}
@@ -328,6 +332,12 @@ func (h *api) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
 // writeSearchError maps an Engine.Search error onto the envelope.
 func writeSearchError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, ErrUnknownMetric):
+		writeError(w, http.StatusBadRequest, CodeUnknownMetric, err.Error())
+	case errors.Is(err, ErrMetricNotLoaded):
+		writeError(w, http.StatusBadRequest, CodeMetricNotLoaded, err.Error())
+	case errors.Is(err, ErrNotSupported):
+		writeError(w, http.StatusNotImplemented, CodeNotImplemented, err.Error())
 	case errors.Is(err, ErrInvalidQuery):
 		writeError(w, http.StatusBadRequest, CodeInvalidQuery, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
@@ -485,7 +495,21 @@ func (h *api) legacyRange(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// writeIfImmutable answers 501 not_implemented when the engine holds a
+// backend without the mutation capability (DTW/EDR), reporting true so
+// update handlers return early.
+func (h *api) writeIfImmutable(w http.ResponseWriter) bool {
+	if err := h.e.CanMutate(); err != nil {
+		writeError(w, http.StatusNotImplemented, CodeNotImplemented, err.Error())
+		return true
+	}
+	return false
+}
+
 func (h *api) insert(w http.ResponseWriter, r *http.Request) {
+	if h.writeIfImmutable(w) {
+		return
+	}
 	var req InsertRequest
 	if !decode(w, r, &req) {
 		return
@@ -508,6 +532,9 @@ func (h *api) insert(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *api) delete(w http.ResponseWriter, r *http.Request) {
+	if h.writeIfImmutable(w) {
+		return
+	}
 	var req DeleteRequest
 	if !decode(w, r, &req) {
 		return
@@ -529,6 +556,9 @@ func (h *api) delete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *api) rebuild(w http.ResponseWriter, r *http.Request) {
+	if h.writeIfImmutable(w) {
+		return
+	}
 	t0 := time.Now()
 	if err := h.e.Rebuild(); err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
@@ -550,6 +580,10 @@ func (h *api) snapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	t0 := time.Now()
 	if err := h.e.SaveSnapshot(dir); err != nil {
+		if errors.Is(err, ErrNotSupported) {
+			writeError(w, http.StatusNotImplemented, CodeNotImplemented, err.Error())
+			return
+		}
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}

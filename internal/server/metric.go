@@ -1,0 +1,135 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"trajmatch/internal/backend"
+	"trajmatch/internal/traj"
+)
+
+// ErrUnknownMetric reports a Query.Metric that no linked backend has
+// registered — almost certainly a typo. The HTTP layer answers 400 with
+// code "unknown_metric" listing the registered names.
+var ErrUnknownMetric = errors.New("unknown metric")
+
+// ErrMetricNotLoaded reports a Query.Metric that is registered but was
+// not booted into this engine (trajserve -metrics selects the set). The
+// HTTP layer answers 400 with code "metric_not_loaded" listing the
+// loaded names.
+var ErrMetricNotLoaded = errors.New("metric not loaded")
+
+// ErrNotSupported re-exports backend.ErrNotSupported: the loaded backend
+// lacks the capability the operation needs (mutation on a static DTW/EDR
+// index, sub-trajectory search on a metric without one). The HTTP layer
+// answers 501 with code "not_implemented".
+var ErrNotSupported = backend.ErrNotSupported
+
+// metricSet is one metric's slice of the engine: the hash-partitioned
+// shards of one Backend implementation plus the per-metric traffic and
+// kernel counters. Every loaded set shards the same corpus with the same
+// placement function, so ID routing is metric-independent.
+type metricSet struct {
+	name   string
+	shards []*shard
+
+	queries   atomic.Uint64
+	cacheHits atomic.Uint64
+
+	distanceCalls   atomic.Uint64
+	earlyAbandons   atomic.Uint64
+	lowerBoundCalls atomic.Uint64
+	nodesVisited    atomic.Uint64
+	nodesPruned     atomic.Uint64
+}
+
+func (ms *metricSet) recordStats(st backend.Stats) {
+	ms.distanceCalls.Add(uint64(st.DistanceCalls))
+	ms.earlyAbandons.Add(uint64(st.EarlyAbandons))
+	ms.lowerBoundCalls.Add(uint64(st.LowerBoundCalls))
+	ms.nodesVisited.Add(uint64(st.NodesVisited))
+	ms.nodesPruned.Add(uint64(st.NodesPruned))
+}
+
+// capabilities reports which optional interfaces the set's backend
+// implements, for the stats endpoint's capability matrix. All shards of
+// a set share one implementation, so shard 0 speaks for the set.
+func (ms *metricSet) capabilities() []string {
+	caps := []string{"knn", "range"}
+	be := ms.shards[0].be
+	if _, ok := be.(backend.SubSearcher); ok {
+		caps = append(caps, "subknn")
+	}
+	if _, ok := be.(backend.Mutable); ok {
+		caps = append(caps, "mutate")
+	}
+	if _, ok := treeOf(be); ok {
+		caps = append(caps, "persist")
+	}
+	return caps
+}
+
+// mutable reports whether the set's backend supports in-place updates.
+func (ms *metricSet) mutable() bool {
+	_, ok := ms.shards[0].be.(backend.Mutable)
+	return ok
+}
+
+// resolveMetric routes a Query.Metric to its loaded metric set. An
+// empty name means the engine's default metric — the first in boot
+// order, which is EDwP in every standard boot (NewEngineFromDB, the
+// default -metrics list). Unknown and known-but-unloaded names fail
+// with the two distinct error values the HTTP layer maps to their
+// codes.
+func (e *Engine) resolveMetric(name string) (*metricSet, error) {
+	if name == "" {
+		return e.sets[0], nil
+	}
+	if ms, ok := e.byName[name]; ok {
+		return ms, nil
+	}
+	if backend.Known(name) {
+		return nil, fmt.Errorf("%w: %q (loaded: %s)", ErrMetricNotLoaded, name, strings.Join(e.Metrics(), ", "))
+	}
+	return nil, fmt.Errorf("%w: %q (registered: %s)", ErrUnknownMetric, name, strings.Join(backend.Names(), ", "))
+}
+
+// Metrics returns the loaded metric names in boot order; the first is
+// the default an empty Query.Metric resolves to.
+func (e *Engine) Metrics() []string {
+	out := make([]string, len(e.sets))
+	for i, ms := range e.sets {
+		out[i] = ms.name
+	}
+	return out
+}
+
+// buildMetricSets hash-partitions db once and builds every spec's shards
+// over the same partition, shard-parallel per set. Placement is a pure
+// function of (ID, shard count), shared by all sets, so Lookup and
+// Delete route identically whatever the metric.
+func buildMetricSets(db []*traj.Trajectory, specs []backend.Spec, opt Options) ([]*metricSet, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("server: no metric backends specified")
+	}
+	groups := partitionByShard(db, opt.Shards, func(t *traj.Trajectory) int { return t.ID })
+	sets := make([]*metricSet, 0, len(specs))
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		if spec.Name == "" || spec.Build == nil {
+			return nil, fmt.Errorf("server: invalid backend spec %+v", spec)
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("server: duplicate metric %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		shards, err := buildSpecShards(groups, spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, &metricSet{name: spec.Name, shards: shards})
+	}
+	return sets, nil
+}

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 
-	"trajmatch/internal/trajtree"
+	"trajmatch/internal/backend"
 )
 
 // ErrInvalidQuery wraps every request-validation failure of
@@ -40,6 +40,14 @@ const (
 type Query struct {
 	// Kind selects the search; see the QueryKind constants.
 	Kind QueryKind `json:"kind"`
+
+	// Metric selects which loaded backend answers the query: "edwp",
+	// "dtw", "edr", or any future registered backend the engine was
+	// booted with. Empty means the engine's default metric — its first
+	// in boot order, "edwp" in every standard boot. An unregistered name
+	// fails with ErrUnknownMetric; a registered one the engine did not
+	// load fails with ErrMetricNotLoaded.
+	Metric string `json:"metric,omitempty"`
 
 	// K is the answer-set size for KindKNN and KindSubKNN; ignored by
 	// KindRange.
@@ -114,11 +122,11 @@ func (q Query) cacheable() bool {
 // Answer is the result of one executed Query.
 type Answer struct {
 	// Results is the answer set, sorted by (distance, ID).
-	Results []trajtree.Result
+	Results []backend.Result
 	// Stats is this query's kernel instrumentation, populated only when
 	// the Query set WithStats (and zero for cache hits — the index was
 	// never touched).
-	Stats trajtree.Stats
+	Stats backend.Stats
 	// Cached reports that the answer came from the LRU result cache.
 	Cached bool
 	// Truncated reports that the MaxEvals budget ran out: Results holds

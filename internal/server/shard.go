@@ -1,62 +1,110 @@
 package server
 
 import (
+	"fmt"
 	"io"
 	"sync"
 
+	"trajmatch/internal/backend"
+	"trajmatch/internal/par"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/trajtree"
 )
 
-// shard is one independently locked partition of the index: a
-// trajtree.Tree plus the RWMutex that serialises its updates against its
-// readers. Queries fan out across shards taking each shard's read lock
-// individually, so an Insert/Delete/Rebuild on one shard stalls only the
-// 1/N of the search space it owns while the other shards keep answering.
+// treeOf is the single place the engine recognises a persistent backend:
+// today that means the concrete tree type, because the snapshot format
+// (trajtree.Save streams + manifest tree options) is tree-specific. A
+// future second persistent backend generalises this helper — and the
+// manifest — rather than scattering assertions.
+func treeOf(be backend.Backend) (*trajtree.Tree, bool) {
+	tree, ok := be.(*trajtree.Tree)
+	return tree, ok
+}
+
+// shard is one independently locked partition of a metric's index: a
+// backend.Backend plus the RWMutex that serialises its updates against
+// its readers. Queries fan out across shards taking each shard's read
+// lock individually, so an Insert/Delete/Rebuild on one shard stalls only
+// the 1/N of the search space it owns while the other shards keep
+// answering.
+//
+// The optional operations — sub-trajectory search, mutation, persistence
+// — are capability-gated: the shard type-asserts the corresponding
+// interface and degrades to backend.ErrNotSupported when the backend
+// lacks it, so the engine above stays metric-agnostic.
 type shard struct {
-	mu   sync.RWMutex
-	tree *trajtree.Tree
+	mu sync.RWMutex
+	be backend.Backend
+}
+
+// buildSpecShards builds one backend per pre-partitioned group on the
+// worker pool.
+func buildSpecShards(groups [][]*traj.Trajectory, spec backend.Spec, opt Options) ([]*shard, error) {
+	shards := make([]*shard, len(groups))
+	err := par.ForErr(opt.Workers, len(groups), func(i int) error {
+		be, err := spec.Build(groups[i])
+		if err != nil {
+			return err
+		}
+		shards[i] = &shard{be: be}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: build metric %q: %w", spec.Name, err)
+	}
+	return shards, nil
 }
 
 // searchKNN runs the bound-seeded k-NN search under the shard's read
 // lock; bound may be nil for a self-contained single-shard search, and
 // ctl may be nil for an uncancellable, unbudgeted one.
-func (s *shard) searchKNN(q *traj.Trajectory, k int, bound *trajtree.SharedBound, ctl *trajtree.Ctl) ([]trajtree.Result, trajtree.Stats, bool, error) {
+func (s *shard) searchKNN(q *traj.Trajectory, k int, bound *backend.SharedBound, ctl *backend.Ctl) ([]backend.Result, backend.Stats, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.tree.SearchKNN(q, k, bound, ctl)
+	return s.be.SearchKNN(q, k, bound, ctl)
 }
 
 // searchRange runs the radius-seeded search under the read lock.
-func (s *shard) searchRange(q *traj.Trajectory, radius float64, ctl *trajtree.Ctl) ([]trajtree.Result, trajtree.Stats, bool, error) {
+func (s *shard) searchRange(q *traj.Trajectory, radius float64, ctl *backend.Ctl) ([]backend.Result, backend.Stats, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.tree.SearchRange(q, radius, ctl)
+	return s.be.SearchRange(q, radius, ctl)
 }
 
-// searchSub runs the bounded EDwPsub scan under the read lock.
-func (s *shard) searchSub(q *traj.Trajectory, k int, bound *trajtree.SharedBound, ctl *trajtree.Ctl) ([]trajtree.Result, trajtree.Stats, bool, error) {
+// searchSub runs the bounded sub-trajectory scan under the read lock,
+// degrading to ErrNotSupported on backends whose metric has no
+// sub-trajectory form.
+func (s *shard) searchSub(q *traj.Trajectory, k int, bound *backend.SharedBound, ctl *backend.Ctl) ([]backend.Result, backend.Stats, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.tree.SearchSub(q, k, bound, ctl)
+	sub, ok := s.be.(backend.SubSearcher)
+	if !ok {
+		return nil, backend.Stats{}, false, fmt.Errorf("sub-trajectory search %w", backend.ErrNotSupported)
+	}
+	return sub.SearchSub(q, k, bound, ctl)
 }
 
 func (s *shard) size() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.tree.Size()
+	return s.be.Size()
 }
 
+// height returns the shard's index height for tree-backed shards and 0
+// for flat ones; it is a shape statistic, not part of the contract.
 func (s *shard) height() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.tree.Height()
+	if tree, ok := treeOf(s.be); ok {
+		return tree.Height()
+	}
+	return 0
 }
 
 func (s *shard) lookup(id int) *traj.Trajectory {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.tree.Lookup(id)
+	return s.be.Lookup(id)
 }
 
 // insert adds tr and bumps the engine generation while still holding the
@@ -66,34 +114,46 @@ func (s *shard) lookup(id int) *traj.Trajectory {
 func (s *shard) insert(tr *traj.Trajectory, gen *engineGen) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.tree.Insert(tr); err != nil {
+	m, ok := s.be.(backend.Mutable)
+	if !ok {
+		return fmt.Errorf("insert %w", backend.ErrNotSupported)
+	}
+	if err := m.Insert(tr); err != nil {
 		return err
 	}
 	gen.bump()
 	return nil
 }
 
-func (s *shard) delete(id int, gen *engineGen) bool {
+func (s *shard) delete(id int, gen *engineGen) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.tree.Delete(id) {
-		return false
+	m, ok := s.be.(backend.Mutable)
+	if !ok {
+		return false, fmt.Errorf("delete %w", backend.ErrNotSupported)
+	}
+	if !m.Delete(id) {
+		return false, nil
 	}
 	gen.bump()
-	return true
+	return true, nil
 }
 
 func (s *shard) rebuild(gen *engineGen) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.tree.Rebuild(); err != nil {
+	m, ok := s.be.(backend.Mutable)
+	if !ok {
+		return fmt.Errorf("rebuild %w", backend.ErrNotSupported)
+	}
+	if err := m.Rebuild(); err != nil {
 		return err
 	}
 	gen.bump()
 	return nil
 }
 
-// save serialises the shard's tree under the read lock, so a snapshot
+// save serialises a tree-backed shard under the read lock, so a snapshot
 // write runs concurrently with queries and only briefly excludes updates
 // to this one shard. The returned size is captured under the same lock
 // hold as the serialisation, so the manifest can record exactly what the
@@ -102,14 +162,35 @@ func (s *shard) rebuild(gen *engineGen) error {
 func (s *shard) save(w io.Writer) (int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if err := s.tree.Save(w); err != nil {
+	tree, ok := treeOf(s.be)
+	if !ok {
+		return 0, fmt.Errorf("snapshot %w", backend.ErrNotSupported)
+	}
+	if err := tree.Save(w); err != nil {
 		return 0, err
 	}
-	return s.tree.Size(), nil
+	return tree.Size(), nil
 }
 
+// options returns the tree options of a tree-backed shard (the zero
+// value otherwise); the snapshot manifest records them.
 func (s *shard) options() trajtree.Options {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.tree.Options()
+	if tree, ok := treeOf(s.be); ok {
+		return tree.Options()
+	}
+	return trajtree.Options{}
+}
+
+// all returns the shard's members (tree-backed shards only; the snapshot
+// loader uses it to rebuild non-persistent metric sets from a loaded
+// corpus).
+func (s *shard) all() []*traj.Trajectory {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if tree, ok := treeOf(s.be); ok {
+		return tree.All()
+	}
+	return nil
 }

@@ -8,27 +8,39 @@ import (
 	"path/filepath"
 	"time"
 
+	"trajmatch/internal/backend"
 	"trajmatch/internal/par"
+	"trajmatch/internal/traj"
 	"trajmatch/internal/trajtree"
 )
 
 // A snapshot is a directory holding one trajtree.Save stream per shard
-// plus a JSON manifest recording the format version, the shard count and
-// the tree options. The shard count is load-bearing: trajectories are
-// hash-placed (router.go), so the files only mean what they say under
-// the shard count they were written with — LoadSnapshot therefore adopts
-// the manifest's count regardless of what the caller's Options ask for.
+// plus a JSON manifest recording the format version, the shard count,
+// the tree options and which metric backends were persisted. Persistence
+// is a capability: only the tree-backed EDwP set streams to disk (the
+// flat DTW/EDR indexes are cheap, deterministic functions of the corpus
+// with no build state worth saving), so the manifest's Metrics list
+// records exactly what the directory can restore by itself —
+// LoadSnapshotSpecs rebuilds any other requested metric from the loaded
+// corpus.
+//
+// The shard count is load-bearing: trajectories are hash-placed
+// (router.go), so the files only mean what they say under the shard
+// count they were written with — loading therefore adopts the manifest's
+// count regardless of what the caller's Options ask for.
 //
 // Saves are two-phase: every shard streams to a temp file first, and
 // only when all streams succeed are they renamed into place, manifest
 // last. A failed save (disk full, I/O error) therefore never touches
 // the previous snapshot; the residual risk is a crash inside the final
-// rename loop, which mixes epochs — a state LoadSnapshot detects and
+// rename loop, which mixes epochs — a state the loader detects and
 // rejects through its per-shard size and option checks instead of
 // serving from it.
 
 // snapshotVersion is bumped whenever the manifest layout, the per-shard
-// stream format, or the placement hash changes incompatibly.
+// stream format, or the placement hash changes incompatibly. (The
+// Metrics field was added compatibly: absent means the pre-multi-metric
+// layout, exactly one persisted EDwP set.)
 const snapshotVersion = 1
 
 // manifestName is the manifest file inside a snapshot directory.
@@ -39,7 +51,21 @@ type snapshotManifest struct {
 	Shards      int              `json:"shards"`
 	TreeOptions trajtree.Options `json:"tree_options"`
 	Sizes       []int            `json:"sizes"`
-	SavedAt     time.Time        `json:"saved_at"`
+	// Metrics lists the metric backends the directory holds streams for,
+	// in persist order. Only tree-backed metrics are persistable today,
+	// so the list is ["edwp"]; it is recorded (rather than implied) so a
+	// loader can tell which requested metrics it must rebuild instead.
+	Metrics []string  `json:"metrics,omitempty"`
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// persistedMetrics returns the manifest's Metrics list, defaulting to
+// the single EDwP set for pre-multi-metric snapshots.
+func (m snapshotManifest) persistedMetrics() []string {
+	if len(m.Metrics) == 0 {
+		return []string{trajtree.MetricName}
+	}
+	return m.Metrics
 }
 
 func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.tree", i) }
@@ -48,35 +74,54 @@ func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.tree", i) }
 // snapshotting is not configured).
 func (e *Engine) SnapshotDir() string { return e.opt.SnapshotDir }
 
-// SaveSnapshot writes a sharded snapshot of the engine to dir (created
-// if needed). Each shard is serialised under its read lock, so queries
-// keep flowing and updates stall only on the shard currently streaming
-// out; consequently the snapshot is per-shard consistent but, under a
-// live write load, not a single global point in time. Quiesce writers
-// first if global point-in-time semantics matter. Concurrent
-// SaveSnapshot calls serialise against each other, so overlapping
-// POST /snapshot requests cannot interleave shard files and manifests
-// from different saves.
+// persistentSet returns the loaded metric set whose backends are
+// tree-backed — the one a snapshot can persist — or nil.
+func (e *Engine) persistentSet() *metricSet {
+	for _, ms := range e.sets {
+		if _, ok := treeOf(ms.shards[0].be); ok {
+			return ms
+		}
+	}
+	return nil
+}
+
+// SaveSnapshot writes a sharded snapshot of the engine's persistent
+// metric set to dir (created if needed); it fails with ErrNotSupported
+// when no loaded backend is persistent. Each shard is serialised under
+// its read lock, so queries keep flowing and updates stall only on the
+// shard currently streaming out; consequently the snapshot is per-shard
+// consistent but, under a live write load, not a single global point in
+// time. Quiesce writers first if global point-in-time semantics matter.
+// Concurrent SaveSnapshot calls serialise against each other, so
+// overlapping POST /snapshot requests cannot interleave shard files and
+// manifests from different saves.
 func (e *Engine) SaveSnapshot(dir string) error {
 	if dir == "" {
 		return fmt.Errorf("server: snapshot: no directory configured")
+	}
+	ms := e.persistentSet()
+	if ms == nil {
+		return fmt.Errorf("server: snapshot: no persistent backend loaded (metrics %v): %w",
+			e.Metrics(), backend.ErrNotSupported)
 	}
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
+	shards := ms.shards
 	man := snapshotManifest{
 		Version:     snapshotVersion,
-		Shards:      len(e.shards),
-		TreeOptions: e.shards[0].options(),
-		Sizes:       make([]int, len(e.shards)),
+		Shards:      len(shards),
+		TreeOptions: shards[0].options(),
+		Sizes:       make([]int, len(shards)),
+		Metrics:     []string{ms.name},
 		SavedAt:     time.Now().UTC(),
 	}
 	// Phase 1: stream every shard to a temp file. No final name is
 	// touched yet, so any failure here (disk full, I/O error) leaves the
 	// previous snapshot fully intact.
-	tmps := make([]string, len(e.shards))
+	tmps := make([]string, len(shards))
 	cleanup := func() {
 		for _, t := range tmps {
 			if t != "" {
@@ -84,14 +129,14 @@ func (e *Engine) SaveSnapshot(dir string) error {
 			}
 		}
 	}
-	err := par.ForErr(e.opt.Workers, len(e.shards), func(i int) error {
+	err := par.ForErr(e.opt.Workers, len(shards), func(i int) error {
 		tmp, err := os.CreateTemp(dir, shardFileName(i)+".tmp")
 		if err != nil {
 			return err
 		}
 		tmps[i] = tmp.Name()
 		bw := bufio.NewWriterSize(tmp, 1<<20)
-		size, err := e.shards[i].save(bw)
+		size, err := shards[i].save(bw)
 		if err != nil {
 			tmp.Close()
 			return err
@@ -113,7 +158,7 @@ func (e *Engine) SaveSnapshot(dir string) error {
 	// Phase 2: every shard streamed successfully — rename them into
 	// place, manifest last. The remaining inconsistency window is a
 	// crash inside this loop of renames, which mixes new shard files
-	// with the old manifest; LoadSnapshot's per-shard size and option
+	// with the old manifest; the loader's per-shard size and option
 	// checks reject such a directory rather than serving from it.
 	for i, tmp := range tmps {
 		if err := os.Rename(tmp, filepath.Join(dir, shardFileName(i))); err != nil {
@@ -146,11 +191,25 @@ func SnapshotExists(dir string) bool {
 	return err == nil
 }
 
-// LoadSnapshot reconstructs an engine from a snapshot directory written
-// by SaveSnapshot. Shard trees load in parallel. The shard count always
-// comes from the manifest (see the placement note above); the remaining
-// opt fields — cache, workers, snapshot dir — apply as given.
+// LoadSnapshot reconstructs a single-metric EDwP engine from a snapshot
+// directory written by SaveSnapshot. Shard trees load in parallel. The
+// shard count always comes from the manifest (see the placement note
+// above); the remaining opt fields — cache, workers, snapshot dir —
+// apply as given.
 func LoadSnapshot(dir string, opt Options) (*Engine, error) {
+	return LoadSnapshotSpecs(dir, nil, opt)
+}
+
+// LoadSnapshotSpecs reconstructs a multi-metric engine from a snapshot
+// directory: metrics the manifest records as persisted load from their
+// shard streams, and every other requested spec is rebuilt from the
+// loaded corpus over the same hash partition (so placement agrees across
+// metrics). makeSpecs is called once with the full loaded corpus — the
+// hook where whole-database parameters (EDR's ε) are derived, exactly as
+// a fresh boot would derive them — and its order becomes the boot order,
+// so its first spec is the default metric. A nil makeSpecs means just
+// the persisted metrics.
+func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]backend.Spec, error), opt Options) (*Engine, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("server: load snapshot: %w", err)
@@ -172,9 +231,14 @@ func LoadSnapshot(dir string, opt Options) (*Engine, error) {
 	if len(man.Sizes) != man.Shards {
 		return nil, fmt.Errorf("server: load snapshot: manifest records %d sizes for %d shards", len(man.Sizes), man.Shards)
 	}
+	persisted := man.persistedMetrics()
+	if len(persisted) != 1 || persisted[0] != trajtree.MetricName {
+		return nil, fmt.Errorf("server: load snapshot: unsupported persisted metrics %v (only %q streams are readable)",
+			persisted, trajtree.MetricName)
+	}
 	opt = opt.withDefaults()
 	opt.Shards = man.Shards
-	shards := make([]*shard, man.Shards)
+	treeShards := make([]*shard, man.Shards)
 	err = par.ForErr(opt.Workers, man.Shards, func(i int) error {
 		f, err := os.Open(filepath.Join(dir, shardFileName(i)))
 		if err != nil {
@@ -195,11 +259,49 @@ func LoadSnapshot(dir string, opt Options) (*Engine, error) {
 			return fmt.Errorf("shard %d: tree options %+v do not match manifest %+v",
 				i, tree.Options(), man.TreeOptions.WithDefaults())
 		}
-		shards[i] = &shard{tree: tree}
+		treeShards[i] = &shard{be: tree}
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: load snapshot: %w", err)
 	}
-	return newEngine(shards, opt), nil
+	if makeSpecs == nil {
+		set := &metricSet{name: trajtree.MetricName, shards: treeShards}
+		return newEngine([]*metricSet{set}, opt), nil
+	}
+	// Rebuild the non-persisted metrics per shard from the loaded trees'
+	// members: the loaded placement already is the hash placement, so
+	// each extra backend builds over exactly its shard's slice of the
+	// corpus.
+	groups := make([][]*traj.Trajectory, man.Shards)
+	var all []*traj.Trajectory
+	for i, s := range treeShards {
+		groups[i] = s.all()
+		all = append(all, groups[i]...)
+	}
+	specs, err := makeSpecs(all)
+	if err != nil {
+		return nil, fmt.Errorf("server: load snapshot: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("server: load snapshot: no metric backends specified")
+	}
+	sets := make([]*metricSet, 0, len(specs))
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("server: load snapshot: duplicate metric %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		if spec.Name == trajtree.MetricName {
+			sets = append(sets, &metricSet{name: spec.Name, shards: treeShards})
+			continue
+		}
+		shards, err := buildSpecShards(groups, spec, opt)
+		if err != nil {
+			return nil, fmt.Errorf("server: load snapshot: %w", err)
+		}
+		sets = append(sets, &metricSet{name: spec.Name, shards: shards})
+	}
+	return newEngine(sets, opt), nil
 }

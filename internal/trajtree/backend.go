@@ -1,0 +1,32 @@
+package trajtree
+
+import (
+	"trajmatch/internal/backend"
+	"trajmatch/internal/traj"
+)
+
+// MetricName is the registered backend identifier of the EDwP TrajTree:
+// the default metric of the serving stack.
+const MetricName = "edwp"
+
+func init() { backend.Register(MetricName) }
+
+// The Tree is the reference backend.Backend implementation and the only
+// fully capable one: searchable (whole-trajectory and sub-trajectory),
+// mutable in place, and persistent through Save/Load.
+var (
+	_ backend.Backend     = (*Tree)(nil)
+	_ backend.SubSearcher = (*Tree)(nil)
+	_ backend.Mutable     = (*Tree)(nil)
+)
+
+// BackendSpec returns the buildable backend spec for EDwP over a
+// TrajTree with the given options.
+func BackendSpec(opt Options) backend.Spec {
+	return backend.Spec{
+		Name: MetricName,
+		Build: func(db []*traj.Trajectory) (backend.Backend, error) {
+			return New(db, opt)
+		},
+	}
+}

@@ -1,50 +1,17 @@
 package trajtree
 
 import (
-	"math"
-	"sync/atomic"
+	"trajmatch/internal/backend"
 )
 
-// SharedBound is a monotonically tightening upper bound shared by
-// concurrent searches. The sharded engine fans one k-NN query out across
-// per-shard trees, and every shard search publishes its local k-th-best
-// distance here the moment its answer set fills: a tight bound found in
-// one shard immediately shrinks the abandon limit of the dynamic programs
-// running in all the others, so cross-shard pruning costs one atomic load
-// per evaluation.
-//
-// The bound is admissible for the *global* answer: a shard holding k
-// exact distances no worse than w proves the global k-th best is at most
-// w, so any candidate anywhere whose distance exceeds w can be discarded.
-// Tighten only ever lowers the value, which keeps that argument valid
-// regardless of interleaving.
-type SharedBound struct {
-	bits atomic.Uint64
-}
+// SharedBound is the shared backend.SharedBound: a monotonically
+// tightening upper bound shared by concurrent searches. The sharded
+// engine fans one k-NN query out across per-shard trees, and every shard
+// search publishes its local k-th-best distance here the moment its
+// answer set fills; see backend.SharedBound for the admissibility
+// argument.
+type SharedBound = backend.SharedBound
 
 // NewSharedBound returns a bound seeded at limit (use +Inf for an
 // unconstrained search).
-func NewSharedBound(limit float64) *SharedBound {
-	b := &SharedBound{}
-	b.bits.Store(math.Float64bits(limit))
-	return b
-}
-
-// Load returns the current bound.
-func (b *SharedBound) Load() float64 {
-	return math.Float64frombits(b.bits.Load())
-}
-
-// Tighten lowers the bound to v if v is smaller; larger values are
-// ignored, so the bound is monotone under any interleaving.
-func (b *SharedBound) Tighten(v float64) {
-	for {
-		cur := b.bits.Load()
-		if v >= math.Float64frombits(cur) {
-			return
-		}
-		if b.bits.CompareAndSwap(cur, math.Float64bits(v)) {
-			return
-		}
-	}
-}
+func NewSharedBound(limit float64) *SharedBound { return backend.NewSharedBound(limit) }

@@ -140,12 +140,12 @@ func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl
 	// candidates are never offered: under a shared bound the local answer
 	// set may not be full yet, and a +Inf entry would poison it.
 	evaluate := func(tr *traj.Trajectory) bool {
-		if !ctl.take() {
+		if !ctl.Take() {
 			truncated = true
 			return false
 		}
 		st.DistanceCalls++
-		d, abandoned := t.distBounded(q, tr, effLimit(), ctl.cancelFlag())
+		d, abandoned := t.distBounded(q, tr, effLimit(), ctl.CancelFlag())
 		if abandoned {
 			st.EarlyAbandons++
 			return false

@@ -52,12 +52,12 @@ func (t *Tree) rangeSeeded(q *traj.Trajectory, radius float64, ctl *Ctl) ([]Resu
 		st.NodesVisited++
 		if n.leaf() {
 			for _, tr := range n.members {
-				if !ctl.take() {
+				if !ctl.Take() {
 					truncated = true
 					return
 				}
 				st.DistanceCalls++
-				d, abandoned := t.distBounded(q, tr, radius, ctl.cancelFlag())
+				d, abandoned := t.distBounded(q, tr, radius, ctl.CancelFlag())
 				if d <= radius {
 					out = append(out, Result{Traj: tr, Dist: d})
 				} else if abandoned {

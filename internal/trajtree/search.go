@@ -3,100 +3,26 @@ package trajtree
 import (
 	"context"
 	"math"
-	"sync/atomic"
 
+	"trajmatch/internal/backend"
 	"trajmatch/internal/core"
 	"trajmatch/internal/pqueue"
 	"trajmatch/internal/traj"
 )
 
 // Ctl carries the cooperative controls of one logical query through the
-// search stack: a cancellation flag derived from the caller's
-// context.Context, and an optional budget of exact distance evaluations.
-// One Ctl is shared by every shard search a query fans out to, so the
-// budget is global to the query and a single context firing stops all of
-// its searches.
-//
-// The search loops poll Cancelled between candidate pops (an atomic
-// load), and hand the underlying core.Cancel to the EDwP kernel, which
-// polls it once per DP row — a fired context therefore aborts a query
-// within one DP row of work, even mid-evaluation.
-//
-// A nil *Ctl is valid everywhere and means "no deadline, no budget"; the
-// search paths are then bit-identical to the pre-Ctl implementations.
-type Ctl struct {
-	ctx     context.Context
-	flag    core.Cancel
-	stop    func() bool // detaches the context watcher; nil if none armed
-	budget  atomic.Int64
-	limited bool
-}
+// search stack — the shared backend.Ctl (cancellation flag + evaluation
+// budget). The search loops here poll Cancelled between candidate pops
+// and hand the underlying core.Cancel to the EDwP kernel, which polls it
+// once per DP row — a fired context therefore aborts a query within one
+// DP row of work, even mid-evaluation. A nil *Ctl is valid everywhere
+// and means "no deadline, no budget".
+type Ctl = backend.Ctl
 
 // NewCtl arms a Ctl on ctx with an optional cap on exact distance
 // evaluations (maxEvals <= 0 means unlimited). Callers must Release the
 // Ctl when the query finishes to detach the context watcher.
-func NewCtl(ctx context.Context, maxEvals int) *Ctl {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	c := &Ctl{ctx: ctx}
-	if maxEvals > 0 {
-		c.limited = true
-		c.budget.Store(int64(maxEvals))
-	}
-	if ctx.Done() != nil {
-		c.stop = context.AfterFunc(ctx, c.flag.Set)
-	}
-	return c
-}
-
-// Release detaches the Ctl from its context. Safe on nil and idempotent;
-// callers should defer it next to NewCtl.
-func (c *Ctl) Release() {
-	if c != nil && c.stop != nil {
-		c.stop()
-	}
-}
-
-// Cancelled reports whether the context has fired. One atomic load; safe
-// on nil.
-func (c *Ctl) Cancelled() bool { return c != nil && c.flag.Cancelled() }
-
-// Err returns the context's error once the Ctl is cancelled, and nil
-// while the query may keep running. Safe on nil.
-func (c *Ctl) Err() error {
-	if c == nil {
-		return nil
-	}
-	if err := c.ctx.Err(); err != nil {
-		return err
-	}
-	if c.flag.Cancelled() {
-		// The flag can only be set by the context watcher, so ctx.Err()
-		// is non-nil by now in practice; this is a belt-and-braces
-		// fallback for a Set racing the ctx bookkeeping.
-		return context.Canceled
-	}
-	return nil
-}
-
-// cancelFlag returns the kernel-facing cancellation flag (nil for a nil
-// Ctl, which the kernel treats as "never cancelled").
-func (c *Ctl) cancelFlag() *core.Cancel {
-	if c == nil {
-		return nil
-	}
-	return &c.flag
-}
-
-// take consumes one unit of the evaluation budget, reporting false when
-// the budget is exhausted. Unlimited (or nil) Ctls always grant.
-func (c *Ctl) take() bool {
-	if c == nil || !c.limited {
-		return true
-	}
-	return c.budget.Add(-1) >= 0
-}
+func NewCtl(ctx context.Context, maxEvals int) *Ctl { return backend.NewCtl(ctx, maxEvals) }
 
 // SearchKNN is the context-aware k-nearest-neighbour entry point, the
 // search every legacy KNN variant is now a wrapper over. bound may be nil
@@ -144,7 +70,7 @@ func (t *Tree) SearchSub(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl
 		if ctl.Cancelled() {
 			return nil, st, false, ctl.Err()
 		}
-		if !ctl.take() {
+		if !ctl.Take() {
 			truncated = true
 			break
 		}
@@ -158,7 +84,7 @@ func (t *Tree) SearchSub(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl
 			}
 		}
 		st.DistanceCalls++
-		d, abandoned := core.SubDistanceBoundedCancel(q, tr, limit, ctl.cancelFlag())
+		d, abandoned := core.SubDistanceBoundedCancel(q, tr, limit, ctl.CancelFlag())
 		if abandoned {
 			st.EarlyAbandons++
 			continue

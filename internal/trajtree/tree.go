@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 
+	"trajmatch/internal/backend"
 	"trajmatch/internal/core"
 	"trajmatch/internal/geom"
 	"trajmatch/internal/tbox"
@@ -282,38 +283,13 @@ func maxLength(ts []*traj.Trajectory) float64 {
 	return max
 }
 
-// Stats carries per-query instrumentation used by the experiments.
-type Stats struct {
-	// DistanceCalls counts exact EDwP evaluations.
-	DistanceCalls int
-	// LowerBoundCalls counts tBoxSeq lower-bound evaluations.
-	LowerBoundCalls int
-	// NodesVisited counts dequeued nodes that were expanded.
-	NodesVisited int
-	// NodesPruned counts nodes discarded by the bound test.
-	NodesPruned int
-	// EarlyAbandons counts exact evaluations the bounded kernel cut short
-	// because no alignment could finish under the current pruning
-	// threshold. A positive value proves the bound-aware fast path fired;
-	// DistanceCalls - EarlyAbandons is the number of full evaluations.
-	EarlyAbandons int
-}
+// Stats carries per-query instrumentation used by the experiments. It is
+// the unified backend.Stats type every metric backend answers with;
+// DistanceCalls counts exact EDwP evaluations here.
+type Stats = backend.Stats
 
-// Add accumulates o into s; the server engine uses it to fold per-query
-// stats into its cumulative counters.
-func (s *Stats) Add(o Stats) {
-	s.DistanceCalls += o.DistanceCalls
-	s.LowerBoundCalls += o.LowerBoundCalls
-	s.NodesVisited += o.NodesVisited
-	s.NodesPruned += o.NodesPruned
-	s.EarlyAbandons += o.EarlyAbandons
-}
-
-// Result is one k-NN answer.
-type Result struct {
-	Traj *traj.Trajectory
-	Dist float64
-}
+// Result is one k-NN answer, the unified backend.Result type.
+type Result = backend.Result
 
 // String renders a brief tree summary.
 func (t *Tree) String() string {

@@ -27,11 +27,13 @@ import (
 	"math/rand"
 	"net/http"
 
+	"trajmatch/internal/backend"
 	"trajmatch/internal/baseline"
 	"trajmatch/internal/core"
 	"trajmatch/internal/dataio"
 	"trajmatch/internal/dtwindex"
 	"trajmatch/internal/edrindex"
+	"trajmatch/internal/metrics"
 	"trajmatch/internal/server"
 	"trajmatch/internal/synth"
 	"trajmatch/internal/traj"
@@ -177,9 +179,37 @@ func NewSharedBound(limit float64) *SharedBound { return trajtree.NewSharedBound
 type Engine = server.Engine
 
 // Query is the single request type of Engine.Search: the query kind
-// (QueryKNN | QueryRange | QuerySubKNN) plus every knob — K, Radius, an
-// admissible seed Limit, a MaxEvals budget, WithStats.
+// (QueryKNN | QueryRange | QuerySubKNN), the Metric answering it (empty
+// means the engine's first loaded metric — MetricNameEDwP in every
+// standard boot), plus every knob — K, Radius, an admissible seed
+// Limit, a MaxEvals budget, WithStats.
 type Query = server.Query
+
+// Registered metric backend names, the values of Query.Metric and of
+// NewMultiEngine's metric list. EDwP is the default metric of every
+// standard boot; DTW and EDR are the flat comparison indexes lifted to
+// the same engine (searchable but static: no mutation, no persistence).
+const (
+	MetricNameEDwP = trajtree.MetricName
+	MetricNameDTW  = dtwindex.MetricName
+	MetricNameEDR  = edrindex.MetricName
+)
+
+// RegisteredMetrics returns the sorted metric names known to this build;
+// Query.Metric values outside it fail with ErrUnknownMetric.
+func RegisteredMetrics() []string { return backend.Names() }
+
+// ErrUnknownMetric reports a Query.Metric no backend has registered.
+var ErrUnknownMetric = server.ErrUnknownMetric
+
+// ErrMetricNotLoaded reports a registered Query.Metric the engine was
+// not booted with.
+var ErrMetricNotLoaded = server.ErrMetricNotLoaded
+
+// ErrNotSupported reports an operation the loaded backend lacks the
+// capability for (mutation or snapshots on DTW/EDR, sub-trajectory
+// search outside EDwP); the HTTP layer answers it with 501.
+var ErrNotSupported = server.ErrNotSupported
 
 // QueryKind selects which search a Query runs.
 type QueryKind = server.QueryKind
@@ -210,13 +240,32 @@ var ErrInvalidQuery = server.ErrInvalidQuery
 type EngineOptions = server.Options
 
 // EngineStats is a snapshot of an Engine's traffic counters and index
-// shape.
+// shape, including the per-metric breakdown.
 type EngineStats = server.Stats
+
+// EngineMetricStats is one loaded metric's slice of EngineStats: its
+// capability set plus its traffic and kernel counters.
+type EngineMetricStats = server.MetricStats
 
 // NewEngine bulk-loads a TrajTree over db and wraps it in a concurrent
 // Engine.
 func NewEngine(db []*Trajectory, iopt IndexOptions, eopt EngineOptions) (*Engine, error) {
 	return server.NewEngineFromDB(db, iopt, eopt)
+}
+
+// NewMultiEngine bulk-loads one sharded backend per named metric over
+// the same database and wraps them in one engine: every metric answers
+// over the same corpus through the same Search API and the same
+// /v1/search endpoint, routed by Query.Metric. The first name is the
+// default metric; iopt configures the EDwP tree when requested, and
+// whole-database parameters of the other metrics (EDR's ε) derive from
+// db before sharding.
+func NewMultiEngine(db []*Trajectory, metricNames []string, iopt IndexOptions, eopt EngineOptions) (*Engine, error) {
+	specs, err := metrics.Specs(metricNames, db, metrics.Config{Tree: iopt})
+	if err != nil {
+		return nil, err
+	}
+	return server.NewMultiEngineFromDB(db, specs, eopt)
 }
 
 // NewEngineFromIndex wraps an existing index in a concurrent Engine. The
@@ -254,6 +303,17 @@ func NewHTTPHandler(e *Engine) http.Handler {
 // apply as given.
 func LoadEngineSnapshot(dir string, eopt EngineOptions) (*Engine, error) {
 	return server.LoadSnapshot(dir, eopt)
+}
+
+// LoadEngineSnapshotMetrics reconstructs a multi-metric engine from a
+// snapshot directory: the persisted EDwP trees load from their shard
+// streams, and every other named metric is rebuilt from the loaded
+// corpus exactly as a fresh boot would build it (the manifest records
+// which metrics were persisted). The first name is the default metric.
+func LoadEngineSnapshotMetrics(dir string, metricNames []string, eopt EngineOptions) (*Engine, error) {
+	return server.LoadSnapshotSpecs(dir, func(db []*Trajectory) ([]backend.Spec, error) {
+		return metrics.Specs(metricNames, db, metrics.Config{})
+	}, eopt)
 }
 
 // EngineSnapshotExists reports whether dir holds an engine snapshot
