@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"sort"
 	"sync"
 	"testing"
@@ -566,6 +567,66 @@ func BenchmarkShardedKNN(b *testing.B) {
 			b.ReportMetric(float64(distcalls)/float64(b.N), "distcalls/query")
 			b.ReportMetric(float64(fulls)/float64(b.N), "fullevals/query")
 		})
+	}
+}
+
+// BenchmarkPrefilterKNN measures the sketch/LSH candidate prefilter
+// against the exact engine on corpora large enough for candidate
+// generation to matter (ISSUE 6). Same EDwP engine, same resampled
+// queries (the paper's inconsistent-sampling premise: each probe is a
+// database member re-sampled, so the sketch must recognise the shape,
+// not the point sequence); the off/on pair differs only in
+// Query.Prefilter. cands/query is the admitted population per query —
+// versus the full corpus every non-prefiltered query examines —
+// and distcalls/query the exact kernel starts that survive each path's
+// lower bounds; the acceptance target is >= 5x fewer with the
+// prefilter on at n=10k. The 100k corpus is opt-in
+// (TRAJMATCH_BENCH_100K=1): its index build dominates CI smoke time.
+func BenchmarkPrefilterKNN(b *testing.B) {
+	sizes := []int{10_000}
+	if os.Getenv("TRAJMATCH_BENCH_100K") != "" {
+		sizes = append(sizes, 100_000)
+	}
+	iopt := trajmatch.IndexOptions{Seed: 1}
+	for _, n := range sizes {
+		db := trajmatch.GenerateTaxi(trajmatch.DefaultTaxiConfig(n))
+		engine, err := trajmatch.NewEngine(db, iopt,
+			trajmatch.EngineOptions{CacheSize: -1, Shards: 4, Prefilter: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		sel := make([]*trajmatch.Trajectory, 16)
+		for i := range sel {
+			sel[i] = db[rng.Intn(len(db))]
+		}
+		queries := trajmatch.InterNoise(sel, 0.5, 100)
+		for i, q := range queries {
+			q.ID = 1_000_000 + i
+		}
+		for _, pre := range []bool{false, true} {
+			b.Run(fmt.Sprintf("n=%d/prefilter=%v", n, pre), func(b *testing.B) {
+				req := trajmatch.Query{Kind: trajmatch.QueryKNN, K: 10, Prefilter: pre, WithStats: true}
+				distcalls, lbcalls, cands := 0, 0, 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ans, err := engine.Search(context.Background(), queries[i%len(queries)], req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					distcalls += ans.Stats.DistanceCalls
+					lbcalls += ans.Stats.LowerBoundCalls
+					cands += ans.Stats.PrefilterCandidates
+				}
+				b.StopTimer()
+				bn := float64(b.N)
+				b.ReportMetric(float64(distcalls)/bn, "distcalls/query")
+				b.ReportMetric(float64(lbcalls)/bn, "lbcalls/query")
+				if pre {
+					b.ReportMetric(float64(cands)/bn, "cands/query")
+				}
+			})
+		}
 	}
 }
 

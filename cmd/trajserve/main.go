@@ -8,7 +8,8 @@
 //
 //	POST /v1/search    {"kind": "knn"|"range"|"subknn", "metric": "edwp"|"dtw"|"edr",
 //	                    "query": {"id": 1, "points": [[x,y,t], ...]} | "queries": [...],
-//	                    "k": 10, "radius": 250.0, "limit": 0, "max_evals": 0, "with_stats": true}
+//	                    "k": 10, "radius": 250.0, "limit": 0, "max_evals": 0,
+//	                    "prefilter": false, "with_stats": true}
 //	POST /v1/insert    {"trajectories": [{...}, ...]}
 //	POST /v1/delete    {"ids": [17, 42]}
 //	POST /v1/rebuild   (no body)
@@ -38,10 +39,21 @@
 // net/http/pprof handlers are mounted under /debug/pprof/ for live CPU,
 // heap and contention profiling.
 //
+// With -prefilter, the server builds the sketch/LSH candidate prefilter
+// at boot (one sketch index per shard; -sketch-* tune the parameters,
+// which otherwise default sensibly with the grid cell size derived from
+// the corpus). Queries opt in per request with "prefilter": true on a
+// knn search: each shard's sketch admits a small candidate set and the
+// backend verifies it exactly, trading a little recall for a large cut
+// in exact distance evaluations; with_stats then reports
+// prefilter_candidates and prefilter_skipped.
+//
 // With -snapshot DIR, the server loads the snapshot on boot when DIR
 // holds a manifest (skipping the bulk build entirely; the shard count
-// then comes from the manifest, not -shards) and arms POST /snapshot to
-// write one. SIGINT/SIGTERM drain in-flight requests before exit.
+// then comes from the manifest, not -shards; the manifest's recorded
+// sketch parameters re-arm the prefilter regardless of -prefilter) and
+// arms POST /snapshot to write one. SIGINT/SIGTERM drain in-flight
+// requests before exit.
 //
 // Usage:
 //
@@ -86,6 +98,13 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		queryTO  = flag.Duration("query-timeout", 0, "per-request search deadline, honoured down to the distance kernels (0 disables)")
 		metricsF = flag.String("metrics", "edwp", "comma-separated metric backends to boot over the database (edwp, dtw, edr); the first is the default of /v1/search")
+
+		prefilter  = flag.Bool("prefilter", false, "build the sketch/LSH candidate prefilter; queries opt in with \"prefilter\": true")
+		sketchCell = flag.Float64("sketch-cell", 0, "prefilter grid cell size in corpus units (0 derives from the corpus)")
+		sketchShin = flag.Int("sketch-shingle", 0, "prefilter shingle length in cells (0 = default 2)")
+		sketchHash = flag.Int("sketch-hashes", 0, "prefilter MinHash signature width (0 = default 64; must be a multiple of -sketch-bands)")
+		sketchBand = flag.Int("sketch-bands", 0, "prefilter LSH band count (0 = default 16)")
+		sketchMinC = flag.Int("sketch-min-cands", 0, "prefilter per-shard candidate floor (0 = default 32)")
 	)
 	flag.Parse()
 
@@ -99,6 +118,14 @@ func main() {
 		Workers:     *workers,
 		Shards:      *shards,
 		SnapshotDir: *snapshot,
+		Prefilter:   *prefilter,
+		Sketch: trajmatch.SketchParams{
+			CellSize: *sketchCell,
+			Shingle:  *sketchShin,
+			Hashes:   *sketchHash,
+			Bands:    *sketchBand,
+			MinCands: *sketchMinC,
+		},
 	}
 	var engine *trajmatch.Engine
 	t0 := time.Now()
@@ -136,6 +163,11 @@ func main() {
 			time.Since(t0).Round(time.Millisecond))
 	default:
 		fatalf("-db is required (or -snapshot pointing at an existing snapshot)")
+	}
+	if engine.PrefilterEnabled() {
+		p := engine.SketchParams()
+		log.Printf("prefilter enabled: cell %.1f, shingle %d, %d hashes in %d bands, min candidates %d",
+			p.CellSize, p.Shingle, p.Hashes, p.Bands, p.MinCands)
 	}
 
 	handler := trajmatch.NewAPIHandler(engine, trajmatch.HandlerOptions{QueryTimeout: *queryTO})

@@ -55,6 +55,14 @@ type Stats struct {
 	// because no completion could beat the current pruning threshold.
 	// DistanceCalls - EarlyAbandons is the number of full evaluations.
 	EarlyAbandons int
+	// PrefilterCandidates counts the candidates the sketch prefilter
+	// admitted for exact verification (zero when the query did not ask
+	// for the prefilter).
+	PrefilterCandidates int
+	// PrefilterSkipped counts indexed trajectories the prefilter
+	// excluded without any bound or distance computation — the
+	// sub-linear saving the sketch layer buys.
+	PrefilterSkipped int
 }
 
 // Add accumulates o into s; the engine uses it to fold per-shard and
@@ -65,6 +73,8 @@ func (s *Stats) Add(o Stats) {
 	s.NodesVisited += o.NodesVisited
 	s.NodesPruned += o.NodesPruned
 	s.EarlyAbandons += o.EarlyAbandons
+	s.PrefilterCandidates += o.PrefilterCandidates
+	s.PrefilterSkipped += o.PrefilterSkipped
 }
 
 // Backend is one shard's worth of metric index: the minimal surface the

@@ -34,21 +34,27 @@ const MetricName = "dtw"
 
 func init() { backend.Register(MetricName) }
 
-var _ backend.Backend = (*Index)(nil)
+var (
+	_ backend.Backend           = (*Index)(nil)
+	_ backend.CandidateSearcher = (*Index)(nil)
+)
 
 // Index holds the database with one precomputed MBR per trajectory.
 type Index struct {
 	db   []*traj.Trajectory
 	mbrs []geom.Rect
 	byID map[int]*traj.Trajectory
+	pos  map[int]int // ID → db position, for candidate-restricted search
 }
 
 // New builds the index.
 func New(db []*traj.Trajectory) *Index {
-	ix := &Index{db: db, mbrs: make([]geom.Rect, len(db)), byID: make(map[int]*traj.Trajectory, len(db))}
+	ix := &Index{db: db, mbrs: make([]geom.Rect, len(db)),
+		byID: make(map[int]*traj.Trajectory, len(db)), pos: make(map[int]int, len(db))}
 	for i, t := range db {
 		ix.mbrs[i] = t.Bounds()
 		ix.byID[t.ID] = t
+		ix.pos[t.ID] = i
 	}
 	return ix
 }
@@ -128,6 +134,37 @@ func (ix *Index) SearchKNN(q *traj.Trajectory, k int, bound *backend.SharedBound
 	if err != nil {
 		return nil, st, false, err
 	}
+	res, truncated, err := backend.ScanKNN(cands, k, bound, ctl, &st,
+		func(i int) *traj.Trajectory { return ix.db[i] },
+		func(i int, limit float64) (float64, bool) {
+			return dtwDist(q.Points, ix.db[i].Points, limit, ctl.CancelFlag())
+		})
+	return res, st, truncated, err
+}
+
+// SearchKNNIn is the backend.CandidateSearcher capability: SearchKNN
+// restricted to the prefilter's candidate IDs. The same lower bounds
+// order the candidate subset, so verification keeps the full pruning and
+// early-abandon discipline — only the scan's population shrinks. IDs not
+// present in the index are skipped.
+func (ix *Index) SearchKNNIn(q *traj.Trajectory, ids []int, k int, bound *backend.SharedBound, ctl *backend.Ctl) ([]Result, Stats, bool, error) {
+	var st Stats
+	if k <= 0 || len(ids) == 0 || len(ix.db) == 0 {
+		return nil, st, false, ctl.Err()
+	}
+	cands := make([]backend.Cand, 0, len(ids))
+	for n, id := range ids {
+		if n%64 == 0 && ctl.Cancelled() {
+			return nil, st, false, ctl.Err()
+		}
+		i, ok := ix.pos[id]
+		if !ok {
+			continue
+		}
+		st.LowerBoundCalls++
+		cands = append(cands, backend.Cand{I: i, ID: id, LB: ix.lowerBound(q, i)})
+	}
+	backend.SortCands(cands)
 	res, truncated, err := backend.ScanKNN(cands, k, bound, ctl, &st,
 		func(i int) *traj.Trajectory { return ix.db[i] },
 		func(i int, limit float64) (float64, bool) {

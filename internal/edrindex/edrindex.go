@@ -26,7 +26,10 @@ const MetricName = "edr"
 
 func init() { backend.Register(MetricName) }
 
-var _ backend.Backend = (*Index)(nil)
+var (
+	_ backend.Backend           = (*Index)(nil)
+	_ backend.CandidateSearcher = (*Index)(nil)
+)
 
 // cellKey addresses an ε-grid cell.
 type cellKey struct{ cx, cy int }
@@ -37,16 +40,19 @@ type Index struct {
 	db    []*traj.Trajectory
 	grids []map[cellKey]int // per-trajectory ε-grid histograms
 	byID  map[int]*traj.Trajectory
+	pos   map[int]int // ID → db position, for candidate-restricted search
 	edr   baseline.EDR
 }
 
 // New builds the index: one ε-grid histogram per trajectory.
 func New(db []*traj.Trajectory, eps float64) *Index {
-	ix := &Index{eps: eps, db: db, edr: baseline.EDR{Eps: eps}, byID: make(map[int]*traj.Trajectory, len(db))}
+	ix := &Index{eps: eps, db: db, edr: baseline.EDR{Eps: eps},
+		byID: make(map[int]*traj.Trajectory, len(db)), pos: make(map[int]int, len(db))}
 	ix.grids = make([]map[cellKey]int, len(db))
 	for i, t := range db {
 		ix.grids[i] = gridOf(t, eps)
 		ix.byID[t.ID] = t
+		ix.pos[t.ID] = i
 	}
 	return ix
 }
@@ -170,6 +176,38 @@ func (ix *Index) SearchKNN(q *traj.Trajectory, k int, bound *backend.SharedBound
 	if err != nil {
 		return nil, st, false, err
 	}
+	res, truncated, err := backend.ScanKNN(cands, k, bound, ctl, &st,
+		func(i int) *traj.Trajectory { return ix.db[i] },
+		func(i int, limit float64) (float64, bool) {
+			return ix.edr.DistEarlyAbandonCancel(q, ix.db[i], intLimit(limit), ctl.CancelFlag())
+		})
+	return res, st, truncated, err
+}
+
+// SearchKNNIn is the backend.CandidateSearcher capability: SearchKNN
+// restricted to the prefilter's candidate IDs. The candidate subset is
+// ordered by the same admissible bounds as the full scan, so pruning and
+// early abandonment carry over unchanged. IDs not present in the index
+// are skipped.
+func (ix *Index) SearchKNNIn(q *traj.Trajectory, ids []int, k int, bound *backend.SharedBound, ctl *backend.Ctl) ([]Result, Stats, bool, error) {
+	var st Stats
+	if k <= 0 || len(ids) == 0 || len(ix.db) == 0 {
+		return nil, st, false, ctl.Err()
+	}
+	qGrid := gridOf(q, ix.eps)
+	cands := make([]backend.Cand, 0, len(ids))
+	for n, id := range ids {
+		if n%64 == 0 && ctl.Cancelled() {
+			return nil, st, false, ctl.Err()
+		}
+		i, ok := ix.pos[id]
+		if !ok {
+			continue
+		}
+		st.LowerBoundCalls++
+		cands = append(cands, backend.Cand{I: i, ID: id, LB: ix.lowerBound(q, qGrid, i)})
+	}
+	backend.SortCands(cands)
 	res, truncated, err := backend.ScanKNN(cands, k, bound, ctl, &st,
 		func(i int) *traj.Trajectory { return ix.db[i] },
 		func(i int, limit float64) (float64, bool) {

@@ -6,7 +6,12 @@
 // Adding a metric is a three-step plug-in, no engine changes: implement
 // backend.Backend over your index, backend.Register its name from init,
 // and add a case to Spec here (fixing any whole-database parameters in
-// the spec's closure before sharding).
+// the spec's closure before sharding). The optional capabilities —
+// backend.SubSearcher, backend.Mutable, backend.CandidateSearcher (the
+// sketch-prefilter verification hook) — are interface opt-ins on the
+// index type; the engine discovers them by assertion, so a new metric
+// gains sub-trajectory search, mutation or prefiltered k-NN the moment
+// it implements the interface.
 package metrics
 
 import (

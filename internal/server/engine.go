@@ -55,6 +55,7 @@ import (
 
 	"trajmatch/internal/backend"
 	"trajmatch/internal/par"
+	"trajmatch/internal/sketch"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/trajtree"
 )
@@ -76,6 +77,18 @@ type Options struct {
 	// SnapshotDir, when non-empty, is where POST /snapshot writes the
 	// sharded snapshot and where SaveSnapshot/LoadSnapshot default to.
 	SnapshotDir string
+	// Prefilter builds the sketch/LSH candidate prefilter at boot: one
+	// sketch index per shard, shared across every loaded metric.
+	// Queries still opt in per request (Query.Prefilter) — an engine
+	// with the prefilter enabled answers non-prefiltered queries
+	// byte-identically to one without it.
+	Prefilter bool
+	// Sketch parameterises the prefilter; zero-value fields take the
+	// sketch package defaults, and a zero CellSize is derived from the
+	// full corpus before sharding (like EDR's ε, it is whole-corpus
+	// state every shard must agree on). Ignored unless Prefilter is set
+	// or a loaded snapshot recorded prefilter parameters.
+	Sketch sketch.Params
 }
 
 const defaultCacheSize = 1024
@@ -127,6 +140,14 @@ type Engine struct {
 	gen    engineGen
 	snapMu sync.Mutex // serialises SaveSnapshot calls against each other
 
+	// sketches is the candidate prefilter: one sketch index per shard,
+	// shared across metric sets (candidacy depends on geometry alone,
+	// and every set shards the same corpus with the same placement).
+	// nil when the prefilter is disabled. sketchParams holds the
+	// resolved whole-corpus parameters the snapshot manifest records.
+	sketches     []*sketch.Index
+	sketchParams sketch.Params
+
 	queries   atomic.Uint64
 	cacheHits atomic.Uint64
 	inserts   atomic.Uint64
@@ -144,6 +165,9 @@ type Engine struct {
 	lowerBoundCalls atomic.Uint64
 	nodesVisited    atomic.Uint64
 	nodesPruned     atomic.Uint64
+
+	prefilterCandidates atomic.Uint64
+	prefilterSkipped    atomic.Uint64
 }
 
 // recordQueryStats folds one query's instrumentation into the engine's
@@ -154,6 +178,8 @@ func (e *Engine) recordQueryStats(ms *metricSet, st backend.Stats) {
 	e.lowerBoundCalls.Add(uint64(st.LowerBoundCalls))
 	e.nodesVisited.Add(uint64(st.NodesVisited))
 	e.nodesPruned.Add(uint64(st.NodesPruned))
+	e.prefilterCandidates.Add(uint64(st.PrefilterCandidates))
+	e.prefilterSkipped.Add(uint64(st.PrefilterSkipped))
 	ms.recordStats(st)
 }
 
@@ -177,6 +203,7 @@ func newEngine(sets []*metricSet, opt Options) *Engine {
 // as-is.
 func NewEngine(tree *trajtree.Tree, opt Options) *Engine {
 	opt = opt.withDefaults()
+	var e *Engine
 	if opt.Shards > 1 {
 		sets, err := buildMetricSets(tree.All(), []backend.Spec{trajtree.BackendSpec(tree.Options())}, opt)
 		if err != nil {
@@ -187,10 +214,19 @@ func NewEngine(tree *trajtree.Tree, opt Options) *Engine {
 			// for.
 			panic(fmt.Sprintf("server: resharding a valid tree failed: %v", err))
 		}
-		return newEngine(sets, opt)
+		e = newEngine(sets, opt)
+	} else {
+		set := &metricSet{name: trajtree.MetricName, shards: []*shard{{be: tree}}}
+		e = newEngine([]*metricSet{set}, opt)
 	}
-	set := &metricSet{name: trajtree.MetricName, shards: []*shard{{be: tree}}}
-	return newEngine([]*metricSet{set}, opt)
+	if opt.Prefilter {
+		if err := e.enablePrefilter(tree.All(), opt.Sketch); err != nil {
+			// Same invariant argument as resharding: valid members and
+			// validated options cannot fail the sketch build.
+			panic(fmt.Sprintf("server: building prefilter over a valid tree failed: %v", err))
+		}
+	}
+	return e
 }
 
 // NewEngineFromDB bulk-loads hash-partitioned TrajTree shards over db
@@ -211,7 +247,13 @@ func NewMultiEngineFromDB(db []*traj.Trajectory, specs []backend.Spec, opt Optio
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(sets, opt), nil
+	e := newEngine(sets, opt)
+	if opt.Prefilter {
+		if err := e.enablePrefilter(db, opt.Sketch); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
 // Shards returns the number of index shards per metric.
@@ -407,14 +449,21 @@ func (e *Engine) searchOne(ctx context.Context, ms *metricSet, q *traj.Trajector
 // discarded.
 func (e *Engine) fanout(ms *metricSet, q *traj.Trajectory, req Query, ctl *backend.Ctl, concurrent bool) ([]backend.Result, backend.Stats, bool, error) {
 	shards := ms.shards
-	shardRun := func(s *shard, bound *backend.SharedBound) ([]backend.Result, backend.Stats, bool, error) {
+	if req.Prefilter && e.sketches == nil {
+		return nil, backend.Stats{}, false,
+			fmt.Errorf("prefilter %w (engine booted without Options.Prefilter)", backend.ErrNotSupported)
+	}
+	shardRun := func(i int, bound *backend.SharedBound) ([]backend.Result, backend.Stats, bool, error) {
 		switch req.Kind {
 		case KindRange:
-			return s.searchRange(q, req.Radius, ctl)
+			return shards[i].searchRange(q, req.Radius, ctl)
 		case KindSubKNN:
-			return s.searchSub(q, req.K, bound, ctl)
+			return shards[i].searchSub(q, req.K, bound, ctl)
 		default: // KindKNN; validate guarantees the kind set
-			return s.searchKNN(q, req.K, bound, ctl)
+			if req.Prefilter {
+				return e.prefilterShard(shards[i], e.sketches[i], q, req, bound, ctl)
+			}
+			return shards[i].searchKNN(q, req.K, bound, ctl)
 		}
 	}
 	// One bound for both fan-out shapes: the k-NN kinds prune against a
@@ -431,7 +480,7 @@ func (e *Engine) fanout(ms *metricSet, q *traj.Trajectory, req Query, ctl *backe
 		}
 	}
 	if len(shards) == 1 {
-		return shardRun(shards[0], bound)
+		return shardRun(0, bound)
 	}
 	per := make([][]backend.Result, len(shards))
 	sts := make([]backend.Stats, len(shards))
@@ -444,7 +493,7 @@ func (e *Engine) fanout(ms *metricSet, q *traj.Trajectory, req Query, ctl *backe
 			errs[i] = ctl.Err()
 			return
 		}
-		per[i], sts[i], truncs[i], errs[i] = shardRun(shards[i], bound)
+		per[i], sts[i], truncs[i], errs[i] = shardRun(i, bound)
 	}
 	if concurrent {
 		par.For(e.opt.Workers, len(shards), run)
@@ -564,6 +613,14 @@ func (e *Engine) Insert(tr *traj.Trajectory) error {
 			return fmt.Errorf("server: metric %q: %w", ms.name, err)
 		}
 	}
+	if e.sketches != nil {
+		// Sketch membership follows the backends. Candidates are verified
+		// by presence (SearchKNNIn skips unknown IDs), so the brief window
+		// where the backends hold tr but the sketch does not merely means
+		// tr is not yet a candidate — the same per-shard atomicity a
+		// fanning-out query already tolerates.
+		e.sketches[shardIndex(tr.ID, len(e.sketches))].Insert(tr)
+	}
 	e.inserts.Add(1)
 	return nil
 }
@@ -586,6 +643,12 @@ func (e *Engine) Delete(id int) bool {
 	}
 	if !present {
 		return false
+	}
+	if e.sketches != nil {
+		// After this the deleted ID can never be a candidate again;
+		// during the window between backend delete and here a stale
+		// candidate is skipped by presence verification.
+		e.sketches[shardIndex(id, len(e.sketches))].Delete(id)
 	}
 	e.deletes.Add(1)
 	return true
@@ -652,6 +715,9 @@ type MetricStats struct {
 	LowerBoundCalls uint64 `json:"lower_bound_calls"`
 	NodesVisited    uint64 `json:"nodes_visited"`
 	NodesPruned     uint64 `json:"nodes_pruned"`
+
+	PrefilterCandidates uint64 `json:"prefilter_candidates,omitempty"`
+	PrefilterSkipped    uint64 `json:"prefilter_skipped,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the engine's counters and index
@@ -686,6 +752,14 @@ type Stats struct {
 	LowerBoundCalls uint64 `json:"lower_bound_calls"`
 	NodesVisited    uint64 `json:"nodes_visited"`
 	NodesPruned     uint64 `json:"nodes_pruned"`
+
+	// Prefilter reports whether the sketch/LSH candidate prefilter is
+	// enabled; the counters accumulate over prefiltered queries only —
+	// PrefilterSkipped / (PrefilterCandidates + PrefilterSkipped) is the
+	// fraction of the corpus the sketch excluded before any exact work.
+	Prefilter           bool   `json:"prefilter"`
+	PrefilterCandidates uint64 `json:"prefilter_candidates,omitempty"`
+	PrefilterSkipped    uint64 `json:"prefilter_skipped,omitempty"`
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -705,6 +779,10 @@ func (e *Engine) Stats() Stats {
 		LowerBoundCalls: e.lowerBoundCalls.Load(),
 		NodesVisited:    e.nodesVisited.Load(),
 		NodesPruned:     e.nodesPruned.Load(),
+
+		Prefilter:           e.sketches != nil,
+		PrefilterCandidates: e.prefilterCandidates.Load(),
+		PrefilterSkipped:    e.prefilterSkipped.Load(),
 	}
 	st.PerShard = make([]ShardStats, len(e.sets[0].shards))
 	for i, s := range e.sets[0].shards {
@@ -719,7 +797,7 @@ func (e *Engine) Stats() Stats {
 	for i, ms := range e.sets {
 		st.PerMetric[i] = MetricStats{
 			Metric:          ms.name,
-			Capabilities:    ms.capabilities(),
+			Capabilities:    ms.capabilities(e.sketches != nil),
 			Queries:         ms.queries.Load(),
 			CacheHits:       ms.cacheHits.Load(),
 			DistanceCalls:   ms.distanceCalls.Load(),
@@ -727,6 +805,9 @@ func (e *Engine) Stats() Stats {
 			LowerBoundCalls: ms.lowerBoundCalls.Load(),
 			NodesVisited:    ms.nodesVisited.Load(),
 			NodesPruned:     ms.nodesPruned.Load(),
+
+			PrefilterCandidates: ms.prefilterCandidates.Load(),
+			PrefilterSkipped:    ms.prefilterSkipped.Load(),
 		}
 	}
 	if e.cache != nil {

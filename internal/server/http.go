@@ -51,13 +51,19 @@ func toNeighbors(rs []backend.Result) []Neighbor {
 	return out
 }
 
-// WireStats mirrors backend.Stats in snake_case JSON.
+// WireStats mirrors backend.Stats in snake_case JSON. The prefilter
+// pair appears only on prefiltered queries: candidates admitted for
+// exact verification versus indexed trajectories skipped without any
+// bound or distance work.
 type WireStats struct {
 	DistanceCalls   int `json:"distance_calls"`
 	EarlyAbandons   int `json:"early_abandons"`
 	LowerBoundCalls int `json:"lower_bound_calls"`
 	NodesVisited    int `json:"nodes_visited"`
 	NodesPruned     int `json:"nodes_pruned"`
+
+	PrefilterCandidates int `json:"prefilter_candidates,omitempty"`
+	PrefilterSkipped    int `json:"prefilter_skipped,omitempty"`
 }
 
 func toWireStats(st backend.Stats) WireStats {
@@ -67,6 +73,9 @@ func toWireStats(st backend.Stats) WireStats {
 		LowerBoundCalls: st.LowerBoundCalls,
 		NodesVisited:    st.NodesVisited,
 		NodesPruned:     st.NodesPruned,
+
+		PrefilterCandidates: st.PrefilterCandidates,
+		PrefilterSkipped:    st.PrefilterSkipped,
 	}
 }
 
@@ -235,7 +244,8 @@ type HandlerOptions struct {
 //
 //	POST /v1/search    {"kind": "knn"|"range"|"subknn", "metric": "edwp"|"dtw"|"edr",
 //	                    "query": {...} | "queries": [...],
-//	                    "k": 10, "radius": 250, "limit": 0, "max_evals": 0, "with_stats": true}
+//	                    "k": 10, "radius": 250, "limit": 0, "max_evals": 0,
+//	                    "prefilter": false, "with_stats": true}
 //	POST /v1/insert    {"trajectories": [{...}, ...]}
 //	POST /v1/delete    {"ids": [17, 42]}
 //	POST /v1/rebuild   (no body)

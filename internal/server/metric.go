@@ -43,6 +43,9 @@ type metricSet struct {
 	lowerBoundCalls atomic.Uint64
 	nodesVisited    atomic.Uint64
 	nodesPruned     atomic.Uint64
+
+	prefilterCandidates atomic.Uint64
+	prefilterSkipped    atomic.Uint64
 }
 
 func (ms *metricSet) recordStats(st backend.Stats) {
@@ -51,12 +54,18 @@ func (ms *metricSet) recordStats(st backend.Stats) {
 	ms.lowerBoundCalls.Add(uint64(st.LowerBoundCalls))
 	ms.nodesVisited.Add(uint64(st.NodesVisited))
 	ms.nodesPruned.Add(uint64(st.NodesPruned))
+	ms.prefilterCandidates.Add(uint64(st.PrefilterCandidates))
+	ms.prefilterSkipped.Add(uint64(st.PrefilterSkipped))
 }
 
 // capabilities reports which optional interfaces the set's backend
 // implements, for the stats endpoint's capability matrix. All shards of
 // a set share one implementation, so shard 0 speaks for the set.
-func (ms *metricSet) capabilities() []string {
+// prefilterEnabled says whether the engine carries sketch indexes —
+// "prefilter" is advertised only when both sides of the capability are
+// present (an engine-owned sketch and a backend that can verify within
+// a candidate set).
+func (ms *metricSet) capabilities(prefilterEnabled bool) []string {
 	caps := []string{"knn", "range"}
 	be := ms.shards[0].be
 	if _, ok := be.(backend.SubSearcher); ok {
@@ -67,6 +76,9 @@ func (ms *metricSet) capabilities() []string {
 	}
 	if _, ok := treeOf(be); ok {
 		caps = append(caps, "persist")
+	}
+	if _, ok := be.(backend.CandidateSearcher); ok && prefilterEnabled {
+		caps = append(caps, "prefilter")
 	}
 	return caps
 }

@@ -71,6 +71,17 @@ type Query struct {
 	// 0 means unlimited.
 	MaxEvals int `json:"max_evals,omitempty"`
 
+	// Prefilter routes a KindKNN query through the sketch/LSH candidate
+	// prefilter: each shard's sketch admits a small candidate set and
+	// the backend verifies it exactly under the shared bound. The
+	// answer is exact over the admitted candidates; the approximation
+	// is recall — a true neighbour the sketch never admitted is absent.
+	// Requires an engine booted with Options.Prefilter and a backend
+	// implementing the CandidateSearcher capability (ErrNotSupported
+	// otherwise); invalid on the other kinds. Prefiltered answers
+	// bypass the result cache, whose key promises the exact k-NN.
+	Prefilter bool `json:"prefilter,omitempty"`
+
 	// WithStats asks for the per-query kernel instrumentation in
 	// Answer.Stats. The engine's cumulative counters accumulate either
 	// way; this only controls the per-answer copy.
@@ -99,6 +110,9 @@ func (q Query) validate() error {
 	if q.MaxEvals < 0 {
 		return fmt.Errorf("%w: max_evals must be non-negative", ErrInvalidQuery)
 	}
+	if q.Prefilter && q.Kind != KindKNN {
+		return fmt.Errorf("%w: prefilter applies to kind %q only", ErrInvalidQuery, KindKNN)
+	}
 	return nil
 }
 
@@ -113,10 +127,11 @@ func (q Query) seedLimit() float64 {
 
 // cacheable reports whether the answer may be served from / stored into
 // the LRU cache: only plain exact k-NN — a Limit can shrink the answer
-// set and a MaxEvals budget can truncate it, so neither matches the
+// set, a MaxEvals budget can truncate it, and a prefiltered answer can
+// miss a neighbour the sketch never admitted, so none of them match the
 // cache key's "exact KNN(q, k)" meaning.
 func (q Query) cacheable() bool {
-	return q.Kind == KindKNN && q.seedLimit() == math.Inf(1) && q.MaxEvals == 0
+	return q.Kind == KindKNN && q.seedLimit() == math.Inf(1) && q.MaxEvals == 0 && !q.Prefilter
 }
 
 // Answer is the result of one executed Query.

@@ -64,6 +64,19 @@ func (s *shard) searchKNN(q *traj.Trajectory, k int, bound *backend.SharedBound,
 	return s.be.SearchKNN(q, k, bound, ctl)
 }
 
+// searchKNNIn runs the candidate-restricted k-NN verification under the
+// read lock, degrading to ErrNotSupported on backends without the
+// CandidateSearcher capability.
+func (s *shard) searchKNNIn(q *traj.Trajectory, ids []int, k int, bound *backend.SharedBound, ctl *backend.Ctl) ([]backend.Result, backend.Stats, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cs, ok := s.be.(backend.CandidateSearcher)
+	if !ok {
+		return nil, backend.Stats{}, false, fmt.Errorf("prefilter %w", backend.ErrNotSupported)
+	}
+	return cs.SearchKNNIn(q, ids, k, bound, ctl)
+}
+
 // searchRange runs the radius-seeded search under the read lock.
 func (s *shard) searchRange(q *traj.Trajectory, radius float64, ctl *backend.Ctl) ([]backend.Result, backend.Stats, bool, error) {
 	s.mu.RLock()

@@ -10,6 +10,7 @@ import (
 
 	"trajmatch/internal/backend"
 	"trajmatch/internal/par"
+	"trajmatch/internal/sketch"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/trajtree"
 )
@@ -55,8 +56,18 @@ type snapshotManifest struct {
 	// in persist order. Only tree-backed metrics are persistable today,
 	// so the list is ["edwp"]; it is recorded (rather than implied) so a
 	// loader can tell which requested metrics it must rebuild instead.
-	Metrics []string  `json:"metrics,omitempty"`
-	SavedAt time.Time `json:"saved_at"`
+	Metrics []string `json:"metrics,omitempty"`
+	// Sketch, when present, records the resolved prefilter parameters
+	// the engine was serving with. The sketch indexes themselves are
+	// not persisted: they are a deterministic function of (corpus,
+	// parameters), so the loader rebuilds bit-identical prefilter state
+	// from the loaded corpus — provided the parameters are these
+	// recorded, already-resolved values rather than re-derived ones (a
+	// re-derived CellSize could differ if the corpus changed since the
+	// parameters were fixed). Like the shard count, the manifest wins
+	// over the loading Options. Absent means the prefilter was off.
+	Sketch  *sketch.Params `json:"sketch,omitempty"`
+	SavedAt time.Time      `json:"saved_at"`
 }
 
 // persistedMetrics returns the manifest's Metrics list, defaulting to
@@ -117,6 +128,10 @@ func (e *Engine) SaveSnapshot(dir string) error {
 		Sizes:       make([]int, len(shards)),
 		Metrics:     []string{ms.name},
 		SavedAt:     time.Now().UTC(),
+	}
+	if e.sketches != nil {
+		p := e.sketchParams
+		man.Sketch = &p
 	}
 	// Phase 1: stream every shard to a temp file. No final name is
 	// touched yet, so any failure here (disk full, I/O error) leaves the
@@ -265,9 +280,25 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 	if err != nil {
 		return nil, fmt.Errorf("server: load snapshot: %w", err)
 	}
+	// collectCorpus concatenates the loaded shards' members — the corpus
+	// the non-persisted state (extra metrics, the prefilter) rebuilds
+	// from.
+	collectCorpus := func() []*traj.Trajectory {
+		var all []*traj.Trajectory
+		for _, s := range treeShards {
+			all = append(all, s.all()...)
+		}
+		return all
+	}
 	if makeSpecs == nil {
 		set := &metricSet{name: trajtree.MetricName, shards: treeShards}
-		return newEngine([]*metricSet{set}, opt), nil
+		e := newEngine([]*metricSet{set}, opt)
+		if man.Sketch != nil || opt.Prefilter {
+			if err := e.restorePrefilter(man, opt, collectCorpus()); err != nil {
+				return nil, fmt.Errorf("server: load snapshot: %w", err)
+			}
+		}
+		return e, nil
 	}
 	// Rebuild the non-persisted metrics per shard from the loaded trees'
 	// members: the loaded placement already is the hash placement, so
@@ -303,5 +334,36 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 		}
 		sets = append(sets, &metricSet{name: spec.Name, shards: shards})
 	}
-	return newEngine(sets, opt), nil
+	e := newEngine(sets, opt)
+	if man.Sketch != nil || opt.Prefilter {
+		if err := e.restorePrefilter(man, opt, all); err != nil {
+			return nil, fmt.Errorf("server: load snapshot: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// restorePrefilter reattaches the candidate prefilter after a snapshot
+// load. Manifest-recorded parameters win over the loading Options (the
+// same rule as the shard count): they are the already-resolved
+// whole-corpus values the snapshot was serving with, so the rebuilt
+// sketch indexes are bit-identical to the saved engine's. A snapshot
+// with no recorded parameters but opt.Prefilter set enables the
+// prefilter fresh, resolving parameters over the loaded corpus exactly
+// as a cold boot would.
+func (e *Engine) restorePrefilter(man snapshotManifest, opt Options, db []*traj.Trajectory) error {
+	if man.Sketch == nil {
+		return e.enablePrefilter(db, opt.Sketch)
+	}
+	p := man.Sketch.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("manifest sketch parameters: %w", err)
+	}
+	sketches, err := buildSketches(db, len(e.sets[0].shards), p)
+	if err != nil {
+		return err
+	}
+	e.sketches = sketches
+	e.sketchParams = p
+	return nil
 }

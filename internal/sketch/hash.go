@@ -1,0 +1,182 @@
+package sketch
+
+import (
+	"math"
+
+	"trajmatch/internal/traj"
+)
+
+// splitmix64 is the same finalizer the shard router uses: a cheap,
+// well-mixed 64-bit permutation. All sketch hashing composes it.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix2 combines two words through the finalizer; used for token,
+// shingle and band-key construction.
+func mix2(a, b uint64) uint64 { return splitmix64(a ^ splitmix64(b)) }
+
+// cellCoordLimit clamps quantized cell coordinates. The corpora live
+// within a few thousand cells of the origin; the clamp only matters for
+// adversarial inputs (fuzzing feeds near-±MaxFloat64 coordinates, whose
+// quotient overflows int64), where collapsing everything beyond ±2³¹
+// onto the boundary cell keeps tokenization total and deterministic.
+const cellCoordLimit = int64(1) << 31
+
+// quantize maps one coordinate onto its cell index, clamped.
+func quantize(v, cell float64) int64 {
+	f := math.Floor(v / cell)
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= float64(cellCoordLimit):
+		return cellCoordLimit
+	case f <= -float64(cellCoordLimit):
+		return -cellCoordLimit
+	}
+	return int64(f)
+}
+
+// cellToken hashes a cell coordinate pair into one 64-bit token.
+func cellToken(ix, iy int64) uint64 {
+	return mix2(uint64(ix), uint64(iy))
+}
+
+// coarseFactor is the pitch multiple of the second, coarser cell level.
+// Fine cells drive the shingles, signatures and primary overlap
+// ranking; coarse cells (coarseFactor× the pitch) exist so members that
+// are spatially near a query without sharing a single fine cell — the
+// parallel-street case — still rank above the arbitrary rest when the
+// candidate budget has room left.
+const coarseFactor = 8
+
+// tokens converts tr into its ordered cell-token sequence at the
+// params' (fine) pitch.
+func (ix *Index) tokens(tr *traj.Trajectory) []uint64 {
+	return ix.tokensAt(tr, ix.p.CellSize)
+}
+
+// tokensAt converts tr into its ordered cell-token sequence at the
+// given pitch. It walks each segment's interpolated movement at
+// half-cell steps — emitting every cell the movement passes through,
+// not just the sampled points — and collapses consecutive duplicates.
+// Two trajectories along the same path at different sampling rates
+// therefore emit nearly identical sequences, which is what makes the
+// fingerprint usable under the paper's inconsistent-sampling premise.
+// Non-finite points are skipped (indexed trajectories never carry them;
+// fuzzing does).
+func (ix *Index) tokensAt(tr *traj.Trajectory, cell float64) []uint64 {
+	var out []uint64
+	var lastX, lastY int64
+	have := false
+	emit := func(x, y float64) {
+		cx, cy := quantize(x, cell), quantize(y, cell)
+		if have && cx == lastX && cy == lastY {
+			return
+		}
+		lastX, lastY = cx, cy
+		have = true
+		out = append(out, cellToken(cx, cy))
+	}
+	pts := tr.Points
+	for i, p := range pts {
+		if !finite(p.X) || !finite(p.Y) {
+			continue
+		}
+		if i > 0 && finite(pts[i-1].X) && finite(pts[i-1].Y) {
+			// Walk the segment interior at half-cell steps so every
+			// traversed cell is emitted regardless of sampling rate.
+			px, py := pts[i-1].X, pts[i-1].Y
+			dx, dy := p.X-px, p.Y-py
+			dist := math.Hypot(dx, dy)
+			if finite(dist) && dist > cell/2 {
+				steps := int(dist / (cell / 2))
+				if steps > maxWalkSteps {
+					steps = maxWalkSteps
+				}
+				for s := 1; s < steps; s++ {
+					f := float64(s) / float64(steps)
+					emit(px+f*dx, py+f*dy)
+				}
+			}
+		}
+		emit(p.X, p.Y)
+	}
+	return out
+}
+
+// maxWalkSteps caps the per-segment walk so one absurdly long segment
+// (fuzzing, corrupt input) cannot make tokenization unbounded; beyond
+// the cap the walk subsamples the segment uniformly instead.
+const maxWalkSteps = 1 << 12
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// shingles hashes the ordered token sequence into its k-gram set
+// (sorted, distinct). Sequences shorter than the shingle length
+// contribute one whole-sequence shingle, so every tokenizable
+// trajectory has a non-empty set; an empty token sequence yields nil.
+func (ix *Index) shingles(toks []uint64) []uint64 {
+	if len(toks) == 0 {
+		return nil
+	}
+	k := ix.p.Shingle
+	var out []uint64
+	gram := func(ts []uint64) uint64 {
+		h := uint64(0x5851f42d4c957f2d)
+		for _, t := range ts {
+			h = mix2(h, t)
+		}
+		return h
+	}
+	if len(toks) < k {
+		out = append(out, gram(toks))
+	} else {
+		for i := 0; i+k <= len(toks); i++ {
+			out = append(out, gram(toks[i:i+k]))
+		}
+	}
+	return dedupe(out)
+}
+
+// signature computes the MinHash signature of a shingle set: one
+// minimum per seeded hash function. A nil shingle set yields a nil
+// signature (the member lands in no band and is reachable only through
+// the full-scan floor).
+func (ix *Index) signature(shingles []uint64) []uint64 {
+	if len(shingles) == 0 {
+		return nil
+	}
+	sig := make([]uint64, len(ix.seeds))
+	for i, seed := range ix.seeds {
+		min := uint64(math.MaxUint64)
+		for _, s := range shingles {
+			if h := mix2(seed, s); h < min {
+				min = h
+			}
+		}
+		sig[i] = min
+	}
+	return sig
+}
+
+// bandKeys folds the signature into one bucket key per band. Keys mix
+// in the band index, so identical row values in different bands cannot
+// collide into one bucket.
+func (ix *Index) bandKeys(sig []uint64) []uint64 {
+	if len(sig) == 0 {
+		return nil
+	}
+	keys := make([]uint64, ix.p.Bands)
+	for b := 0; b < ix.p.Bands; b++ {
+		h := splitmix64(uint64(b) + 0x9e3779b97f4a7c15)
+		for r := 0; r < ix.rows; r++ {
+			h = mix2(h, sig[b*ix.rows+r])
+		}
+		keys[b] = h
+	}
+	return keys
+}

@@ -1,0 +1,440 @@
+// Package sketch is the sub-linear candidate generator in front of the
+// exact metric backends: a Geodabs-style fingerprint index (PAPERS.md,
+// "Geodabs: Trajectory Indexing Meets Fingerprinting at Scale") that
+// turns each trajectory into a set of grid-cell shingles, compresses the
+// set into a MinHash signature, and files the signature into a banded
+// LSH inverted index. A query probes its own bands and gets back a small
+// candidate set — trajectories whose shingle sets are likely similar —
+// which the exact bounded kernels then verify under the engine's shared
+// k-th-best bound. The prefilter trades nothing for correctness on the
+// verified answers themselves (every returned distance is exact); what
+// it trades is recall — a true neighbour absent from the candidate set
+// is never examined — so the index stacks two mechanisms whose union
+// keeps measured recall@k high (see docs/ARCHITECTURE.md, "Candidate
+// prefilter"):
+//
+//   - banded MinHash-LSH: trajectories colliding with the query in at
+//     least one signature band (high-Jaccard matches surface with high
+//     probability, the classic b×r amplification);
+//   - overlap ranking: the cell posting lists rank trajectories by how
+//     many grid cells they share with the query, and the top `want` are
+//     always admitted — the robustness backstop for moderate-Jaccard
+//     true neighbours that banding alone would miss.
+//
+// Tokenization walks the *interpolated* movement, emitting every cell a
+// segment passes through rather than only the sampled points, so two
+// trajectories following the same path at different sampling rates
+// produce nearly identical token sets — the inconsistent-sampling
+// premise of the source paper carries down into the prefilter layer.
+//
+// An Index is safe for concurrent use: Candidates takes a read lock,
+// Insert/Delete/Clear a write lock. All randomness derives from
+// Params.Seed, so equal corpora under equal parameters produce equal
+// candidate sets — the property the snapshot warm-boot path relies on to
+// rebuild the prefilter deterministically instead of persisting it.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"trajmatch/internal/backend"
+	"trajmatch/internal/traj"
+)
+
+// Params fix the sketch geometry for a whole corpus. Like EDR's ε they
+// must be chosen once, before sharding, so every shard tokenizes
+// identically; the snapshot manifest records the resolved values. The
+// zero value of every field selects a default (WithDefaults).
+type Params struct {
+	// CellSize is the tokenization grid pitch in corpus units (metres
+	// for the synthetic taxi corpora). 0 derives it from the database at
+	// engine build time (DeriveCellSize: half the median spatial segment
+	// length, the same whole-corpus-statistic pattern as EDR's ε).
+	CellSize float64 `json:"cell_size"`
+	// Shingle is the number of consecutive cell tokens per shingle
+	// (k-gram). Default 2. Trajectories with fewer tokens contribute one
+	// whole-sequence shingle instead, so every valid trajectory has a
+	// non-empty shingle set.
+	Shingle int `json:"shingle"`
+	// Hashes is the MinHash signature length; must be divisible by
+	// Bands. Default 64.
+	Hashes int `json:"hashes"`
+	// Bands is the LSH band count; rows per band = Hashes/Bands.
+	// Default 16 (so 4 rows per band).
+	Bands int `json:"bands"`
+	// MinCands is the per-query floor of the candidate set (before the
+	// query's own k scales it up; the engine requests
+	// max(MinCands, 4·k)). The overlap ranking widens the LSH matches up
+	// to this size, and a shard smaller than the floor degrades to a
+	// full scan — exact by construction. Default 32.
+	MinCands int `json:"min_cands"`
+	// Seed drives every hash function. Default 1.
+	Seed int64 `json:"seed"`
+}
+
+// WithDefaults returns p with every unset field replaced by its default
+// — the normal form the snapshot manifest records. CellSize stays 0
+// when unset; it is corpus-derived, not defaulted (resolve it with
+// DeriveCellSize before building an Index).
+func (p Params) WithDefaults() Params {
+	if p.Shingle <= 0 {
+		p.Shingle = 2
+	}
+	if p.Hashes <= 0 {
+		p.Hashes = 64
+	}
+	if p.Bands <= 0 {
+		p.Bands = 16
+	}
+	if p.MinCands <= 0 {
+		p.MinCands = 32
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Validate rejects parameter combinations an Index cannot be built
+// with. It expects a resolved CellSize (> 0).
+func (p Params) Validate() error {
+	if !(p.CellSize > 0) || math.IsInf(p.CellSize, 1) {
+		return fmt.Errorf("sketch: cell size must be positive and finite (got %v)", p.CellSize)
+	}
+	if p.Shingle <= 0 {
+		return fmt.Errorf("sketch: shingle length must be positive (got %d)", p.Shingle)
+	}
+	if p.Hashes <= 0 || p.Bands <= 0 || p.Hashes%p.Bands != 0 {
+		return fmt.Errorf("sketch: hashes (%d) must be a positive multiple of bands (%d)", p.Hashes, p.Bands)
+	}
+	if p.MinCands <= 0 {
+		return fmt.Errorf("sketch: min cands must be positive (got %d)", p.MinCands)
+	}
+	return nil
+}
+
+// DeriveCellSize picks a tokenization pitch from whole-corpus
+// statistics: half the median spatial segment length, so a typical
+// sampling interval crosses a couple of cells and the segment walk in
+// between fills the gaps. Falls back to 1 for corpora without a single
+// positive-length segment (all-stationary or empty databases), where
+// any pitch tokenizes everything into one cell anyway.
+func DeriveCellSize(db []*traj.Trajectory) float64 {
+	var lens []float64
+	for _, t := range db {
+		for i := 0; i < t.NumSegments(); i++ {
+			if l := t.Segment(i).Length(); l > 0 && !math.IsInf(l, 1) {
+				lens = append(lens, l)
+			}
+		}
+	}
+	if len(lens) == 0 {
+		return 1
+	}
+	sort.Float64s(lens)
+	c := lens[len(lens)/2] / 2
+	if !(c > 0) {
+		return 1
+	}
+	return c
+}
+
+// idSet is an insertion-agnostic member set; posting lists use it so
+// Delete is O(1) per key instead of a slice scan.
+type idSet map[int]struct{}
+
+// Index is one shard's fingerprint index: the banded LSH buckets, the
+// cell posting lists, and the per-member reverse entries that make
+// Delete exact. It implements backend.CandidateSource.
+type Index struct {
+	p     Params
+	rows  int
+	seeds []uint64 // one per MinHash function
+
+	mu     sync.RWMutex
+	bands  map[uint64]idSet // band bucket key -> members
+	cells  map[uint64]idSet // fine cell token -> members
+	coarse map[uint64]idSet // coarse cell token -> members
+	byID   map[int]*entry   // reverse index for Delete
+}
+
+// entry remembers which buckets a member landed in.
+type entry struct {
+	bandKeys   []uint64
+	cellToks   []uint64
+	coarseToks []uint64
+}
+
+// NewIndex builds an empty index; Params must Validate.
+func NewIndex(p Params) (*Index, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		p:      p,
+		rows:   p.Hashes / p.Bands,
+		seeds:  make([]uint64, p.Hashes),
+		bands:  make(map[uint64]idSet),
+		cells:  make(map[uint64]idSet),
+		coarse: make(map[uint64]idSet),
+		byID:   make(map[int]*entry),
+	}
+	s := uint64(p.Seed)
+	for i := range ix.seeds {
+		s = splitmix64(s)
+		ix.seeds[i] = s
+	}
+	return ix, nil
+}
+
+// Build constructs an index over db, used by the engine's per-shard
+// bulk load and the snapshot warm boot (rebuilding is deterministic, so
+// the prefilter itself is never persisted).
+func Build(db []*traj.Trajectory, p Params) (*Index, error) {
+	ix, err := NewIndex(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range db {
+		ix.Insert(t)
+	}
+	return ix, nil
+}
+
+// Params returns the index's resolved parameters.
+func (ix *Index) Params() Params { return ix.p }
+
+// Size returns the number of indexed trajectories.
+func (ix *Index) Size() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.byID)
+}
+
+// Insert files tr into the LSH buckets and posting lists. Re-inserting
+// an ID replaces its previous entry (the engine never does; the
+// robustness matters for op-sequence tests).
+func (ix *Index) Insert(tr *traj.Trajectory) {
+	toks := ix.tokens(tr)
+	keys := ix.bandKeys(ix.signature(ix.shingles(toks)))
+	cellToks := dedupe(toks)
+	coarseToks := dedupe(ix.tokensAt(tr, ix.p.CellSize*coarseFactor))
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.byID[tr.ID]; ok {
+		ix.removeLocked(tr.ID)
+	}
+	for _, k := range keys {
+		set, ok := ix.bands[k]
+		if !ok {
+			set = make(idSet)
+			ix.bands[k] = set
+		}
+		set[tr.ID] = struct{}{}
+	}
+	for _, c := range cellToks {
+		set, ok := ix.cells[c]
+		if !ok {
+			set = make(idSet)
+			ix.cells[c] = set
+		}
+		set[tr.ID] = struct{}{}
+	}
+	for _, c := range coarseToks {
+		set, ok := ix.coarse[c]
+		if !ok {
+			set = make(idSet)
+			ix.coarse[c] = set
+		}
+		set[tr.ID] = struct{}{}
+	}
+	ix.byID[tr.ID] = &entry{bandKeys: keys, cellToks: cellToks, coarseToks: coarseToks}
+}
+
+// Delete removes the member with the given ID, reporting whether it was
+// indexed. A deleted ID can never be returned by Candidates again.
+func (ix *Index) Delete(id int) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.removeLocked(id)
+}
+
+func (ix *Index) removeLocked(id int) bool {
+	e, ok := ix.byID[id]
+	if !ok {
+		return false
+	}
+	for _, k := range e.bandKeys {
+		if set := ix.bands[k]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(ix.bands, k)
+			}
+		}
+	}
+	for _, c := range e.cellToks {
+		if set := ix.cells[c]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(ix.cells, c)
+			}
+		}
+	}
+	for _, c := range e.coarseToks {
+		if set := ix.coarse[c]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(ix.coarse, c)
+			}
+		}
+	}
+	delete(ix.byID, id)
+	return true
+}
+
+// CandStats reports how a candidate set was assembled; the engine folds
+// it into the per-query backend.Stats. It is the backend contract's
+// CandidateInfo — the alias makes *Index satisfy
+// backend.CandidateSource directly.
+type CandStats = backend.CandidateInfo
+
+// The Index is the engine's CandidateSource: one per shard, shared
+// across metric sets.
+var _ backend.CandidateSource = (*Index)(nil)
+
+// jaccard is the exact Jaccard similarity of two sets given their
+// intersection and individual sizes.
+func jaccard(shared, a, b int) float64 {
+	if u := a + b - shared; u > 0 {
+		return float64(shared) / float64(u)
+	}
+	return 0
+}
+
+// Candidates returns the IDs the prefilter admits for q, sorted
+// ascending — a deterministic function of (indexed members, params, q,
+// want). The set is the union of the banded-LSH matches and the top
+// `want` members of the overlap ranking: fine-cell Jaccard first (the
+// same similarity the MinHash signatures estimate, computed exactly
+// over the posting lists — normalized, so a long member crossing the
+// query once cannot outrank a short near-duplicate), coarse-cell
+// Jaccard as the tie-break (members spatially near the query without a
+// single shared fine cell still fill the budget's tail ahead of the
+// arbitrary rest). When the index holds at most `want` members
+// everything is admitted. want <= 0 means the params' MinCands floor.
+func (ix *Index) Candidates(q *traj.Trajectory, want int) ([]int, CandStats) {
+	if want <= 0 {
+		want = ix.p.MinCands
+	} else if want < ix.p.MinCands {
+		want = ix.p.MinCands
+	}
+	toks := ix.tokens(q)
+	keys := ix.bandKeys(ix.signature(ix.shingles(toks)))
+	fineQ := dedupe(toks)
+	coarseQ := dedupe(ix.tokensAt(q, ix.p.CellSize*coarseFactor))
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var st CandStats
+	if len(ix.byID) <= want {
+		st.FullScan = true
+		out := make([]int, 0, len(ix.byID))
+		for id := range ix.byID {
+			out = append(out, id)
+		}
+		sort.Ints(out)
+		st.LSHHits = len(out)
+		return out, st
+	}
+	admitted := make(map[int]struct{})
+	for _, k := range keys {
+		for id := range ix.bands[k] {
+			admitted[id] = struct{}{}
+		}
+	}
+	st.LSHHits = len(admitted)
+
+	fine := make(map[int]int)
+	for _, c := range fineQ {
+		for id := range ix.cells[c] {
+			fine[id]++
+		}
+	}
+	coarse := make(map[int]int)
+	for _, c := range coarseQ {
+		for id := range ix.coarse[c] {
+			coarse[id]++
+		}
+	}
+	type oc struct {
+		id    int
+		score float64
+	}
+	// The blend keeps the exact fine-cell Jaccard dominant while letting
+	// coarse co-location break the low-overlap region apart: a member
+	// with one stray shared cell should not outrank a parallel-street
+	// near-neighbour that shares most coarse cells but no fine one.
+	const coarseWeight = 0.25
+	ranked := make([]oc, 0, len(coarse)+len(fine))
+	for id, m := range coarse {
+		e := ix.byID[id]
+		s := coarseWeight * jaccard(m, len(coarseQ), len(e.coarseToks))
+		if n := fine[id]; n > 0 {
+			s += jaccard(n, len(fineQ), len(e.cellToks))
+		}
+		ranked = append(ranked, oc{id: id, score: s})
+	}
+	// A shared fine cell usually implies a shared coarse cell, but the
+	// half-cell walk can clip a corner at one pitch and not the other —
+	// pick up fine-only sharers too.
+	for id, n := range fine {
+		if _, ok := coarse[id]; !ok {
+			ranked = append(ranked, oc{id: id, score: jaccard(n, len(fineQ), len(ix.byID[id].cellToks))})
+		}
+	}
+	if len(ranked) > 0 {
+		sort.Slice(ranked, func(a, b int) bool {
+			if ranked[a].score != ranked[b].score {
+				return ranked[a].score > ranked[b].score
+			}
+			return ranked[a].id < ranked[b].id
+		})
+		if len(ranked) > want {
+			ranked = ranked[:want]
+		}
+		for _, r := range ranked {
+			if _, ok := admitted[r.id]; !ok {
+				st.Widened = true
+				admitted[r.id] = struct{}{}
+			}
+		}
+	}
+	out := make([]int, 0, len(admitted))
+	for id := range admitted {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out, st
+}
+
+// dedupe returns the distinct tokens of an ordered token sequence,
+// sorted — the posting-list keys.
+func dedupe(toks []uint64) []uint64 {
+	if len(toks) == 0 {
+		return nil
+	}
+	out := append([]uint64(nil), toks...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -1,0 +1,284 @@
+package sketch
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"trajmatch/internal/synth"
+	"trajmatch/internal/traj"
+)
+
+func testParams() Params {
+	return Params{CellSize: 200, Shingle: 2, Hashes: 64, Bands: 16, MinCands: 8, Seed: 1}
+}
+
+func mustIndex(t *testing.T, p Params) *Index {
+	t.Helper()
+	ix, err := NewIndex(p)
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	return ix
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{CellSize: 100}.WithDefaults()).Validate(); err != nil {
+		t.Fatalf("defaults should validate: %v", err)
+	}
+	bad := []Params{
+		{CellSize: 0, Shingle: 2, Hashes: 64, Bands: 16, MinCands: 8, Seed: 1},
+		{CellSize: -5, Shingle: 2, Hashes: 64, Bands: 16, MinCands: 8, Seed: 1},
+		{CellSize: 100, Shingle: 2, Hashes: 65, Bands: 16, MinCands: 8, Seed: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, p)
+		}
+	}
+}
+
+func TestDeriveCellSizeDegenerate(t *testing.T) {
+	if c := DeriveCellSize(nil); c != 1 {
+		t.Fatalf("empty corpus: got %v, want 1", c)
+	}
+	stationary := []*traj.Trajectory{traj.New(0, []traj.Point{traj.P(5, 5, 0), traj.P(5, 5, 10)})}
+	if c := DeriveCellSize(stationary); c != 1 {
+		t.Fatalf("stationary corpus: got %v, want 1", c)
+	}
+	db := synth.Taxi(synth.DefaultTaxi(50))
+	if c := DeriveCellSize(db); !(c > 0) {
+		t.Fatalf("taxi corpus: got %v, want > 0", c)
+	}
+}
+
+// Signatures are a function of geometry and parameters alone: equal
+// geometry (even under a different ID) produces equal signatures, and
+// two indexes with equal parameters agree.
+func TestSignatureDeterministic(t *testing.T) {
+	db := synth.Taxi(synth.DefaultTaxi(20))
+	a := mustIndex(t, testParams())
+	b := mustIndex(t, testParams())
+	for _, tr := range db {
+		clone := tr.Clone()
+		clone.ID = tr.ID + 10_000
+		sa := a.signature(a.shingles(a.tokens(tr)))
+		sb := b.signature(b.shingles(b.tokens(clone)))
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("trajectory %d: signatures differ for equal geometry", tr.ID)
+		}
+	}
+}
+
+// Tokenization walks the interpolated movement, so resampling the same
+// path at a very different rate preserves most of the token set — the
+// property that makes the prefilter work under inconsistent sampling.
+func TestTokensSamplingInvariant(t *testing.T) {
+	ix := mustIndex(t, testParams())
+	// A 4 km L-shaped path sampled every ~50 m vs every ~800 m.
+	dense := pathTraj(1, 50)
+	sparse := pathTraj(2, 800)
+	dt := dedupe(ix.tokens(dense))
+	st := dedupe(ix.tokens(sparse))
+	shared := 0
+	in := make(map[uint64]bool, len(dt))
+	for _, c := range dt {
+		in[c] = true
+	}
+	for _, c := range st {
+		if in[c] {
+			shared++
+		}
+	}
+	union := len(dt) + len(st) - shared
+	if union == 0 {
+		t.Fatal("no tokens emitted")
+	}
+	if j := float64(shared) / float64(union); j < 0.8 {
+		t.Fatalf("token Jaccard %.2f between resamplings; want >= 0.8 (dense %d, sparse %d, shared %d)",
+			j, len(dt), len(st), shared)
+	}
+}
+
+// pathTraj samples a fixed L-shaped 4 km path every `step` metres. The
+// corner waypoint is always emitted, so both resamplings follow the
+// same underlying movement (a cut corner would be a genuinely different
+// path, which tokenization must NOT treat as equal).
+func pathTraj(id int, step float64) *traj.Trajectory {
+	var pts []traj.Point
+	tm := 0.0
+	emit := func(x, y float64) {
+		pts = append(pts, traj.P(x, y, tm))
+		tm += step / 10 // constant speed
+	}
+	for d := 0.0; d < 2000; d += step {
+		emit(d, 0)
+	}
+	emit(2000, 0)
+	for d := step; d < 2000; d += step {
+		emit(2000, d)
+	}
+	emit(2000, 2000)
+	return traj.New(id, pts)
+}
+
+func TestCandidatesDeterministicAndSorted(t *testing.T) {
+	db := synth.Taxi(synth.DefaultTaxi(300))
+	ix := mustIndex(t, testParams())
+	for _, tr := range db {
+		ix.Insert(tr)
+	}
+	q := db[17]
+	first, _ := ix.Candidates(q, 40)
+	if !sort.IntsAreSorted(first) {
+		t.Fatal("candidates not sorted")
+	}
+	for i := 0; i < 5; i++ {
+		again, _ := ix.Candidates(q, 40)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("candidate set not deterministic across calls: %v vs %v", first, again)
+		}
+	}
+	// The query itself is indexed and must always be its own candidate:
+	// it shares every cell with itself, so the overlap ranking admits it
+	// first, and its bands collide trivially.
+	found := false
+	for _, id := range first {
+		if id == q.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("query %d missing from its own candidate set", q.ID)
+	}
+}
+
+func TestCandidatesSmallIndexFullScan(t *testing.T) {
+	db := synth.Taxi(synth.DefaultTaxi(10))
+	ix := mustIndex(t, testParams())
+	for _, tr := range db {
+		ix.Insert(tr)
+	}
+	ids, st := ix.Candidates(db[0], 32)
+	if !st.FullScan {
+		t.Fatal("expected full-scan degradation on a tiny index")
+	}
+	if len(ids) != len(db) {
+		t.Fatalf("full scan returned %d of %d members", len(ids), len(db))
+	}
+}
+
+// Mutation-path property: a random Insert/Delete sequence keeps the
+// index in sync with a brute-force membership oracle — candidates are
+// always a subset of the live members, a deleted ID is never returned,
+// and re-inserted members are reachable again.
+func TestMutationOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := synth.Taxi(synth.DefaultTaxi(200))
+	ix := mustIndex(t, testParams())
+	live := make(map[int]*traj.Trajectory)
+	for _, tr := range db[:100] {
+		ix.Insert(tr)
+		live[tr.ID] = tr
+	}
+	check := func(q *traj.Trajectory) {
+		ids, _ := ix.Candidates(q, 25)
+		for _, id := range ids {
+			if _, ok := live[id]; !ok {
+				t.Fatalf("candidate %d is not a live member", id)
+			}
+		}
+	}
+	for step := 0; step < 400; step++ {
+		tr := db[rng.Intn(len(db))]
+		if _, ok := live[tr.ID]; ok && rng.Float64() < 0.5 {
+			if !ix.Delete(tr.ID) {
+				t.Fatalf("step %d: delete of live member %d reported absent", step, tr.ID)
+			}
+			delete(live, tr.ID)
+		} else if !ok {
+			ix.Insert(tr)
+			live[tr.ID] = tr
+		}
+		if ix.Size() != len(live) {
+			t.Fatalf("step %d: size %d, oracle %d", step, ix.Size(), len(live))
+		}
+		check(db[rng.Intn(len(db))])
+	}
+	if ix.Delete(1 << 30) {
+		t.Fatal("delete of never-inserted ID reported present")
+	}
+}
+
+// Concurrent Candidates against a live mutator must be race-free (run
+// under -race in CI) and never surface a non-member.
+func TestConcurrentCandidates(t *testing.T) {
+	db := synth.Taxi(synth.DefaultTaxi(120))
+	ix := mustIndex(t, testParams())
+	for _, tr := range db[:60] {
+		ix.Insert(tr)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			tr := db[60+i%60]
+			ix.Insert(tr)
+			ix.Delete(tr.ID)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		ids, _ := ix.Candidates(db[i%60], 20)
+		for _, id := range ids {
+			if id >= db[60].ID && id <= db[119].ID {
+				// Transiently-present churn IDs are fine; the point is
+				// no panic and no race. Nothing to assert beyond sanity.
+				_ = id
+			}
+		}
+	}
+	<-done
+}
+
+func TestReinsertReplaces(t *testing.T) {
+	ix := mustIndex(t, testParams())
+	a := traj.FromXY(1, 0, 0, 100, 0, 200, 0)
+	b := traj.FromXY(1, 5000, 5000, 5100, 5000) // same ID, elsewhere
+	ix.Insert(a)
+	ix.Insert(b)
+	if ix.Size() != 1 {
+		t.Fatalf("size %d after re-insert, want 1", ix.Size())
+	}
+	if !ix.Delete(1) {
+		t.Fatal("delete after re-insert failed")
+	}
+	if ix.Size() != 0 {
+		t.Fatalf("size %d after delete, want 0", ix.Size())
+	}
+	// All posting lists must be empty again — no leaked buckets.
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.bands) != 0 || len(ix.cells) != 0 {
+		t.Fatalf("leaked buckets after delete: %d bands, %d cells", len(ix.bands), len(ix.cells))
+	}
+}
+
+func TestBuildMatchesIncrementalInsert(t *testing.T) {
+	db := synth.Taxi(synth.DefaultTaxi(80))
+	bulk, err := Build(db, testParams())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	inc := mustIndex(t, testParams())
+	for _, tr := range db {
+		inc.Insert(tr)
+	}
+	for _, q := range db[:20] {
+		a, _ := bulk.Candidates(q, 30)
+		b, _ := inc.Candidates(q, 30)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("query %d: bulk and incremental candidate sets differ", q.ID)
+		}
+	}
+}

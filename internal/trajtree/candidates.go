@@ -1,0 +1,78 @@
+package trajtree
+
+import (
+	"trajmatch/internal/backend"
+	"trajmatch/internal/core"
+	"trajmatch/internal/tbox"
+	"trajmatch/internal/traj"
+)
+
+var _ backend.CandidateSearcher = (*Tree)(nil)
+
+// candLBBoxes is the box budget of the per-candidate summaries built
+// during prefilter verification. The tree's node bounds cover whole
+// subtrees, not arbitrary member subsets, so verification summarizes
+// each candidate on the fly — a coarse budget keeps the bound DP at
+// O(len(q)·candLBBoxes) per candidate, a fraction of one exact
+// evaluation, while still rejecting most of the admitted set before any
+// kernel runs.
+const candLBBoxes = 16
+
+// SearchKNNIn is the backend.CandidateSearcher capability: exact EDwP
+// k-NN restricted to the prefilter's candidate IDs. Each candidate gets
+// an admissible per-member lower bound (core.LowerBound over its own
+// tbox summary — the same Theorem 2 bound the tree applies to subtrees,
+// normalized for the averaged variant exactly as Tree.lower does), so
+// the scan evaluates in tightest-first order and prunes against the
+// running k-th best and the shared bound before starting a kernel. IDs
+// not present in the tree are skipped silently; truncation and error
+// semantics match SearchKNN.
+func (t *Tree) SearchKNNIn(q *traj.Trajectory, ids []int, k int, bound *SharedBound, ctl *Ctl) ([]Result, Stats, bool, error) {
+	var st Stats
+	if t.root == nil || k <= 0 || len(ids) == 0 {
+		return nil, st, false, ctl.Err()
+	}
+	want := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		want[id] = struct{}{}
+	}
+	// One pass over the member list resolves every candidate ID — the
+	// tree's Lookup walks that list per call, which would be quadratic
+	// here.
+	sel := make([]*traj.Trajectory, 0, len(ids))
+	for _, m := range t.root.members {
+		if _, ok := want[m.ID]; ok {
+			sel = append(sel, m)
+		}
+	}
+	qLen := q.Length()
+	qSeq := tbox.FromTrajectory(q, candLBBoxes)
+	cands := make([]backend.Cand, len(sel))
+	for i, m := range sel {
+		if i%64 == 0 && ctl.Cancelled() {
+			return nil, st, false, ctl.Err()
+		}
+		st.LowerBoundCalls++
+		// EDwP is symmetric, so the box bound holds in both directions;
+		// the max is admissible and noticeably tighter than either side.
+		lb := core.LowerBound(q, tbox.FromTrajectory(m, candLBBoxes))
+		if rev := core.LowerBound(m, qSeq); rev > lb {
+			lb = rev
+		}
+		if !t.opt.Cumulative {
+			if den := qLen + m.Length(); den > 0 {
+				lb /= den
+			} else {
+				lb = 0
+			}
+		}
+		cands[i] = backend.Cand{I: i, ID: m.ID, LB: lb}
+	}
+	backend.SortCands(cands)
+	res, truncated, err := backend.ScanKNN(cands, k, bound, ctl, &st,
+		func(i int) *traj.Trajectory { return sel[i] },
+		func(i int, limit float64) (float64, bool) {
+			return t.distBounded(q, sel[i], limit, ctl.CancelFlag())
+		})
+	return res, st, truncated, err
+}

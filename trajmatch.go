@@ -35,6 +35,7 @@ import (
 	"trajmatch/internal/edrindex"
 	"trajmatch/internal/metrics"
 	"trajmatch/internal/server"
+	"trajmatch/internal/sketch"
 	"trajmatch/internal/synth"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/trajtree"
@@ -235,9 +236,17 @@ var ErrInvalidQuery = server.ErrInvalidQuery
 
 // EngineOptions configure an Engine; the zero value enables a 1024-entry
 // cache, GOMAXPROCS batch workers and a single shard. Set Shards for
-// per-shard update locking and parallel builds, and SnapshotDir to arm
-// POST /snapshot.
+// per-shard update locking and parallel builds, SnapshotDir to arm
+// POST /snapshot, and Prefilter (optionally tuning Sketch) to build the
+// sketch/LSH candidate prefilter that Query.Prefilter opts into.
 type EngineOptions = server.Options
+
+// SketchParams parameterise the candidate prefilter
+// (EngineOptions.Sketch): grid cell size, shingle length, MinHash
+// signature width, LSH band count, candidate floor and hash seed.
+// Zero-value fields take defaults; a zero CellSize is derived from the
+// corpus.
+type SketchParams = sketch.Params
 
 // EngineStats is a snapshot of an Engine's traffic counters and index
 // shape, including the per-metric breakdown.
