@@ -53,7 +53,19 @@
 // then comes from the manifest, not -shards; the manifest's recorded
 // sketch parameters re-arm the prefilter regardless of -prefilter) and
 // arms POST /snapshot to write one. SIGINT/SIGTERM drain in-flight
-// requests before exit.
+// requests, then flush and close the write-ahead log, before exit.
+//
+// With -wal DIR, every accepted insert and delete is appended to a
+// write-ahead log before it is acknowledged, and a boot replays the log
+// on top of the snapshot (or the freshly built index), so acknowledged
+// mutations survive a crash between snapshots. -wal-sync picks the
+// durability point: "always" (the default) fsyncs before every
+// acknowledgement and survives power loss, "interval" fsyncs in the
+// background every -wal-sync-interval and bounds the loss window to
+// that interval, "never" leaves flushing to the OS page cache (a kill
+// -9 still loses nothing; power loss may). A committed POST /snapshot
+// truncates the log segments the snapshot subsumes. GET /v1/stats
+// reports the log's counters under "wal".
 //
 // Usage:
 //
@@ -94,6 +106,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "batch worker-pool / shard fan-out size (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 1, "number of hash-partitioned index shards")
 		snapshot = flag.String("snapshot", "", "snapshot directory: load on boot if present, POST /snapshot writes here")
+		walDir   = flag.String("wal", "", "write-ahead-log directory: mutations are logged before acknowledgement and replayed on boot")
+		walSync  = flag.String("wal-sync", "always", "WAL durability point: always (fsync per acknowledgement), interval (background fsync), never (OS page cache)")
+		walInt   = flag.Duration("wal-sync-interval", 0, "background fsync period under -wal-sync interval (0 = default 100ms)")
 		seed     = flag.Int64("seed", 1, "index build seed")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		queryTO  = flag.Duration("query-timeout", 0, "per-request search deadline, honoured down to the distance kernels (0 disables)")
@@ -112,13 +127,20 @@ func main() {
 	if err != nil {
 		fatalf("-metrics: %v", err)
 	}
+	syncPolicy, err := trajmatch.ParseWALSyncPolicy(*walSync)
+	if err != nil {
+		fatalf("-wal-sync: %v", err)
+	}
 
 	eopt := trajmatch.EngineOptions{
-		CacheSize:   *cache,
-		Workers:     *workers,
-		Shards:      *shards,
-		SnapshotDir: *snapshot,
-		Prefilter:   *prefilter,
+		CacheSize:       *cache,
+		Workers:         *workers,
+		Shards:          *shards,
+		SnapshotDir:     *snapshot,
+		WALDir:          *walDir,
+		WALSync:         syncPolicy,
+		WALSyncInterval: *walInt,
+		Prefilter:       *prefilter,
 		Sketch: trajmatch.SketchParams{
 			CellSize: *sketchCell,
 			Shingle:  *sketchShin,
@@ -163,6 +185,12 @@ func main() {
 			time.Since(t0).Round(time.Millisecond))
 	default:
 		fatalf("-db is required (or -snapshot pointing at an existing snapshot)")
+	}
+	if *walDir != "" {
+		if ws := engine.Stats().WAL; ws != nil {
+			log.Printf("wal enabled at %s (sync %s): replayed %d records (%d torn tail bytes dropped)",
+				*walDir, ws.Policy, ws.Replayed, ws.DroppedTailBytes)
+		}
 	}
 	if engine.PrefilterEnabled() {
 		p := engine.SketchParams()
@@ -215,6 +243,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			fatalf("shutdown: %v", err)
+		}
+		// Drained: no request is mid-mutation, so this flush makes every
+		// acknowledged mutation durable under every -wal-sync policy.
+		if err := engine.Close(); err != nil {
+			fatalf("close: %v", err)
 		}
 		log.Printf("shutdown complete")
 	}

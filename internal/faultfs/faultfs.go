@@ -1,0 +1,116 @@
+// Package faultfs abstracts the filesystem operations the durability
+// layer performs — file creation, writes, fsyncs, renames, removals —
+// behind a small FS interface with two implementations: OS, a direct
+// passthrough to package os, and Injector, a wrapper that fails a chosen
+// operation and then behaves like a crashed machine. The write-ahead log
+// (internal/wal) and the snapshot writer (internal/server) take an FS so
+// the crash-recovery test harness can kill them at every failpoint and
+// assert that a reboot from the surviving files recovers a consistent
+// state.
+//
+// The interface is deliberately the shape of the os package rather than
+// io/fs: durability code needs writes, fsyncs and renames, none of which
+// io/fs models.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the open-file surface the durability layer needs: sequential
+// reads and writes, fsync, and close. (Truncation happens by path via
+// FS.Truncate, and positioning by reopening — the WAL and snapshot
+// formats are append-only streams.)
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync flushes the file's written data to stable storage (fsync).
+	Sync() error
+}
+
+// FS is the filesystem surface the durability layer performs its writes
+// through. Every operation that can lose or corrupt data on a crash —
+// writes, syncs, renames, removals, truncations — goes through here, so
+// an injected implementation can fail any of them.
+type FS interface {
+	// OpenFile opens name with the given os flags (os.O_RDONLY,
+	// os.O_CREATE|os.O_WRONLY, ...).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// MkdirAll creates the named directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists the named directory, sorted by filename.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat describes the named file.
+	Stat(name string) (fs.FileInfo, error)
+	// Truncate cuts the named file to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the named directory, making completed renames and
+	// removals inside it durable.
+	SyncDir(name string) error
+}
+
+// OS is the production FS: a direct passthrough to package os.
+type OS struct{}
+
+var _ FS = OS{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (OS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+// SyncDir fsyncs the directory itself so that renames and removals
+// inside it survive power loss; on filesystems where directories cannot
+// be fsynced the error is returned for the caller to decide.
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ReadFile reads the whole named file through fsys.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteFile writes data to the named file through fsys, creating or
+// truncating it. It does not fsync; callers that need durability sync
+// explicitly.
+func WriteFile(fsys FS, name string, data []byte, perm os.FileMode) error {
+	f, err := fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,228 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return b
+}
+
+// TestOSRoundTrip exercises the passthrough implementation end to end:
+// write, sync, rename, dir sync, read back.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS{}
+	tmp := filepath.Join(dir, "a.tmp")
+	final := filepath.Join(dir, "a")
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(fsys, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("ReadDir: %v, %d entries", err, len(entries))
+	}
+}
+
+// TestInjectorTornWrite asserts the armed write failpoint lands a prefix
+// of the buffer (the torn tail the WAL recovery path must drop) and that
+// every subsequent operation reports the machine dead.
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, CrashKill, []OpKind{OpWrite}, 2)
+	path := filepath.Join(dir, "log")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: got %v, want ErrInjected", err)
+	}
+	if n != 2 {
+		t.Fatalf("torn write landed %d bytes, want 2", n)
+	}
+	if _, err := f.Write([]byte("cccc")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: got %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash: got %v, want ErrCrashed", err)
+	}
+	if _, err := inj.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open after crash: got %v, want ErrCrashed", err)
+	}
+	f.Close()
+	if err := inj.Wreckage(); err != nil {
+		t.Fatal(err)
+	}
+	// CrashKill: the torn bytes survive.
+	if got := readAll(t, path); string(got) != "aaaabb" {
+		t.Fatalf("wreckage holds %q, want %q", got, "aaaabb")
+	}
+}
+
+// TestInjectorPowerLoss asserts CrashPower wreckage truncates files back
+// to their last synced size: synced data survives, unsynced data — torn
+// or whole — does not.
+func TestInjectorPowerLoss(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, CrashPower, []OpKind{OpSync}, 2)
+	path := filepath.Join(dir, "log")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if _, err := f.Write([]byte("-volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2: got %v, want ErrInjected", err)
+	}
+	f.Close()
+	if err := inj.Wreckage(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, path); string(got) != "durable" {
+		t.Fatalf("wreckage holds %q, want %q", got, "durable")
+	}
+}
+
+// TestInjectorRenameFault asserts a faulted rename leaves the old name
+// in place, and that rename tracking follows files across successful
+// renames so power loss accounting stays attached.
+func TestInjectorRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, CrashKill, []OpKind{OpRename}, 1)
+	path := filepath.Join(dir, "a.tmp")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	if err := inj.Rename(path, filepath.Join(dir, "a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename: got %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("old name gone after faulted rename: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a")); !os.IsNotExist(err) {
+		t.Fatalf("new name exists after faulted rename")
+	}
+}
+
+// TestInjectorRenameTracking: after a successful rename, power-loss
+// truncation applies to the file's new name.
+func TestInjectorRenameTracking(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, CrashPower, []OpKind{OpWrite}, 3)
+	path := filepath.Join(dir, "a.tmp")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("keep"))
+	f.Sync()
+	f.Close()
+	final := filepath.Join(dir, "a")
+	if err := inj.Rename(path, final); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := inj.OpenFile(final, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Write([]byte("-lost")) // op 2: succeeds, unsynced
+	_, err = f2.Write([]byte("-fault"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	f2.Close()
+	if err := inj.Wreckage(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, final); string(got) != "keep" {
+		t.Fatalf("wreckage holds %q, want %q", got, "keep")
+	}
+}
+
+// TestInjectorOpCount: a discovery pass with failAt 0 counts eligible
+// operations without ever firing, and the same workload re-run with
+// failAt = count fails exactly at the last operation.
+func TestInjectorOpCount(t *testing.T) {
+	workload := func(inj *Injector, dir string) error {
+		f, err := inj.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("1")); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		return inj.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g"))
+	}
+	probe := NewInjector(OS{}, CrashKill, nil, 0)
+	if err := workload(probe, t.TempDir()); err != nil {
+		t.Fatalf("probe run failed: %v", err)
+	}
+	total := probe.Ops()
+	if total != 4 { // create, write, sync, rename
+		t.Fatalf("probe counted %d ops, want 4", total)
+	}
+	for failAt := 1; failAt <= total; failAt++ {
+		inj := NewInjector(OS{}, CrashKill, nil, failAt)
+		err := workload(inj, t.TempDir())
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("failAt=%d: got %v, want ErrInjected", failAt, err)
+		}
+		if !inj.Crashed() {
+			t.Fatalf("failAt=%d: injector not crashed", failAt)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// OpKind classifies the fault-eligible operations an Injector can fail.
+type OpKind int
+
+const (
+	// OpWrite is a File.Write on a write-opened file. A faulted write is
+	// torn: a prefix of the buffer reaches the file before the crash.
+	OpWrite OpKind = iota
+	// OpSync is a File.Sync. A faulted sync leaves everything written
+	// since the last successful sync vulnerable to power loss.
+	OpSync
+	// OpCreate is an OpenFile that creates or truncates a file.
+	OpCreate
+	// OpRename is an FS.Rename.
+	OpRename
+	// OpRemove is an FS.Remove.
+	OpRemove
+	// OpTruncate is an FS.Truncate.
+	OpTruncate
+	// OpSyncDir is an FS.SyncDir.
+	OpSyncDir
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpCreate:
+		return "create"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return "unknown"
+}
+
+// AllOps lists every fault-eligible operation kind, the default
+// failpoint set of the crash harness.
+func AllOps() []OpKind {
+	return []OpKind{OpWrite, OpSync, OpCreate, OpRename, OpRemove, OpTruncate, OpSyncDir}
+}
+
+// CrashMode selects what the simulated machine loses at the crash.
+type CrashMode int
+
+const (
+	// CrashKill models kill -9: the process dies but the kernel page
+	// cache survives, so every byte already written to a file — synced
+	// or not — is still present after reboot. The faulted write itself
+	// may be torn (only a prefix landed).
+	CrashKill CrashMode = iota
+	// CrashPower models power loss: only data covered by a successful
+	// Sync is guaranteed. Wreckage truncates every file written through
+	// the injector back to its size at the last successful sync.
+	CrashPower
+)
+
+// ErrInjected is the error the armed failpoint returns; every operation
+// after it fails with ErrCrashed.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed reports an operation attempted after the injected crash;
+// the simulated process is dead and nothing more reaches the disk.
+var ErrCrashed = errors.New("faultfs: filesystem crashed")
+
+// Injector wraps an FS and fails the Nth fault-eligible operation,
+// then simulates a dead machine: the faulted operation applies partially
+// (a torn write) or not at all, and every subsequent operation returns
+// ErrCrashed. After the workload has crashed, Wreckage applies the crash
+// mode's data loss to the underlying files; the test then reboots the
+// system under test from the directory with a plain OS filesystem.
+//
+// Failpoints are deterministic: operations are counted in the order the
+// workload issues them, so running the same workload with FailAt = 1..N
+// visits every failpoint exactly once. An Injector with FailAt 0 never
+// fires and serves as the op counter for discovering N.
+type Injector struct {
+	base FS
+	mode CrashMode
+
+	mu      sync.Mutex
+	kinds   map[OpKind]bool
+	failAt  int // 1-based index of the eligible op to fail; 0 disables
+	ops     int // eligible ops seen
+	crashed bool
+	files   map[string]*fileState // write-opened paths → size accounting
+}
+
+// fileState tracks how much of a write-opened file is on "disk" and how
+// much of that a successful sync has made durable.
+type fileState struct {
+	size   int64
+	synced int64
+}
+
+// NewInjector wraps base. kinds selects the fault-eligible operations
+// (nil means AllOps) and failAt the 1-based eligible operation to fail
+// (0 never fires).
+func NewInjector(base FS, mode CrashMode, kinds []OpKind, failAt int) *Injector {
+	if kinds == nil {
+		kinds = AllOps()
+	}
+	km := make(map[OpKind]bool, len(kinds))
+	for _, k := range kinds {
+		km[k] = true
+	}
+	return &Injector{
+		base:   base,
+		mode:   mode,
+		kinds:  km,
+		failAt: failAt,
+		files:  make(map[string]*fileState),
+	}
+}
+
+// Ops returns the number of fault-eligible operations the workload has
+// issued so far; a discovery run with failAt 0 uses it to size the
+// failpoint sweep.
+func (inj *Injector) Ops() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.ops
+}
+
+// Crashed reports whether the failpoint has fired.
+func (inj *Injector) Crashed() bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.crashed
+}
+
+// gate counts an eligible operation and decides its fate: ErrCrashed
+// when the crash already happened, trip=true when this operation is the
+// armed failpoint (the crash flag is set; the caller applies the
+// kind-specific partial effect and returns ErrInjected).
+func (inj *Injector) gate(kind OpKind) (trip bool, err error) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.crashed {
+		return false, ErrCrashed
+	}
+	if !inj.kinds[kind] {
+		return false, nil
+	}
+	inj.ops++
+	if inj.failAt != 0 && inj.ops == inj.failAt {
+		inj.crashed = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// checkAlive fails non-eligible operations too once the machine is down.
+func (inj *Injector) checkAlive() error {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Wreckage applies the crash mode's data loss to the underlying files
+// and leaves the injector permanently crashed. Under CrashKill nothing
+// is lost beyond the faulted operation itself; under CrashPower every
+// tracked file is truncated back to its last successfully synced size.
+// The caller then inspects or reboots from the directory with a plain
+// OS filesystem.
+func (inj *Injector) Wreckage() error {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.crashed = true
+	if inj.mode != CrashPower {
+		return nil
+	}
+	for path, st := range inj.files {
+		if st.synced < st.size {
+			if err := inj.base.Truncate(path, st.synced); err != nil {
+				if os.IsNotExist(err) {
+					continue
+				}
+				return err
+			}
+			st.size = st.synced
+		}
+	}
+	return nil
+}
+
+const writeFlags = os.O_WRONLY | os.O_RDWR | os.O_APPEND | os.O_CREATE | os.O_TRUNC
+
+func (inj *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	writable := flag&writeFlags != 0
+	if writable {
+		if trip, err := inj.gate(OpCreate); err != nil {
+			return nil, err
+		} else if trip {
+			// The file is never created (the crash beat the open).
+			return nil, ErrInjected
+		}
+	} else if err := inj.checkAlive(); err != nil {
+		return nil, err
+	}
+	f, err := inj.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if !writable {
+		return &injFile{File: f, inj: inj}, nil
+	}
+	inj.mu.Lock()
+	st := inj.files[name]
+	if st == nil {
+		st = &fileState{}
+		inj.files[name] = st
+	}
+	size := int64(0)
+	if flag&os.O_TRUNC == 0 {
+		if fi, serr := inj.base.Stat(name); serr == nil {
+			size = fi.Size()
+		}
+	}
+	// Bytes already in the file predate this incarnation and are treated
+	// as durable: the flows under test sync before closing.
+	st.size, st.synced = size, size
+	inj.mu.Unlock()
+	return &injFile{File: f, inj: inj, st: st}, nil
+}
+
+func (inj *Injector) Rename(oldpath, newpath string) error {
+	if trip, err := inj.gate(OpRename); err != nil {
+		return err
+	} else if trip {
+		return ErrInjected
+	}
+	if err := inj.base.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	inj.mu.Lock()
+	if st, ok := inj.files[oldpath]; ok {
+		delete(inj.files, oldpath)
+		inj.files[newpath] = st
+	}
+	inj.mu.Unlock()
+	return nil
+}
+
+func (inj *Injector) Remove(name string) error {
+	if trip, err := inj.gate(OpRemove); err != nil {
+		return err
+	} else if trip {
+		return ErrInjected
+	}
+	if err := inj.base.Remove(name); err != nil {
+		return err
+	}
+	inj.mu.Lock()
+	delete(inj.files, name)
+	inj.mu.Unlock()
+	return nil
+}
+
+func (inj *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := inj.checkAlive(); err != nil {
+		return err
+	}
+	return inj.base.MkdirAll(path, perm)
+}
+
+func (inj *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := inj.checkAlive(); err != nil {
+		return nil, err
+	}
+	return inj.base.ReadDir(name)
+}
+
+func (inj *Injector) Stat(name string) (fs.FileInfo, error) {
+	if err := inj.checkAlive(); err != nil {
+		return nil, err
+	}
+	return inj.base.Stat(name)
+}
+
+func (inj *Injector) Truncate(name string, size int64) error {
+	if trip, err := inj.gate(OpTruncate); err != nil {
+		return err
+	} else if trip {
+		return ErrInjected
+	}
+	if err := inj.base.Truncate(name, size); err != nil {
+		return err
+	}
+	inj.mu.Lock()
+	if st, ok := inj.files[name]; ok {
+		st.size = size
+		if st.synced > size {
+			st.synced = size
+		}
+	}
+	inj.mu.Unlock()
+	return nil
+}
+
+func (inj *Injector) SyncDir(name string) error {
+	if trip, err := inj.gate(OpSyncDir); err != nil {
+		return err
+	} else if trip {
+		return ErrInjected
+	}
+	return inj.base.SyncDir(name)
+}
+
+var _ FS = (*Injector)(nil)
+
+// injFile wraps an open file with the injector's write/sync failpoints.
+// st is nil for read-only files.
+type injFile struct {
+	File
+	inj *Injector
+	st  *fileState
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if err := f.inj.checkAlive(); err != nil {
+		return 0, err
+	}
+	return f.File.Read(p)
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	if f.st == nil {
+		// Writes on a read-opened file fail naturally downstream.
+		return f.File.Write(p)
+	}
+	trip, err := f.inj.gate(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	if trip {
+		// Torn write: a prefix of the buffer lands before the crash.
+		n := len(p) / 2
+		if n > 0 {
+			n, _ = f.File.Write(p[:n])
+			f.inj.mu.Lock()
+			f.st.size += int64(n)
+			f.inj.mu.Unlock()
+		}
+		return n, ErrInjected
+	}
+	n, err := f.File.Write(p)
+	f.inj.mu.Lock()
+	f.st.size += int64(n)
+	f.inj.mu.Unlock()
+	return n, err
+}
+
+func (f *injFile) Sync() error {
+	if f.st == nil {
+		if err := f.inj.checkAlive(); err != nil {
+			return err
+		}
+		return f.File.Sync()
+	}
+	trip, err := f.inj.gate(OpSync)
+	if err != nil {
+		return err
+	}
+	if trip {
+		// The data never reached stable storage; under CrashPower the
+		// unsynced suffix disappears in Wreckage.
+		return ErrInjected
+	}
+	if err := f.File.Sync(); err != nil {
+		return err
+	}
+	f.inj.mu.Lock()
+	f.st.synced = f.st.size
+	f.inj.mu.Unlock()
+	return nil
+}
+
+func (f *injFile) Close() error {
+	// Close is always allowed: a dead process's descriptors close too,
+	// and tests must be able to release files after the crash.
+	return f.File.Close()
+}

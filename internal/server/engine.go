@@ -52,12 +52,15 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"trajmatch/internal/backend"
+	"trajmatch/internal/faultfs"
 	"trajmatch/internal/par"
 	"trajmatch/internal/sketch"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/trajtree"
+	"trajmatch/internal/wal"
 )
 
 // Options configure an Engine. The zero value is usable.
@@ -89,6 +92,24 @@ type Options struct {
 	// state every shard must agree on). Ignored unless Prefilter is set
 	// or a loaded snapshot recorded prefilter parameters.
 	Sketch sketch.Params
+	// WALDir, when non-empty, enables the write-ahead log: every
+	// accepted mutation is appended (and, under WALSync's policy, made
+	// durable) before it is acknowledged, and a boot replays the log on
+	// top of the snapshot. See wal.go for the full durability story.
+	WALDir string
+	// WALSync selects when WAL appends reach stable storage; the zero
+	// value is wal.SyncAlways (fsync before every acknowledgement).
+	WALSync wal.SyncPolicy
+	// WALSyncInterval is the fsync period under wal.SyncInterval;
+	// 0 means the wal package default (100ms).
+	WALSyncInterval time.Duration
+	// WALSegmentBytes is the WAL segment rotation size; 0 means the
+	// wal package default (64 MiB).
+	WALSegmentBytes int64
+	// FS routes every durability-layer file operation — WAL segments
+	// and snapshot files. nil means the real filesystem; the
+	// crash-recovery harness injects a faultfs.Injector here.
+	FS faultfs.FS
 }
 
 const defaultCacheSize = 1024
@@ -102,6 +123,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Shards <= 0 {
 		o.Shards = 1
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
 	}
 	return o
 }
@@ -139,6 +163,14 @@ type Engine struct {
 	cache  *lruCache // nil when caching is disabled
 	gen    engineGen
 	snapMu sync.Mutex // serialises SaveSnapshot calls against each other
+
+	// Durability (wal.go): fs routes every WAL and snapshot file
+	// operation, wal is the write-ahead log (nil without Options.WALDir)
+	// and mutMu serialises {WAL append, in-memory apply} so log order is
+	// apply order. The fsync wait happens outside mutMu (group commit).
+	fs    faultfs.FS
+	wal   *wal.Log
+	mutMu sync.Mutex
 
 	// sketches is the candidate prefilter: one sketch index per shard,
 	// shared across metric sets (candidacy depends on geometry alone,
@@ -186,6 +218,10 @@ func (e *Engine) recordQueryStats(ms *metricSet, st backend.Stats) {
 // newEngine wraps pre-built metric sets.
 func newEngine(sets []*metricSet, opt Options) *Engine {
 	e := &Engine{opt: opt, sets: sets, byName: make(map[string]*metricSet, len(sets))}
+	e.fs = opt.FS
+	if e.fs == nil {
+		e.fs = faultfs.OS{}
+	}
 	for _, ms := range sets {
 		e.byName[ms.name] = ms
 	}
@@ -226,6 +262,14 @@ func NewEngine(tree *trajtree.Tree, opt Options) *Engine {
 			panic(fmt.Sprintf("server: building prefilter over a valid tree failed: %v", err))
 		}
 	}
+	if err := e.attachWAL(); err != nil {
+		// This constructor predates the error-returning ones and cannot
+		// report failure; an unreadable or corrupt WAL must not be
+		// silently dropped (that would discard acknowledged mutations),
+		// so it fails loudly. Use NewMultiEngineFromDB or LoadSnapshot
+		// for a recoverable error path.
+		panic(fmt.Sprintf("server: opening write-ahead log: %v", err))
+	}
 	return e
 }
 
@@ -252,6 +296,9 @@ func NewMultiEngineFromDB(db []*traj.Trajectory, specs []backend.Spec, opt Optio
 		if err := e.enablePrefilter(db, opt.Sketch); err != nil {
 			return nil, err
 		}
+	}
+	if err := e.attachWAL(); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
@@ -603,10 +650,58 @@ func (e *Engine) KNNBatch(qs []*traj.Trajectory, k int) [][]backend.Result {
 // state changes), earlier sets keep it and the error reports the
 // divergence. A second mutable backend whose Insert can fail on valid
 // input would need a rollback here.
+// With a write-ahead log attached (Options.WALDir), the trajectory is
+// validated and logged before any index changes, and Insert returns
+// only after the record is durable per the configured sync policy — an
+// acknowledged insert survives a crash.
 func (e *Engine) Insert(tr *traj.Trajectory) error {
 	if err := e.requireMutable(); err != nil {
 		return err
 	}
+	if e.wal == nil {
+		if err := e.applyInsert(tr); err != nil {
+			return err
+		}
+		e.inserts.Add(1)
+		return nil
+	}
+	// The WAL must only ever hold mutations that will apply cleanly:
+	// replay has no "reject" path short of failing the whole boot. So
+	// every apply-side precondition — validity, uniqueness — is checked
+	// before the append, under mutMu so no competing insert can sneak
+	// the same ID in between check and apply.
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	e.mutMu.Lock()
+	if e.Lookup(tr.ID) != nil {
+		e.mutMu.Unlock()
+		return fmt.Errorf("server: duplicate trajectory ID %d", tr.ID)
+	}
+	lsn, err := e.wal.Append(wal.Insert(tr))
+	if err != nil {
+		e.mutMu.Unlock()
+		return fmt.Errorf("server: %w", err)
+	}
+	aerr := e.applyInsert(tr)
+	e.mutMu.Unlock()
+	if aerr != nil {
+		return aerr
+	}
+	if err := e.wal.Commit(lsn); err != nil {
+		// Applied in memory but not durable: the mutation is NOT
+		// acknowledged. The log's sticky sync error has already fenced
+		// off further mutations.
+		return fmt.Errorf("server: %w", err)
+	}
+	e.inserts.Add(1)
+	return nil
+}
+
+// applyInsert adds tr to every metric's owning shard and the sketch —
+// the in-memory half of an insert, shared by the live path and WAL
+// replay (which must not touch the log or the public counters).
+func (e *Engine) applyInsert(tr *traj.Trajectory) error {
 	for _, ms := range e.sets {
 		s := ms.shards[shardIndex(tr.ID, len(ms.shards))]
 		if err := s.insert(tr, &e.gen); err != nil {
@@ -621,17 +716,54 @@ func (e *Engine) Insert(tr *traj.Trajectory) error {
 		// fanning-out query already tolerates.
 		e.sketches[shardIndex(tr.ID, len(e.sketches))].Insert(tr)
 	}
-	e.inserts.Add(1)
 	return nil
 }
 
 // Delete removes the trajectory with the given ID from every loaded
 // metric's index, reporting whether it was present. Like Insert it
 // requires every loaded backend to be mutable.
+// With a write-ahead log attached, the delete is logged before the
+// indexes change and reported true only once durable per the sync
+// policy; an absent ID is answered false without logging anything.
 func (e *Engine) Delete(id int) bool {
 	if e.requireMutable() != nil {
 		return false
 	}
+	if e.wal == nil {
+		if !e.applyDelete(id) {
+			return false
+		}
+		e.deletes.Add(1)
+		return true
+	}
+	e.mutMu.Lock()
+	if e.Lookup(id) == nil {
+		e.mutMu.Unlock()
+		return false
+	}
+	lsn, err := e.wal.Append(wal.Delete(id))
+	if err != nil {
+		e.mutMu.Unlock()
+		return false
+	}
+	present := e.applyDelete(id)
+	e.mutMu.Unlock()
+	if err := e.wal.Commit(lsn); err != nil {
+		// Deleted in memory but the record may not survive a crash; the
+		// signature leaves no way to say more than "not acknowledged".
+		return false
+	}
+	if !present {
+		return false
+	}
+	e.deletes.Add(1)
+	return true
+}
+
+// applyDelete removes id from every metric's owning shard and the
+// sketch, reporting presence — the in-memory half of a delete, shared
+// by the live path and WAL replay.
+func (e *Engine) applyDelete(id int) bool {
 	present := false
 	for _, ms := range e.sets {
 		s := ms.shards[shardIndex(id, len(ms.shards))]
@@ -650,7 +782,6 @@ func (e *Engine) Delete(id int) bool {
 		// candidate is skipped by presence verification.
 		e.sketches[shardIndex(id, len(e.sketches))].Delete(id)
 	}
-	e.deletes.Add(1)
 	return true
 }
 
@@ -760,6 +891,11 @@ type Stats struct {
 	Prefilter           bool   `json:"prefilter"`
 	PrefilterCandidates uint64 `json:"prefilter_candidates,omitempty"`
 	PrefilterSkipped    uint64 `json:"prefilter_skipped,omitempty"`
+
+	// WAL carries the write-ahead log's counters and on-disk shape
+	// (appends, fsyncs, group-commit batching, recovery tallies);
+	// absent when the engine runs without a WAL.
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -812,6 +948,10 @@ func (e *Engine) Stats() Stats {
 	}
 	if e.cache != nil {
 		st.CacheLen = e.cache.len()
+	}
+	if e.wal != nil {
+		ws := e.wal.Stats()
+		st.WAL = &ws
 	}
 	return st
 }

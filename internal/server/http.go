@@ -302,7 +302,33 @@ func NewAPIHandler(e *Engine, opt HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /snapshot", deprecated("/v1/snapshot", h.snapshot))
 	mux.HandleFunc("GET /stats", deprecated("/v1/stats", h.stats))
 	mux.HandleFunc("GET /healthz", deprecated("/v1/healthz", h.healthz))
-	return mux
+	return withRecovery(mux)
+}
+
+// withRecovery converts a handler panic into the standard 500 envelope
+// instead of killing the connection (and, pre-Go1.8-style deployments,
+// the server): one poisoned request must not take the engine down with
+// it. http.ErrAbortHandler re-panics — it is the sanctioned way to
+// abort a response and net/http handles it quietly.
+func withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			// If the handler already wrote a status line this header is
+			// discarded (net/http logs the superfluous WriteHeader); for
+			// the common panic-before-write case the client gets the
+			// envelope.
+			writeError(w, http.StatusInternalServerError, CodeInternal,
+				fmt.Sprintf("internal error handling %s %s: %v", r.Method, r.URL.Path, v))
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // NewHandler returns the HTTP surface over e with default options.

@@ -2,18 +2,16 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"os"
-	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
 
 	"trajmatch/internal/backend"
+	"trajmatch/internal/faultfs"
 	"trajmatch/internal/synth"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/trajtree"
@@ -348,12 +346,8 @@ func TestPrefilterSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("save: %v", err)
 	}
 
-	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	man, err := readManifest(faultfs.OS{}, dir)
 	if err != nil {
-		t.Fatal(err)
-	}
-	var man snapshotManifest
-	if err := json.Unmarshal(raw, &man); err != nil {
 		t.Fatal(err)
 	}
 	if man.Sketch == nil {
@@ -406,12 +400,8 @@ func TestPrefilterSnapshotRoundTrip(t *testing.T) {
 	if err := plain.SaveSnapshot(dir2); err != nil {
 		t.Fatal(err)
 	}
-	raw, err = os.ReadFile(filepath.Join(dir2, manifestName))
+	man2, err := readManifest(faultfs.OS{}, dir2)
 	if err != nil {
-		t.Fatal(err)
-	}
-	var man2 snapshotManifest
-	if err := json.Unmarshal(raw, &man2); err != nil {
 		t.Fatal(err)
 	}
 	if man2.Sketch != nil {

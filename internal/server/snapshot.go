@@ -2,13 +2,18 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"trajmatch/internal/backend"
+	"trajmatch/internal/faultfs"
 	"trajmatch/internal/par"
 	"trajmatch/internal/sketch"
 	"trajmatch/internal/traj"
@@ -17,41 +22,129 @@ import (
 
 // A snapshot is a directory holding one trajtree.Save stream per shard
 // plus a JSON manifest recording the format version, the shard count,
-// the tree options and which metric backends were persisted. Persistence
-// is a capability: only the tree-backed EDwP set streams to disk (the
-// flat DTW/EDR indexes are cheap, deterministic functions of the corpus
-// with no build state worth saving), so the manifest's Metrics list
-// records exactly what the directory can restore by itself —
-// LoadSnapshotSpecs rebuilds any other requested metric from the loaded
-// corpus.
+// the tree options, per-shard sizes and CRC32C checksums, and which
+// metric backends were persisted. Persistence is a capability: only the
+// tree-backed EDwP set streams to disk (the flat DTW/EDR indexes are
+// cheap, deterministic functions of the corpus with no build state worth
+// saving), so the manifest's Metrics list records exactly what the
+// directory can restore by itself — LoadSnapshotSpecs rebuilds any other
+// requested metric from the loaded corpus.
 //
 // The shard count is load-bearing: trajectories are hash-placed
 // (router.go), so the files only mean what they say under the shard
 // count they were written with — loading therefore adopts the manifest's
 // count regardless of what the caller's Options ask for.
 //
-// Saves are two-phase: every shard streams to a temp file first, and
-// only when all streams succeed are they renamed into place, manifest
-// last. A failed save (disk full, I/O error) therefore never touches
-// the previous snapshot; the residual risk is a crash inside the final
-// rename loop, which mixes epochs — a state the loader detects and
-// rejects through its per-shard size and option checks instead of
-// serving from it.
+// Saves are two-phase and fsync before every rename: each shard streams
+// to a temp file which is fsynced and only then renamed into place, the
+// manifest goes last, and the directory itself is fsynced after the
+// renames — a crash at any point leaves either the previous snapshot or
+// the new one readable, never a file whose rename survived but whose
+// bytes did not. The residual risk is a crash inside the rename loop,
+// which mixes epochs; the loader's per-shard checksum, size and option
+// checks reject such a directory instead of serving from it.
+//
+// Every file operation routes through the engine's faultfs.FS, so the
+// crash-recovery harness can kill a save at each failpoint and assert
+// the reboot invariant.
 
 // snapshotVersion is bumped whenever the manifest layout, the per-shard
-// stream format, or the placement hash changes incompatibly. (The
-// Metrics field was added compatibly: absent means the pre-multi-metric
-// layout, exactly one persisted EDwP set.)
-const snapshotVersion = 1
+// stream format, or the placement hash changes incompatibly. Version 2
+// wraps the manifest in a checksum envelope and records per-shard
+// CRC32C checksums; version-1 directories are rejected with a clear
+// error (re-save from a live engine to upgrade).
+const snapshotVersion = 2
 
 // manifestName is the manifest file inside a snapshot directory.
 const manifestName = "MANIFEST.json"
+
+// snapCRC is the CRC32C (Castagnoli) table shared by the manifest
+// envelope and the per-shard stream checksums.
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Shard files are self-describing containers, not bare tree streams:
+//
+//	[8-byte magic][uint32 shard count][uint32 shard index]
+//	[trajtree.Save gob stream]
+//	[uint32 CRC32C over header+stream]
+//
+// The trailer checksum lets a shard file vouch for itself independently
+// of the manifest. That distinction is what makes a crash between the
+// phase-2 renames recoverable: such a crash leaves new-epoch shard
+// files under the old manifest, so the manifest's checksums mismatch —
+// but each file's own checksum still verifies. With a WAL configured,
+// the loader accepts the mixed directory (salvage) and WAL replay
+// reconciles the epochs; a file whose own checksum fails is bit rot and
+// is always a hard error.
+const (
+	shardMagic     = "TRSHRD02"
+	shardHeaderLen = 16 // magic + shard count + shard index
+	shardFooterLen = 4  // CRC32C
+)
+
+func shardHeader(count, index int) []byte {
+	hdr := make([]byte, shardHeaderLen)
+	copy(hdr, shardMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(count))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(index))
+	return hdr
+}
+
+// verifyShardFile streams the container once, checking magic, recorded
+// shard index, and the trailer checksum; it returns the recorded shard
+// count and the trailer CRC (which doubles as the manifest-comparison
+// value). Any inconsistency is a "snapshot corrupt" error — the caller
+// never hands an unverified byte to the decoder.
+func verifyShardFile(fsys faultfs.FS, path string, index int) (count int, sum uint32, err error) {
+	fi, err := fsys.Stat(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if fi.Size() < shardHeaderLen+shardFooterLen {
+		return 0, 0, fmt.Errorf("%d-byte file cannot hold a shard container: snapshot corrupt", fi.Size())
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	hdr := make([]byte, shardHeaderLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, 0, err
+	}
+	if string(hdr[:8]) != shardMagic {
+		return 0, 0, fmt.Errorf("bad magic %q: snapshot corrupt", hdr[:8])
+	}
+	count = int(binary.LittleEndian.Uint32(hdr[8:]))
+	if got := int(binary.LittleEndian.Uint32(hdr[12:])); got != index {
+		return 0, 0, fmt.Errorf("file records shard index %d, expected %d: snapshot corrupt", got, index)
+	}
+	h := crc32.New(snapCRC)
+	h.Write(hdr)
+	if _, err := io.CopyN(h, f, fi.Size()-shardHeaderLen-shardFooterLen); err != nil {
+		return 0, 0, err
+	}
+	var trailer [shardFooterLen]byte
+	if _, err := io.ReadFull(f, trailer[:]); err != nil {
+		return 0, 0, err
+	}
+	sum = binary.LittleEndian.Uint32(trailer[:])
+	if h.Sum32() != sum {
+		return 0, 0, fmt.Errorf("checksum mismatch (trailer %08x, content %08x): snapshot corrupt", sum, h.Sum32())
+	}
+	return count, sum, nil
+}
 
 type snapshotManifest struct {
 	Version     int              `json:"version"`
 	Shards      int              `json:"shards"`
 	TreeOptions trajtree.Options `json:"tree_options"`
 	Sizes       []int            `json:"sizes"`
+	// Checksums holds one CRC32C per shard stream, over the file's
+	// exact bytes. The loader verifies them in a streaming pass before
+	// any byte reaches the gob decoder, so bit rot or a mixed-epoch
+	// directory surfaces as a clean "snapshot corrupt" error.
+	Checksums []uint32 `json:"checksums"`
 	// Metrics lists the metric backends the directory holds streams for,
 	// in persist order. Only tree-backed metrics are persistable today,
 	// so the list is ["edwp"]; it is recorded (rather than implied) so a
@@ -70,8 +163,20 @@ type snapshotManifest struct {
 	SavedAt time.Time      `json:"saved_at"`
 }
 
+// manifestEnvelope is what MANIFEST.json actually holds: the manifest
+// plus a CRC32C guarding it. The checksum is computed over the
+// manifest's canonical (compact json.Marshal) encoding and verified by
+// re-encoding the parsed manifest the same way, so any corruption that
+// changes what the loader would act on — a flipped digit in a size, a
+// damaged field name — fails verification, while insignificant
+// whitespace does not have to survive byte-exactly.
+type manifestEnvelope struct {
+	CRC32C   uint32          `json:"crc32c"`
+	Manifest json.RawMessage `json:"manifest"`
+}
+
 // persistedMetrics returns the manifest's Metrics list, defaulting to
-// the single EDwP set for pre-multi-metric snapshots.
+// the single EDwP set for manifests that omit it.
 func (m snapshotManifest) persistedMetrics() []string {
 	if len(m.Metrics) == 0 {
 		return []string{trajtree.MetricName}
@@ -79,7 +184,31 @@ func (m snapshotManifest) persistedMetrics() []string {
 	return m.Metrics
 }
 
+// manifestChecksum is the canonical checksum of a manifest: CRC32C over
+// its compact JSON encoding.
+func manifestChecksum(man snapshotManifest) (uint32, error) {
+	raw, err := json.Marshal(man)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.Checksum(raw, snapCRC), nil
+}
+
 func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.tree", i) }
+
+// parseShardFileName inverts shardFileName, rejecting near-misses like
+// temp files (the round-trip check catches trailing garbage Sscanf
+// would forgive).
+func parseShardFileName(name string) (int, bool) {
+	var i int
+	if n, err := fmt.Sscanf(name, "shard-%d.tree", &i); n != 1 || err != nil {
+		return 0, false
+	}
+	if shardFileName(i) != name {
+		return 0, false
+	}
+	return i, true
+}
 
 // SnapshotDir returns the configured snapshot directory ("" when
 // snapshotting is not configured).
@@ -103,9 +232,16 @@ func (e *Engine) persistentSet() *metricSet {
 // shard currently streaming out; consequently the snapshot is per-shard
 // consistent but, under a live write load, not a single global point in
 // time. Quiesce writers first if global point-in-time semantics matter.
+// (With a WAL attached the recovered state is still exact: mutations
+// landing during the save are replayed idempotently on top.)
 // Concurrent SaveSnapshot calls serialise against each other, so
 // overlapping POST /snapshot requests cannot interleave shard files and
 // manifests from different saves.
+//
+// With a write-ahead log attached, a committed save also truncates the
+// log: a barrier taken before streaming guarantees every pre-barrier
+// record is contained in the snapshot, so the pre-barrier segments are
+// removed (oldest first) once the manifest rename lands.
 func (e *Engine) SaveSnapshot(dir string) error {
 	if dir == "" {
 		return fmt.Errorf("server: snapshot: no directory configured")
@@ -117,8 +253,23 @@ func (e *Engine) SaveSnapshot(dir string) error {
 	}
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := e.fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	// The WAL barrier comes first, under mutMu: with no mutation between
+	// append and apply in flight, every record in a pre-barrier segment
+	// is applied, hence included in the shard streams below — which is
+	// exactly the condition for truncating those segments once the
+	// manifest commits.
+	barrier := -1
+	if e.wal != nil {
+		e.mutMu.Lock()
+		b, berr := e.wal.Barrier()
+		e.mutMu.Unlock()
+		if berr != nil {
+			return fmt.Errorf("server: snapshot: %w", berr)
+		}
+		barrier = b
 	}
 	shards := ms.shards
 	man := snapshotManifest{
@@ -126,6 +277,7 @@ func (e *Engine) SaveSnapshot(dir string) error {
 		Shards:      len(shards),
 		TreeOptions: shards[0].options(),
 		Sizes:       make([]int, len(shards)),
+		Checksums:   make([]uint32, len(shards)),
 		Metrics:     []string{ms.name},
 		SavedAt:     time.Now().UTC(),
 	}
@@ -133,37 +285,60 @@ func (e *Engine) SaveSnapshot(dir string) error {
 		p := e.sketchParams
 		man.Sketch = &p
 	}
-	// Phase 1: stream every shard to a temp file. No final name is
-	// touched yet, so any failure here (disk full, I/O error) leaves the
-	// previous snapshot fully intact.
+	// Phase 1: stream every shard to a temp file and fsync it. No final
+	// name is touched yet, so any failure here (disk full, I/O error,
+	// crash) leaves the previous snapshot fully intact. The fixed .tmp
+	// names are safe under snapMu and let an interrupted save's litter
+	// be swept by the next one.
 	tmps := make([]string, len(shards))
 	cleanup := func() {
 		for _, t := range tmps {
 			if t != "" {
-				os.Remove(t)
+				_ = e.fs.Remove(t)
 			}
 		}
 	}
 	err := par.ForErr(e.opt.Workers, len(shards), func(i int) error {
-		tmp, err := os.CreateTemp(dir, shardFileName(i)+".tmp")
+		tmp := filepath.Join(dir, shardFileName(i)+".tmp")
+		f, err := e.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
 			return err
 		}
-		tmps[i] = tmp.Name()
-		bw := bufio.NewWriterSize(tmp, 1<<20)
+		tmps[i] = tmp
+		// The trailer checksum hashes exactly the bytes the file
+		// receives (header included, trailer excluded).
+		h := crc32.New(snapCRC)
+		bw := bufio.NewWriterSize(io.MultiWriter(f, h), 1<<20)
+		if _, err := bw.Write(shardHeader(len(shards), i)); err != nil {
+			f.Close()
+			return err
+		}
 		size, err := shards[i].save(bw)
 		if err != nil {
-			tmp.Close()
+			f.Close()
 			return err
 		}
 		if err := bw.Flush(); err != nil {
-			tmp.Close()
+			f.Close()
 			return err
 		}
-		if err := tmp.Close(); err != nil {
+		var trailer [shardFooterLen]byte
+		binary.LittleEndian.PutUint32(trailer[:], h.Sum32())
+		if _, err := f.Write(trailer[:]); err != nil {
+			f.Close()
+			return err
+		}
+		// fsync before rename: a renamed-but-unsynced file could survive
+		// the rename yet lose its bytes on power loss.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		man.Sizes[i] = size
+		man.Checksums[i] = h.Sum32()
 		return nil
 	})
 	if err != nil {
@@ -171,29 +346,94 @@ func (e *Engine) SaveSnapshot(dir string) error {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
 	// Phase 2: every shard streamed successfully — rename them into
-	// place, manifest last. The remaining inconsistency window is a
-	// crash inside this loop of renames, which mixes new shard files
-	// with the old manifest; the loader's per-shard size and option
-	// checks reject such a directory rather than serving from it.
+	// place, manifest last. A crash inside this loop mixes new shard
+	// files with the old manifest; the loader's checksum, size and
+	// option checks reject such a directory rather than serving from it.
 	for i, tmp := range tmps {
-		if err := os.Rename(tmp, filepath.Join(dir, shardFileName(i))); err != nil {
+		if err := e.fs.Rename(tmp, filepath.Join(dir, shardFileName(i))); err != nil {
 			cleanup()
 			return fmt.Errorf("server: snapshot: %w", err)
 		}
 		tmps[i] = ""
 	}
-	raw, err := json.MarshalIndent(man, "", "  ")
+	sum, err := manifestChecksum(man)
 	if err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
-	tmp := filepath.Join(dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+	rawMan, err := json.Marshal(man)
+	if err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	raw, err := json.MarshalIndent(manifestEnvelope{CRC32C: sum, Manifest: rawMan}, "", "  ")
+	if err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	mtmp := filepath.Join(dir, manifestName+".tmp")
+	if err := writeFileSync(e.fs, mtmp, append(raw, '\n')); err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := e.fs.Rename(mtmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	// The manifest rename commits the snapshot. What follows is
+	// housekeeping: sweep stale files, make the renames durable, drop
+	// the WAL segments the snapshot subsumes.
+	if err := e.cleanStaleShardFiles(dir, len(shards)); err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := e.fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if e.wal != nil {
+		if err := e.wal.TruncateBefore(barrier); err != nil {
+			return fmt.Errorf("server: snapshot: %w", err)
+		}
 	}
 	e.snapshots.Add(1)
+	return nil
+}
+
+// writeFileSync writes data to name through fsys and fsyncs it before
+// closing — the write half of the write-fsync-rename commit pattern.
+func writeFileSync(fsys faultfs.FS, name string, data []byte) error {
+	f, err := fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// cleanStaleShardFiles removes shard files beyond the just-written
+// count, plus any temp litter from interrupted saves. Without it, a
+// save with fewer shards than its predecessor would leave orphan
+// shard-NNNN.tree files that a human (or a future layout) could mistake
+// for live data.
+func (e *Engine) cleanStaleShardFiles(dir string, count int) error {
+	entries, err := e.fs.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		stale := strings.HasSuffix(name, ".tmp")
+		if idx, ok := parseShardFileName(name); ok && idx >= count {
+			stale = true
+		}
+		if !stale {
+			continue
+		}
+		if err := e.fs.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -206,10 +446,66 @@ func SnapshotExists(dir string) bool {
 	return err == nil
 }
 
+// readManifest reads and verifies MANIFEST.json: envelope checksum,
+// version, and internal consistency (shard count versus the sizes and
+// checksums arrays). Every failure is a clean, specific error — a
+// corrupt directory must never panic or half-load.
+func readManifest(fsys faultfs.FS, dir string) (snapshotManifest, error) {
+	raw, err := faultfs.ReadFile(fsys, filepath.Join(dir, manifestName))
+	if err != nil {
+		return snapshotManifest{}, err
+	}
+	var env manifestEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return snapshotManifest{}, fmt.Errorf("manifest: %w", err)
+	}
+	if env.Manifest == nil {
+		// Not an envelope. A version-1 manifest was the bare
+		// snapshotManifest — detect it for a clean upgrade message
+		// rather than a generic parse failure.
+		var legacy snapshotManifest
+		if json.Unmarshal(raw, &legacy) == nil && legacy.Version != 0 {
+			return snapshotManifest{}, fmt.Errorf(
+				"manifest: unsupported snapshot version %d (this build reads version %d; re-save the snapshot from a live engine)",
+				legacy.Version, snapshotVersion)
+		}
+		return snapshotManifest{}, fmt.Errorf("manifest: missing checksum envelope: snapshot corrupt")
+	}
+	var man snapshotManifest
+	if err := json.Unmarshal(env.Manifest, &man); err != nil {
+		return snapshotManifest{}, fmt.Errorf("manifest: %w", err)
+	}
+	sum, err := manifestChecksum(man)
+	if err != nil {
+		return snapshotManifest{}, fmt.Errorf("manifest: %w", err)
+	}
+	if sum != env.CRC32C {
+		return snapshotManifest{}, fmt.Errorf("manifest: checksum mismatch (recorded %08x, computed %08x): snapshot corrupt",
+			env.CRC32C, sum)
+	}
+	if man.Version != snapshotVersion {
+		return snapshotManifest{}, fmt.Errorf("manifest: unsupported version %d (want %d)", man.Version, snapshotVersion)
+	}
+	if man.Shards < 1 {
+		return snapshotManifest{}, fmt.Errorf("manifest: invalid shard count %d", man.Shards)
+	}
+	// The sizes and checksums arrays are the cross-check that catches
+	// mixed-epoch directories (a crash between shard renames and the
+	// manifest rename); a manifest that cannot vouch for every shard is
+	// rejected rather than partially verified.
+	if len(man.Sizes) != man.Shards {
+		return snapshotManifest{}, fmt.Errorf("manifest: records %d sizes for %d shards", len(man.Sizes), man.Shards)
+	}
+	if len(man.Checksums) != man.Shards {
+		return snapshotManifest{}, fmt.Errorf("manifest: records %d checksums for %d shards", len(man.Checksums), man.Shards)
+	}
+	return man, nil
+}
+
 // LoadSnapshot reconstructs a single-metric EDwP engine from a snapshot
 // directory written by SaveSnapshot. Shard trees load in parallel. The
 // shard count always comes from the manifest (see the placement note
-// above); the remaining opt fields — cache, workers, snapshot dir —
+// above); the remaining opt fields — cache, workers, snapshot dir, WAL —
 // apply as given.
 func LoadSnapshot(dir string, opt Options) (*Engine, error) {
 	return LoadSnapshotSpecs(dir, nil, opt)
@@ -224,47 +520,68 @@ func LoadSnapshot(dir string, opt Options) (*Engine, error) {
 // a fresh boot would derive them — and its order becomes the boot order,
 // so its first spec is the default metric. A nil makeSpecs means just
 // the persisted metrics.
+//
+// Every shard stream's CRC32C is verified in a streaming pass before
+// any byte reaches the decoder, and with opt.WALDir set the write-ahead
+// log replays on top of the loaded state before the engine is returned.
 func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]backend.Spec, error), opt Options) (*Engine, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	opt = opt.withDefaults()
+	fsys := opt.FS
+	man, err := readManifest(fsys, dir)
 	if err != nil {
 		return nil, fmt.Errorf("server: load snapshot: %w", err)
-	}
-	var man snapshotManifest
-	if err := json.Unmarshal(raw, &man); err != nil {
-		return nil, fmt.Errorf("server: load snapshot: manifest: %w", err)
-	}
-	if man.Version != snapshotVersion {
-		return nil, fmt.Errorf("server: load snapshot: unsupported version %d (want %d)", man.Version, snapshotVersion)
-	}
-	if man.Shards < 1 {
-		return nil, fmt.Errorf("server: load snapshot: invalid shard count %d", man.Shards)
-	}
-	// The sizes array is the cross-check that catches mixed-epoch
-	// directories (a crash between shard renames and the manifest
-	// rename); a manifest that cannot vouch for every shard is rejected
-	// rather than partially verified.
-	if len(man.Sizes) != man.Shards {
-		return nil, fmt.Errorf("server: load snapshot: manifest records %d sizes for %d shards", len(man.Sizes), man.Shards)
 	}
 	persisted := man.persistedMetrics()
 	if len(persisted) != 1 || persisted[0] != trajtree.MetricName {
 		return nil, fmt.Errorf("server: load snapshot: unsupported persisted metrics %v (only %q streams are readable)",
 			persisted, trajtree.MetricName)
 	}
-	opt = opt.withDefaults()
 	opt.Shards = man.Shards
 	treeShards := make([]*shard, man.Shards)
 	err = par.ForErr(opt.Workers, man.Shards, func(i int) error {
-		f, err := os.Open(filepath.Join(dir, shardFileName(i)))
+		path := filepath.Join(dir, shardFileName(i))
+		// Pass 1: verify the container's own trailer checksum end to end
+		// before handing a single byte to the decoder — gob must never
+		// see corrupt input. A file that fails its own checksum is bit
+		// rot (or a torn write) and is always a hard error.
+		count, sum, err := verifyShardFile(fsys, path, i)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		// The file vouches for itself; now compare against the manifest.
+		// A mismatch here means the file is intact but from a different
+		// save than the manifest — a crash between the phase-2 renames.
+		// With a WAL configured the mixed directory is salvageable
+		// (replay reconciles the epochs), provided the file was written
+		// under the same shard count (same hash placement). Without a
+		// WAL there is nothing to reconcile with: reject.
+		epochMatch := sum == man.Checksums[i]
+		if !epochMatch {
+			if opt.WALDir == "" {
+				return fmt.Errorf("shard %d: checksum mismatch (manifest %08x, file %08x) and no WAL is configured to reconcile epochs: snapshot corrupt",
+					i, man.Checksums[i], sum)
+			}
+			if count != man.Shards {
+				return fmt.Errorf("shard %d: file written under %d shards, manifest records %d: resharding crash is unrecoverable, snapshot corrupt",
+					i, count, man.Shards)
+			}
+		}
+		// Pass 2: decode the verified stream (skipping the container
+		// header; the trailer sits past the gob stream's own end).
+		f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
+		if _, err := io.CopyN(io.Discard, f, shardHeaderLen); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
 		tree, err := trajtree.Load(bufio.NewReaderSize(f, 1<<20))
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
-		if tree.Size() != man.Sizes[i] {
+		// The manifest's size only describes its own epoch's file.
+		if epochMatch && tree.Size() != man.Sizes[i] {
 			return fmt.Errorf("shard %d: size %d does not match manifest %d", i, tree.Size(), man.Sizes[i])
 		}
 		// Each stream carries its own (normalised) tree options; they
@@ -297,6 +614,9 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 			if err := e.restorePrefilter(man, opt, collectCorpus()); err != nil {
 				return nil, fmt.Errorf("server: load snapshot: %w", err)
 			}
+		}
+		if err := e.attachWAL(); err != nil {
+			return nil, err
 		}
 		return e, nil
 	}
@@ -339,6 +659,9 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 		if err := e.restorePrefilter(man, opt, all); err != nil {
 			return nil, fmt.Errorf("server: load snapshot: %w", err)
 		}
+	}
+	if err := e.attachWAL(); err != nil {
+		return nil, err
 	}
 	return e, nil
 }

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"trajmatch/internal/faultfs"
 	"trajmatch/internal/trajtree"
 )
 
@@ -38,12 +39,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 				t.Fatal("snapshot not detected after save")
 			}
 
-			raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+			man, err := readManifest(faultfs.OS{}, dir)
 			if err != nil {
-				t.Fatal(err)
-			}
-			var man snapshotManifest
-			if err := json.Unmarshal(raw, &man); err != nil {
 				t.Fatal(err)
 			}
 			if man.Version != snapshotVersion || man.Shards != shards {

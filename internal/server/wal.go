@@ -1,0 +1,94 @@
+package server
+
+import (
+	"fmt"
+
+	"trajmatch/internal/wal"
+)
+
+// The engine's durability story in one place:
+//
+// With Options.WALDir set, every accepted mutation is appended to the
+// write-ahead log before it is applied and acknowledged only after
+// wal.Commit — under the default SyncAlways policy, after an fsync. A
+// reboot loads the latest snapshot and replays the log on top, so a
+// kill -9 (or, under SyncAlways, a power cut) between snapshots loses
+// no acknowledged mutation.
+//
+// Ordering: e.mutMu is held across {append, apply}, making WAL order
+// identical to apply order — replay reproduces exactly the sequence the
+// live engine executed. The fsync wait (Commit) happens after mutMu is
+// released, so concurrent mutations batch into shared group commits
+// instead of serialising on the disk.
+//
+// Snapshot coordination: SaveSnapshot takes a wal.Barrier under mutMu
+// before streaming the shards. Every record appended before the barrier
+// is therefore applied, hence contained in the snapshot, and the
+// pre-barrier segments can be deleted once the manifest commits.
+// Replay is idempotent (insert skips present IDs, delete of an absent
+// ID is a no-op) and pre-barrier segments are removed oldest first, so
+// an interrupted truncation leaves a contiguous suffix of the applied
+// record sequence whose replay over the snapshot converges back to the
+// snapshotted state.
+
+// attachWAL opens the log configured in e.opt, replays it into the
+// freshly booted engine, and arms the mutation path. Called once at the
+// end of every engine constructor; a nil WALDir is a no-op.
+func (e *Engine) attachWAL() error {
+	if e.opt.WALDir == "" {
+		return nil
+	}
+	l, err := wal.Open(wal.Options{
+		Dir:          e.opt.WALDir,
+		FS:           e.fs,
+		Policy:       e.opt.WALSync,
+		Interval:     e.opt.WALSyncInterval,
+		SegmentBytes: e.opt.WALSegmentBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := l.Replay(e.replayRecord); err != nil {
+		l.Close()
+		return fmt.Errorf("server: wal replay: %w", err)
+	}
+	e.wal = l
+	return nil
+}
+
+// replayRecord applies one recovered WAL record. Replay bypasses the
+// public Insert/Delete — the log must not be re-appended to, and the
+// public mutation counters must reflect live traffic, not recovery.
+func (e *Engine) replayRecord(rec wal.Record) error {
+	if err := e.requireMutable(); err != nil {
+		// The log holds mutations but a loaded backend cannot accept
+		// them: booting with a different -metrics set than the log was
+		// written under. Refusing is the only move that cannot lose data.
+		return err
+	}
+	switch rec.Op {
+	case wal.OpInsert:
+		if e.Lookup(rec.ID) != nil {
+			return nil // already in the snapshot (or an earlier record)
+		}
+		return e.applyInsert(rec.Traj)
+	case wal.OpDelete:
+		e.applyDelete(rec.ID)
+		return nil
+	}
+	return fmt.Errorf("unknown op %v", rec.Op)
+}
+
+// Close releases the engine's durable resources: it flushes and fsyncs
+// the write-ahead log (under every sync policy) and closes it. Queries
+// still work after Close; mutations fail. Engines without a WAL have
+// nothing to release and Close is a no-op.
+func (e *Engine) Close() error {
+	if e.wal == nil {
+		return nil
+	}
+	if err := e.wal.Close(); err != nil {
+		return fmt.Errorf("server: wal close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"trajmatch/internal/traj"
+)
+
+// Op is the mutation kind a WAL record carries.
+type Op uint8
+
+const (
+	// OpInsert records an accepted Engine.Insert; the payload carries
+	// the full trajectory.
+	OpInsert Op = 1
+	// OpDelete records an accepted Engine.Delete; the payload carries
+	// the trajectory ID.
+	OpDelete Op = 2
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Record is one logged mutation. ID is always set; Traj only for
+// OpInsert.
+type Record struct {
+	Op   Op
+	ID   int
+	Traj *traj.Trajectory
+}
+
+// Insert returns the record logging an insert of tr.
+func Insert(tr *traj.Trajectory) Record { return Record{Op: OpInsert, ID: tr.ID, Traj: tr} }
+
+// Delete returns the record logging a delete of id.
+func Delete(id int) Record { return Record{Op: OpDelete, ID: id} }
+
+// encodeRecord serialises a record payload (the bytes the frame CRC
+// covers): one op byte, then varint fields. An insert carries
+// (id, label, #points, 3×float64 per point, little-endian); a delete
+// carries just the id.
+func encodeRecord(rec Record) ([]byte, error) {
+	switch rec.Op {
+	case OpInsert:
+		if rec.Traj == nil {
+			return nil, fmt.Errorf("wal: insert record without trajectory")
+		}
+		tr := rec.Traj
+		buf := make([]byte, 1, 1+2*binary.MaxVarintLen64+binary.MaxVarintLen64+24*len(tr.Points))
+		buf[0] = byte(OpInsert)
+		buf = binary.AppendVarint(buf, int64(tr.ID))
+		buf = binary.AppendVarint(buf, int64(tr.Label))
+		buf = binary.AppendUvarint(buf, uint64(len(tr.Points)))
+		for _, p := range tr.Points {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.T))
+		}
+		return buf, nil
+	case OpDelete:
+		buf := make([]byte, 1, 1+binary.MaxVarintLen64)
+		buf[0] = byte(OpDelete)
+		buf = binary.AppendVarint(buf, int64(rec.ID))
+		return buf, nil
+	}
+	return nil, fmt.Errorf("wal: unknown op %d", rec.Op)
+}
+
+// decodeRecord parses a payload previously produced by encodeRecord. It
+// rejects trailing or missing bytes: the payload passed its checksum, so
+// any structural surprise means a writer bug, not disk corruption, and
+// surfaces as a hard error.
+func decodeRecord(p []byte) (Record, error) {
+	if len(p) == 0 {
+		return Record{}, fmt.Errorf("wal: empty record payload")
+	}
+	op, rest := Op(p[0]), p[1:]
+	switch op {
+	case OpInsert:
+		id, n := binary.Varint(rest)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("wal: insert record: bad id")
+		}
+		rest = rest[n:]
+		label, n := binary.Varint(rest)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("wal: insert record: bad label")
+		}
+		rest = rest[n:]
+		npts, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("wal: insert record: bad point count")
+		}
+		rest = rest[n:]
+		if uint64(len(rest)) != 24*npts {
+			return Record{}, fmt.Errorf("wal: insert record: %d bytes for %d points", len(rest), npts)
+		}
+		pts := make([]traj.Point, npts)
+		for i := range pts {
+			pts[i] = traj.Point{
+				X: math.Float64frombits(binary.LittleEndian.Uint64(rest[0:8])),
+				Y: math.Float64frombits(binary.LittleEndian.Uint64(rest[8:16])),
+				T: math.Float64frombits(binary.LittleEndian.Uint64(rest[16:24])),
+			}
+			rest = rest[24:]
+		}
+		tr := traj.New(int(id), pts)
+		tr.Label = int(label)
+		return Record{Op: OpInsert, ID: int(id), Traj: tr}, nil
+	case OpDelete:
+		id, n := binary.Varint(rest)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("wal: delete record: bad id")
+		}
+		if len(rest) != n {
+			return Record{}, fmt.Errorf("wal: delete record: %d trailing bytes", len(rest)-n)
+		}
+		return Record{Op: OpDelete, ID: int(id)}, nil
+	}
+	return Record{}, fmt.Errorf("wal: unknown op %d", op)
+}

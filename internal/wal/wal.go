@@ -1,0 +1,647 @@
+// Package wal implements the engine's write-ahead log: a directory of
+// append-only segment files holding length-prefixed, CRC32C-checksummed
+// mutation records (insert/delete). Every accepted mutation is appended
+// before it is applied, so a reboot replays the log on top of the latest
+// snapshot and loses nothing that was acknowledged durable.
+//
+// Frame layout (little-endian):
+//
+//	[uint32 payload length][uint32 CRC32C(payload)][payload]
+//
+// The payload starts with an op byte; see record.go. Segments are named
+// wal-NNNNNNNN.seg and rotate at Options.SegmentBytes; rotation fsyncs
+// and closes the old segment first, so only the newest segment can ever
+// hold unsynced or torn bytes.
+//
+// Durability is a policy (Options.Policy): SyncAlways fsyncs before a
+// mutation is acknowledged — concurrent committers share one group
+// fsync — SyncInterval fsyncs on a timer, and SyncNever leaves flushing
+// to the OS. Append establishes log order; Commit waits for durability
+// per the policy, so callers can serialise (append, apply) under a lock
+// and pay the fsync outside it.
+//
+// Recovery semantics are asymmetric by design: a torn record at the tail
+// of the newest segment is the signature of a crash mid-append and is
+// dropped (the file is truncated back to the last whole record — that
+// mutation was never acknowledged under SyncAlways), while a corrupt
+// record with valid data after it, or any damage in an older segment,
+// cannot be explained by a crash and fails recovery hard with
+// ErrCorrupt rather than silently dropping acknowledged writes.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"trajmatch/internal/faultfs"
+)
+
+// ErrCorrupt reports interior log corruption: a damaged record that
+// cannot be a torn tail. Recovery refuses to proceed past it because
+// records after the damage may be acknowledged mutations.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before Commit returns: an acknowledged mutation
+	// survives power loss. Concurrent commits share one fsync (group
+	// commit). The zero value, so the safest policy is the default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer (Options.Interval):
+	// bounded data loss — at most one interval of acknowledged
+	// mutations — at near-SyncNever append cost.
+	SyncInterval
+	// SyncNever never fsyncs explicitly; the OS flushes when it
+	// pleases. Survives process crashes (the page cache persists) but
+	// not power loss.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("syncpolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (one of always, interval, never)", s)
+}
+
+// Options configure a Log.
+type Options struct {
+	// Dir is the log directory, created if needed.
+	Dir string
+	// FS routes all file operations; nil means the real filesystem.
+	// The crash harness injects faultfs.Injector here.
+	FS faultfs.FS
+	// Policy selects the sync policy; the zero value is SyncAlways.
+	Policy SyncPolicy
+	// Interval is the SyncInterval fsync period; 0 means 100ms.
+	Interval time.Duration
+	// SegmentBytes rotates the active segment once it reaches this
+	// size; 0 means 64 MiB.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
+	}
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of a Log's counters.
+type Stats struct {
+	// Policy is the sync policy's flag string.
+	Policy string `json:"policy"`
+	// Segments is the number of segment files currently on disk.
+	Segments int `json:"segments"`
+	// SizeBytes is the total size of those segments.
+	SizeBytes int64 `json:"size_bytes"`
+	// Appends counts records appended since Open (replayed records do
+	// not count).
+	Appends uint64 `json:"appends"`
+	// Syncs counts fsyncs issued; under SyncAlways, Appends/Syncs is
+	// the group-commit batching factor.
+	Syncs uint64 `json:"syncs"`
+	// Rotations counts segment rotations since Open.
+	Rotations uint64 `json:"rotations"`
+	// Replayed counts records recovered by Replay at boot.
+	Replayed uint64 `json:"replayed"`
+	// DroppedTailRecords counts torn tail records dropped by recovery
+	// (0 or 1 per boot: a tear loses framing, so at most one tail is
+	// identified and everything after it is its bytes).
+	DroppedTailRecords uint64 `json:"dropped_tail_records"`
+	// DroppedTailBytes is the byte length of the dropped tail.
+	DroppedTailBytes uint64 `json:"dropped_tail_bytes"`
+}
+
+// castagnoli is the CRC32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const frameHeaderLen = 8
+
+// maxRecordLen bounds a frame's claimed payload length; anything larger
+// is treated as damage, not data, so corrupt length fields cannot drive
+// giant allocations.
+const maxRecordLen = 256 << 20
+
+// Log is an open write-ahead log. Open scans the directory, Replay
+// hands every recovered record to the caller exactly once (and must be
+// called before the first Append), and Append/Commit log new mutations.
+// All methods are safe for concurrent use after Replay returns.
+type Log struct {
+	opt Options
+	fs  faultfs.FS
+
+	mu       sync.Mutex // guards the fields below; establishes append order
+	f        faultfs.File
+	segs     []int // sorted indexes of segments on disk; last is active
+	segSize  int64 // size of the active segment
+	lsn      uint64
+	replayed bool
+	closed   bool
+	failed   error // sticky: a failed append leaves an undefined tail
+
+	// Group commit: committers wait until syncedLSN covers their record;
+	// one of them becomes the leader and fsyncs for the whole cohort.
+	syncMu     sync.Mutex
+	syncCond   *sync.Cond
+	syncedLSN  uint64
+	syncLeader bool
+	syncErr    error // sticky: after a failed fsync durability is unknown
+
+	stopInterval chan struct{}
+	intervalDone chan struct{}
+
+	statMu  sync.Mutex
+	appends uint64
+	syncs   uint64
+	rots    uint64
+	nreplay uint64
+	dropRec uint64
+	dropB   uint64
+}
+
+func segmentName(i int) string { return fmt.Sprintf("wal-%08d.seg", i) }
+
+// parseSegmentName returns the index of a segment file name, or false.
+func parseSegmentName(name string) (int, bool) {
+	var i int
+	if n, err := fmt.Sscanf(name, "wal-%d.seg", &i); n != 1 || err != nil {
+		return 0, false
+	}
+	if segmentName(i) != name {
+		return 0, false
+	}
+	return i, true
+}
+
+// Open prepares the log in opt.Dir for recovery: it creates the
+// directory if needed and scans for existing segments. The caller must
+// call Replay exactly once before the first Append, even on a fresh
+// directory.
+func Open(opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("wal: no directory configured")
+	}
+	if err := opt.FS.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := opt.FS.ReadDir(opt.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		if i, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, i)
+		}
+	}
+	sort.Ints(segs)
+	l := &Log{opt: opt, fs: opt.FS, segs: segs}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	return l, nil
+}
+
+// Replay scans every segment in order and hands each intact record to
+// fn. A torn record at the tail of the newest segment is dropped and
+// the file truncated back to the last whole record; any other damage
+// fails with ErrCorrupt. When fn returns an error, replay stops and
+// returns it. After a successful Replay the log is positioned to append
+// after the last recovered record, and the background interval syncer
+// (SyncInterval only) starts.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.replayed {
+		return fmt.Errorf("wal: already replayed")
+	}
+	for n, seg := range l.segs {
+		last := n == len(l.segs)-1
+		path := filepath.Join(l.opt.Dir, segmentName(seg))
+		data, err := faultfs.ReadFile(l.fs, path)
+		if err != nil {
+			return fmt.Errorf("wal: replay %s: %w", segmentName(seg), err)
+		}
+		valid, recs, err := scanSegment(data, last)
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrCorrupt, segmentName(seg), err)
+		}
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		l.statMu.Lock()
+		l.nreplay += uint64(len(recs))
+		l.statMu.Unlock()
+		l.lsn += uint64(len(recs))
+		if valid < int64(len(data)) {
+			// Torn tail: drop it so the next append starts on a clean
+			// frame boundary.
+			if err := l.fs.Truncate(path, valid); err != nil {
+				return fmt.Errorf("wal: truncate torn tail of %s: %w", segmentName(seg), err)
+			}
+			l.statMu.Lock()
+			l.dropRec++
+			l.dropB += uint64(int64(len(data)) - valid)
+			l.statMu.Unlock()
+		}
+		if last {
+			l.segSize = valid
+		}
+	}
+	// Position for append: reopen the newest segment, or create segment
+	// 0 on a fresh directory.
+	if len(l.segs) == 0 {
+		if err := l.createSegmentLocked(0); err != nil {
+			return err
+		}
+	} else {
+		active := l.segs[len(l.segs)-1]
+		f, err := l.fs.OpenFile(filepath.Join(l.opt.Dir, segmentName(active)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: open active segment: %w", err)
+		}
+		l.f = f
+	}
+	l.replayed = true
+	l.syncMu.Lock()
+	l.syncedLSN = l.lsn // everything recovered is on disk already
+	l.syncMu.Unlock()
+	if l.opt.Policy == SyncInterval {
+		l.stopInterval = make(chan struct{})
+		l.intervalDone = make(chan struct{})
+		go l.intervalLoop()
+	}
+	return nil
+}
+
+// scanSegment walks data frame by frame, returning the offset of the
+// first byte past the last intact record plus the decoded records. In
+// the newest segment (last=true) an anomaly that extends to end-of-file
+// is a torn tail — scanning stops at its start; anywhere else an
+// anomaly is an error.
+func scanSegment(data []byte, last bool) (valid int64, recs []Record, err error) {
+	off := 0
+	for off < len(data) {
+		rem := len(data) - off
+		torn := func(what string) (int64, []Record, error) {
+			if last {
+				return int64(off), recs, nil
+			}
+			return 0, nil, fmt.Errorf("%s at offset %d of a non-final segment", what, off)
+		}
+		if rem < frameHeaderLen {
+			return torn("truncated frame header")
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length == 0 || length > maxRecordLen || int(length) > rem-frameHeaderLen {
+			// A zero or oversized length field, or a frame running past
+			// end-of-file: a tear mid-header or mid-payload.
+			return torn("invalid frame length")
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+int(length)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			// A checksum failure that reaches exactly to end-of-file is a
+			// torn payload; one with readable bytes after it is interior
+			// damage — acknowledged records may follow, so fail hard.
+			if off+frameHeaderLen+int(length) == len(data) {
+				return torn("checksum mismatch")
+			}
+			return 0, nil, fmt.Errorf("checksum mismatch at offset %d with %d bytes following",
+				off, len(data)-(off+frameHeaderLen+int(length)))
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			// The payload passed its checksum, so this is a writer bug or
+			// a checksum collision — never drop it as a tear.
+			return 0, nil, fmt.Errorf("undecodable record at offset %d: %v", off, derr)
+		}
+		recs = append(recs, rec)
+		off += frameHeaderLen + int(length)
+	}
+	return int64(off), recs, nil
+}
+
+// createSegmentLocked opens a fresh segment as the active file. Caller
+// holds l.mu.
+func (l *Log) createSegmentLocked(i int) error {
+	f, err := l.fs.OpenFile(filepath.Join(l.opt.Dir, segmentName(i)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.f = f
+	l.segs = append(l.segs, i)
+	l.segSize = 0
+	return nil
+}
+
+// Append encodes rec, frames it and writes it to the active segment,
+// returning the record's LSN. The write establishes log order but not
+// durability — call Commit(lsn) before acknowledging the mutation.
+// Callers that must keep log order consistent with apply order hold
+// their own lock across Append and the in-memory apply.
+func (l *Log) Append(rec Record) (uint64, error) {
+	payload, err := encodeRecord(rec)
+	if err != nil {
+		return 0, err
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderLen:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return 0, fmt.Errorf("wal: append on closed log")
+	case !l.replayed:
+		return 0, fmt.Errorf("wal: append before replay")
+	case l.failed != nil:
+		return 0, fmt.Errorf("wal: log failed: %w", l.failed)
+	}
+	if l.segSize >= l.opt.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.failed = err
+			return 0, err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		// The tail is now undefined (possibly torn); refuse further
+		// appends rather than write records recovery would drop.
+		l.failed = err
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.segSize += int64(len(frame))
+	l.lsn++
+	l.statMu.Lock()
+	l.appends++
+	l.statMu.Unlock()
+	return l.lsn, nil
+}
+
+// Commit waits until the record at lsn is durable per the sync policy:
+// under SyncAlways it joins the group fsync (one fsync covers every
+// record appended before it); under SyncInterval and SyncNever it
+// returns immediately.
+func (l *Log) Commit(lsn uint64) error {
+	if l.opt.Policy != SyncAlways {
+		return nil
+	}
+	l.syncMu.Lock()
+	for {
+		if l.syncErr != nil {
+			err := l.syncErr
+			l.syncMu.Unlock()
+			return err
+		}
+		if l.syncedLSN >= lsn {
+			l.syncMu.Unlock()
+			return nil
+		}
+		if !l.syncLeader {
+			l.syncLeader = true
+			break
+		}
+		l.syncCond.Wait()
+	}
+	l.syncMu.Unlock()
+	err := l.Sync()
+	l.syncMu.Lock()
+	l.syncLeader = false
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	return err
+}
+
+// Sync fsyncs the active segment, advancing the durable LSN to cover
+// every record appended before the call. A failed fsync is sticky: the
+// log refuses further commits, because the kernel may have dropped
+// dirty pages and durability of past acknowledgements is unknown.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.lsn
+	var err error
+	if l.closed {
+		err = fmt.Errorf("wal: sync on closed log")
+	} else if l.f != nil {
+		err = l.f.Sync()
+	}
+	l.mu.Unlock()
+	l.syncMu.Lock()
+	if err != nil {
+		if l.syncErr == nil {
+			l.syncErr = fmt.Errorf("wal: sync: %w", err)
+		}
+		err = l.syncErr
+	} else if target > l.syncedLSN {
+		l.syncedLSN = target
+	}
+	l.syncMu.Unlock()
+	if err == nil {
+		l.statMu.Lock()
+		l.syncs++
+		l.statMu.Unlock()
+	}
+	return err
+}
+
+// rotateLocked seals the active segment (fsync + close — after this
+// only the new segment can hold unsynced bytes) and opens the next one.
+// Caller holds l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate: sync: %w", err)
+	}
+	l.syncMu.Lock()
+	if l.lsn > l.syncedLSN {
+		l.syncedLSN = l.lsn
+	}
+	l.syncMu.Unlock()
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate: close: %w", err)
+	}
+	next := l.segs[len(l.segs)-1] + 1
+	if err := l.createSegmentLocked(next); err != nil {
+		return err
+	}
+	// Make the new segment's directory entry durable so recovery after
+	// power loss sees the same segment sequence we are appending to.
+	if err := l.fs.SyncDir(l.opt.Dir); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	l.statMu.Lock()
+	l.rots++
+	l.statMu.Unlock()
+	return nil
+}
+
+// Barrier seals the log at the current position and returns the index
+// of the now-active segment: every record appended before the call
+// lives in a segment strictly older than the returned index, so a
+// snapshot taken after the barrier may TruncateBefore(barrier) once it
+// commits. The caller serialises Barrier against its own mutation path
+// so "appended before" and "applied before" coincide.
+func (l *Log) Barrier() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || !l.replayed {
+		return 0, fmt.Errorf("wal: barrier on closed or unreplayed log")
+	}
+	if l.failed != nil {
+		return 0, fmt.Errorf("wal: log failed: %w", l.failed)
+	}
+	active := l.segs[len(l.segs)-1]
+	if l.segSize == 0 {
+		// The active segment is empty: it already is a clean boundary.
+		return active, nil
+	}
+	if err := l.rotateLocked(); err != nil {
+		l.failed = err
+		return 0, err
+	}
+	return l.segs[len(l.segs)-1], nil
+}
+
+// TruncateBefore removes every segment older than seg, oldest first —
+// the order matters: an interrupted removal must leave a suffix of
+// still-contiguous segments, never a gap. Called after a snapshot
+// containing every record before the Barrier that returned seg has
+// committed.
+func (l *Log) TruncateBefore(seg int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keep := l.segs[:0]
+	var removeErr error
+	for _, s := range l.segs {
+		if s >= seg || removeErr != nil {
+			keep = append(keep, s)
+			continue
+		}
+		if err := l.fs.Remove(filepath.Join(l.opt.Dir, segmentName(s))); err != nil {
+			removeErr = err
+			keep = append(keep, s)
+		}
+	}
+	l.segs = keep
+	if removeErr != nil {
+		return fmt.Errorf("wal: truncate: %w", removeErr)
+	}
+	if err := l.fs.SyncDir(l.opt.Dir); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	return nil
+}
+
+// intervalLoop is the SyncInterval background syncer.
+func (l *Log) intervalLoop() {
+	defer close(l.intervalDone)
+	t := time.NewTicker(l.opt.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopInterval:
+			return
+		case <-t.C:
+			// A sticky sync error surfaces on the next explicit Sync or
+			// Close; the loop keeps ticking harmlessly.
+			_ = l.Sync()
+		}
+	}
+}
+
+// Close flushes and fsyncs the log, stops the interval syncer, and
+// closes the active segment. The final fsync runs under every policy —
+// including SyncNever — so a graceful shutdown never loses acknowledged
+// mutations.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	if l.stopInterval != nil {
+		close(l.stopInterval)
+	}
+	done := l.intervalDone
+	l.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	var err error
+	if l.replayed {
+		err = l.Sync()
+	}
+	l.mu.Lock()
+	l.closed = true
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	l.mu.Unlock()
+	return err
+}
+
+// Stats returns a snapshot of the log's counters and on-disk shape.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	segs := make([]int, len(l.segs))
+	copy(segs, l.segs)
+	l.mu.Unlock()
+	var size int64
+	for _, s := range segs {
+		if fi, err := l.fs.Stat(filepath.Join(l.opt.Dir, segmentName(s))); err == nil {
+			size += fi.Size()
+		}
+	}
+	l.statMu.Lock()
+	defer l.statMu.Unlock()
+	return Stats{
+		Policy:             l.opt.Policy.String(),
+		Segments:           len(segs),
+		SizeBytes:          size,
+		Appends:            l.appends,
+		Syncs:              l.syncs,
+		Rotations:          l.rots,
+		Replayed:           l.nreplay,
+		DroppedTailRecords: l.dropRec,
+		DroppedTailBytes:   l.dropB,
+	}
+}

@@ -1,0 +1,499 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"trajmatch/internal/traj"
+)
+
+func testTraj(id, npts int) *traj.Trajectory {
+	pts := make([]traj.Point, npts)
+	for i := range pts {
+		pts[i] = traj.Point{X: float64(id) + float64(i)*0.25, Y: float64(id) - float64(i)*0.5, T: float64(i)}
+	}
+	tr := traj.New(id, pts)
+	tr.Label = id % 3
+	return tr
+}
+
+func openLog(t *testing.T, dir string, opt Options) (*Log, []Record) {
+	t.Helper()
+	opt.Dir = dir
+	l, err := Open(opt)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var recs []Record
+	if err := l.Replay(func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return l, recs
+}
+
+func appendCommit(t *testing.T, l *Log, rec Record) uint64 {
+	t.Helper()
+	lsn, err := l.Append(rec)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	return lsn
+}
+
+func sameRecord(a, b Record) bool {
+	if a.Op != b.Op || a.ID != b.ID {
+		return false
+	}
+	if (a.Traj == nil) != (b.Traj == nil) {
+		return false
+	}
+	if a.Traj == nil {
+		return true
+	}
+	if a.Traj.ID != b.Traj.ID || a.Traj.Label != b.Traj.Label || len(a.Traj.Points) != len(b.Traj.Points) {
+		return false
+	}
+	for i := range a.Traj.Points {
+		if a.Traj.Points[i] != b.Traj.Points[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundTrip: append a mixed batch of inserts and deletes, reopen,
+// and expect replay to hand back the identical sequence.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs := openLog(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := []Record{
+		Insert(testTraj(1, 4)),
+		Insert(testTraj(2, 7)),
+		Delete(1),
+		Insert(testTraj(3, 1)),
+		Delete(99),
+	}
+	for _, r := range want {
+		appendCommit(t, l, r)
+	}
+	st := l.Stats()
+	if st.Appends != uint64(len(want)) {
+		t.Fatalf("Appends = %d, want %d", st.Appends, len(want))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, got := openLog(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !sameRecord(got[i], want[i]) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if st := l2.Stats(); st.Replayed != uint64(len(want)) {
+		t.Fatalf("Replayed = %d, want %d", st.Replayed, len(want))
+	}
+}
+
+// TestRotation: a tiny SegmentBytes forces rotation; records span
+// several segments and replay stitches them back in order.
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{SegmentBytes: 256})
+	const n = 40
+	for i := 0; i < n; i++ {
+		appendCommit(t, l, Insert(testTraj(i, 3)))
+	}
+	st := l.Stats()
+	if st.Rotations == 0 {
+		t.Fatalf("no rotations with 256-byte segments after %d appends", n)
+	}
+	if st.Segments < 2 {
+		t.Fatalf("Segments = %d, want >= 2", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got := openLog(t, dir, Options{SegmentBytes: 256})
+	defer l2.Close()
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r.Op != OpInsert || r.ID != i {
+			t.Fatalf("record %d: got op=%v id=%d", i, r.Op, r.ID)
+		}
+	}
+}
+
+// segPath returns the path of the i'th (sorted) segment in dir.
+func segPath(t *testing.T, dir string, i int) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if _, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, e.Name())
+		}
+	}
+	if i < 0 {
+		i += len(segs)
+	}
+	if i < 0 || i >= len(segs) {
+		t.Fatalf("segment %d of %d not present", i, len(segs))
+	}
+	return filepath.Join(dir, segs[i])
+}
+
+// TestTornTail: cutting bytes off the newest segment drops the torn
+// record, keeps everything before it, and the log accepts new appends
+// that a further reopen replays cleanly.
+func TestTornTail(t *testing.T) {
+	for _, cut := range []int{1, 5, 9, 20} { // mid-payload, mid-header depths
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := openLog(t, dir, Options{})
+			for i := 0; i < 5; i++ {
+				appendCommit(t, l, Insert(testTraj(i, 2)))
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			path := segPath(t, dir, -1)
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()-int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, got := openLog(t, dir, Options{})
+			if len(got) != 4 {
+				t.Fatalf("replayed %d records, want 4", len(got))
+			}
+			st := l2.Stats()
+			if st.DroppedTailRecords != 1 || st.DroppedTailBytes == 0 {
+				t.Fatalf("dropped %d records / %d bytes, want 1 / >0", st.DroppedTailRecords, st.DroppedTailBytes)
+			}
+			// The log must keep working on the truncated boundary.
+			appendCommit(t, l2, Insert(testTraj(100, 2)))
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l3, got := openLog(t, dir, Options{})
+			defer l3.Close()
+			if len(got) != 5 || got[4].ID != 100 {
+				t.Fatalf("after re-append: %d records, last ID %d", len(got), got[len(got)-1].ID)
+			}
+		})
+	}
+}
+
+// TestInteriorCorruption: flipping a byte in a record that has valid
+// data after it must fail replay with ErrCorrupt, not silently drop.
+func TestInteriorCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		appendCommit(t, l, Insert(testTraj(i, 2)))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := segPath(t, dir, -1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the first record (offset 8 is its op byte).
+	data[10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = l2.Replay(func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay of interior corruption: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestNonFinalSegmentCorruption: even damage at the very end of an
+// older segment is interior corruption — only the newest segment may
+// have a torn tail.
+func TestNonFinalSegmentCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{SegmentBytes: 256})
+	for i := 0; i < 40; i++ {
+		appendCommit(t, l, Insert(testTraj(i, 3)))
+	}
+	if l.Stats().Segments < 2 {
+		t.Fatal("need at least 2 segments")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := segPath(t, dir, 0)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = l2.Replay(func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay of non-final truncation: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestChecksumCatchesLengthGames: rewriting a frame's length field so
+// the frame still ends exactly at EOF must not smuggle garbage through
+// as a "torn tail" replayed record — the record before stays intact and
+// nothing bogus is returned.
+func TestChecksumCatchesLengthGames(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	appendCommit(t, l, Insert(testTraj(1, 2)))
+	appendCommit(t, l, Insert(testTraj(2, 2)))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := segPath(t, dir, -1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the first frame's claimed length to swallow the rest of the
+	// file. Its checksum no longer matches and the "payload" reaches
+	// EOF, so recovery treats it as a torn tail: record 1 is dropped
+	// along with record 2's bytes — but nothing corrupt is replayed.
+	binary.LittleEndian.PutUint32(data, uint32(len(data)-frameHeaderLen))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openLog(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != 0 {
+		t.Fatalf("replayed %d records from a mangled frame, want 0", len(got))
+	}
+}
+
+// TestBarrierAndTruncate: Barrier seals the current segment; after a
+// TruncateBefore only post-barrier records survive a reopen.
+func TestBarrierAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		appendCommit(t, l, Insert(testTraj(i, 2)))
+	}
+	barrier, err := l.Barrier()
+	if err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	appendCommit(t, l, Insert(testTraj(10, 2)))
+	appendCommit(t, l, Delete(10))
+	if err := l.TruncateBefore(barrier); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("Segments = %d after truncate, want 1", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openLog(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != 2 || got[0].ID != 10 || got[1].Op != OpDelete {
+		t.Fatalf("post-truncate replay: %+v", got)
+	}
+}
+
+// TestBarrierOnEmptySegment: a barrier when the active segment is empty
+// must not rotate into a pointless new file.
+func TestBarrierOnEmptySegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	defer l.Close()
+	b1, err := l.Barrier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := l.Barrier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Fatalf("two barriers on an empty log rotated: %d then %d", b1, b2)
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("Segments = %d, want 1", st.Segments)
+	}
+}
+
+// TestGroupCommit: concurrent appenders under SyncAlways all get their
+// records durable while sharing fsyncs; the fsync count stays below one
+// per append (group commit actually groups) — and every record is
+// replayed after reopen.
+func TestGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	const (
+		workers = 8
+		perW    = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				lsn, err := l.Append(Delete(w*1000 + i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := l.Commit(lsn); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != workers*perW {
+		t.Fatalf("Appends = %d, want %d", st.Appends, workers*perW)
+	}
+	if st.Syncs == 0 || st.Syncs > st.Appends {
+		t.Fatalf("Syncs = %d with %d appends", st.Syncs, st.Appends)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openLog(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != workers*perW {
+		t.Fatalf("replayed %d records, want %d", len(got), workers*perW)
+	}
+}
+
+// TestSyncIntervalFlushes: under SyncInterval the background syncer
+// advances the durable LSN without any Commit fsync.
+func TestSyncIntervalFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{Policy: SyncInterval, Interval: 5 * time.Millisecond})
+	lsn, err := l.Append(Delete(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil { // no-op under SyncInterval
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l.syncMu.Lock()
+		synced := l.syncedLSN
+		l.syncMu.Unlock()
+		if synced >= lsn {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval syncer never advanced the durable LSN")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendBeforeReplay: the API refuses appends until recovery ran.
+func TestAppendBeforeReplay(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Delete(1)); err == nil {
+		t.Fatal("append before replay succeeded")
+	}
+}
+
+// TestParseSyncPolicy covers the flag round trip.
+func TestParseSyncPolicy(t *testing.T) {
+	for _, want := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		got, err := ParseSyncPolicy(want.String())
+		if err != nil || got != want {
+			t.Fatalf("round trip %v: got %v, %v", want, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("fsync-maybe"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+// BenchmarkWALAppend measures the append+commit path per sync policy.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		b.Run(policy.String(), func(b *testing.B) {
+			dir := b.TempDir()
+			l, err := Open(Options{Dir: dir, Policy: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := l.Replay(func(Record) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			rec := Insert(testTraj(1, 16))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lsn, err := l.Append(rec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := l.Commit(lsn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

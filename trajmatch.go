@@ -39,6 +39,7 @@ import (
 	"trajmatch/internal/synth"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/trajtree"
+	"trajmatch/internal/wal"
 )
 
 // Trajectory is a temporally ordered sequence of spatio-temporal points.
@@ -237,9 +238,37 @@ var ErrInvalidQuery = server.ErrInvalidQuery
 // EngineOptions configure an Engine; the zero value enables a 1024-entry
 // cache, GOMAXPROCS batch workers and a single shard. Set Shards for
 // per-shard update locking and parallel builds, SnapshotDir to arm
-// POST /snapshot, and Prefilter (optionally tuning Sketch) to build the
-// sketch/LSH candidate prefilter that Query.Prefilter opts into.
+// POST /snapshot, Prefilter (optionally tuning Sketch) to build the
+// sketch/LSH candidate prefilter that Query.Prefilter opts into, and
+// WALDir (with WALSync choosing the durability point) to log every
+// accepted mutation before acknowledgement and replay the log on boot.
 type EngineOptions = server.Options
+
+// WALSyncPolicy selects when write-ahead-log appends reach stable
+// storage (EngineOptions.WALSync): see the constants below.
+type WALSyncPolicy = wal.SyncPolicy
+
+// The write-ahead-log sync policies.
+const (
+	// WALSyncAlways fsyncs before every acknowledgement — an
+	// acknowledged mutation survives power loss. The default.
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncInterval fsyncs in the background every
+	// EngineOptions.WALSyncInterval, bounding the power-loss window to
+	// that interval. A plain process crash still loses nothing.
+	WALSyncInterval = wal.SyncInterval
+	// WALSyncNever leaves flushing to the OS page cache.
+	WALSyncNever = wal.SyncNever
+)
+
+// ParseWALSyncPolicy parses the -wal-sync flag strings "always",
+// "interval" and "never".
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// WALStats carries the write-ahead log's counters and on-disk shape
+// (EngineStats.WAL, the "wal" section of GET /v1/stats); nil when the
+// engine runs without a WAL.
+type WALStats = wal.Stats
 
 // SketchParams parameterise the candidate prefilter
 // (EngineOptions.Sketch): grid cell size, shingle length, MinHash
