@@ -22,6 +22,7 @@ import (
 	"trajmatch"
 	"trajmatch/internal/core"
 	"trajmatch/internal/eval"
+	"trajmatch/internal/raceflag"
 )
 
 // benchScale sizes all figure benchmarks.
@@ -502,6 +503,7 @@ func BenchmarkShardedKNN(b *testing.B) {
 			before := engine.Stats()
 			req := trajmatch.Query{Kind: trajmatch.QueryKNN, K: 10}
 			ctx := context.Background()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := engine.Search(ctx, queries[i%len(queries)], req); err != nil {
@@ -638,6 +640,44 @@ func BenchmarkPrefilterKNN(b *testing.B) {
 // subtrees by lower bound, the flat indexes prune candidates by theirs
 // and abandon the rest mid-DP. The result cache is disabled so every
 // query pays full price.
+// TestBackendKNNAllocBudget is the allocation fence for the engine k-NN
+// path BenchmarkBackendKNN times: the steady state sits around 140
+// allocs per query (request/response plumbing, result slices, stats),
+// and the kernels themselves run on pooled scratch over arena-backed
+// members — zero per-candidate allocations. The cap is ~2x steady state:
+// loose enough for scheduler noise, tight enough that any regression to
+// per-candidate copies (one alloc per examined member, ~79 exact calls
+// plus ~150 screened members per query here) trips it.
+func TestBackendKNNAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are not meaningful under -race: sync.Pool deliberately drops Puts")
+	}
+	db := benchTaxi()
+	queries := benchQueries(16)
+	engine, err := trajmatch.NewEngine(db,
+		trajmatch.IndexOptions{NumVPs: 20, PivotCandidates: 32, Seed: 1},
+		trajmatch.EngineOptions{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := trajmatch.Query{Kind: trajmatch.QueryKNN, K: 10, WithStats: true}
+	ctx := context.Background()
+	it := 0
+	run := func() {
+		if _, err := engine.Search(ctx, queries[it%len(queries)], req); err != nil {
+			t.Fatal(err)
+		}
+		it++
+	}
+	for i := 0; i < 4; i++ {
+		run() // warm pools and XY caches
+	}
+	const budget = 300
+	if n := testing.AllocsPerRun(50, run); n > budget {
+		t.Errorf("engine KNN allocates %v per query, budget %d", n, budget)
+	}
+}
+
 func BenchmarkBackendKNN(b *testing.B) {
 	db := benchTaxi()
 	queries := benchQueries(16)
@@ -652,6 +692,7 @@ func BenchmarkBackendKNN(b *testing.B) {
 		b.Run(metric, func(b *testing.B) {
 			req := trajmatch.Query{Kind: trajmatch.QueryKNN, K: 10, Metric: metric, WithStats: true}
 			distcalls, abandons := 0, 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ans, err := engine.Search(context.Background(), queries[i%len(queries)], req)

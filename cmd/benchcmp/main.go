@@ -1,0 +1,121 @@
+// benchcmp compares a `go test -bench` output against the machine-tagged
+// baseline recorded in a BENCH_*.json file, printing a benchstat-style
+// old/new table. Its job in CI is to make baseline mixing loud: BENCH_5
+// was recorded on a 2.10GHz machine and BENCH_6/7 on 2.70GHz, and the
+// resulting apples-to-oranges deltas went unnoticed for two PRs. The
+// tool refuses to stay quiet when the cpu line of the fresh run differs
+// from the machine recorded next to the baseline numbers; with -strict
+// the mismatch (or a regression beyond -tolerance) becomes a failure.
+//
+// Usage:
+//
+//	go test -bench ... | tee bench.out
+//	go run ./cmd/benchcmp -baseline BENCH_8.json bench.out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile is the subset of a BENCH_*.json this tool understands:
+// a "baseline" object tagging ns/op numbers with the machine that
+// produced them.
+type baselineFile struct {
+	Baseline struct {
+		Machine string             `json:"machine"`
+		NsPerOp map[string]float64 `json:"ns_per_op"`
+	} `json:"baseline"`
+}
+
+// benchLine matches standard testing output:
+//
+//	BenchmarkBackendKNN/edwp-4   200   816229 ns/op   ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "BENCH_*.json file holding the baseline block")
+	strict := flag.Bool("strict", false, "exit nonzero on machine mismatch or regression beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional slowdown before -strict fails (0.25 = +25%)")
+	flag.Parse()
+	if *baselinePath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -baseline BENCH_N.json bench.out...")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %v", *baselinePath, err))
+	}
+	if len(base.Baseline.NsPerOp) == 0 {
+		fatal(fmt.Errorf("%s: no baseline.ns_per_op block", *baselinePath))
+	}
+
+	got := map[string]float64{}
+	var cpu string
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+				cpu = strings.TrimSpace(rest)
+			}
+			if m := benchLine.FindStringSubmatch(line); m != nil {
+				v, _ := strconv.ParseFloat(m[2], 64)
+				got[m[1]] = v
+			}
+		}
+		f.Close()
+	}
+
+	sameMachine := cpu != "" && strings.Contains(base.Baseline.Machine, cpu)
+	if !sameMachine {
+		fmt.Printf("WARNING: baseline machine %q != this run's cpu %q — absolute deltas are not comparable\n",
+			base.Baseline.Machine, cpu)
+	}
+
+	names := make([]string, 0, len(base.Baseline.NsPerOp))
+	for name := range base.Baseline.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressed := false
+	fmt.Printf("%-55s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		old := base.Baseline.NsPerOp[name]
+		cur, ok := got[name]
+		if !ok {
+			fmt.Printf("%-55s %14.0f %14s %8s\n", name, old, "-", "missing")
+			continue
+		}
+		delta := (cur - old) / old
+		fmt.Printf("%-55s %14.0f %14.0f %+7.1f%%\n", name, old, cur, delta*100)
+		if delta > *tolerance {
+			regressed = true
+		}
+	}
+	if *strict && (!sameMachine || regressed) {
+		fmt.Println("benchcmp: strict mode failure (machine mismatch or regression over tolerance)")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

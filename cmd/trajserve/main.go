@@ -106,6 +106,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "batch worker-pool / shard fan-out size (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 1, "number of hash-partitioned index shards")
 		snapshot = flag.String("snapshot", "", "snapshot directory: load on boot if present, POST /snapshot writes here")
+		mmapBoot = flag.Bool("mmap", false, "serve snapshot shards from mmap'd arena files: an O(1) warm boot that aliases the page cache instead of deserialising (falls back per shard to the gob stream when a file is missing or damaged)")
 		walDir   = flag.String("wal", "", "write-ahead-log directory: mutations are logged before acknowledgement and replayed on boot")
 		walSync  = flag.String("wal-sync", "always", "WAL durability point: always (fsync per acknowledgement), interval (background fsync), never (OS page cache)")
 		walInt   = flag.Duration("wal-sync-interval", 0, "background fsync period under -wal-sync interval (0 = default 100ms)")
@@ -137,6 +138,7 @@ func main() {
 		Workers:         *workers,
 		Shards:          *shards,
 		SnapshotDir:     *snapshot,
+		Mmap:            *mmapBoot,
 		WALDir:          *walDir,
 		WALSync:         syncPolicy,
 		WALSyncInterval: *walInt,

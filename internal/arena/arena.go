@@ -1,0 +1,186 @@
+// Package arena implements the shard-level memory layout of the index:
+// every member trajectory's samples live in shared structure-of-arrays
+// slabs (parallel X/Y coordinate arrays plus an array-of-structs point
+// slab that preserves timestamps), addressed through a per-trajectory
+// (offset, length) table. The hot DP kernels stream over the contiguous
+// coordinate slabs instead of chasing per-trajectory allocations, the
+// per-member summaries (total spatial length, bounding box, and a
+// coarsened box sequence) back the batched leaf-level lower-bound pass,
+// and the whole layout serialises to a flat, checksummed, mmap-able
+// snapshot section (see file.go) so a warm boot can serve straight from
+// the page cache without deserialising.
+//
+// An Arena is immutable once built: inserts after a build live on the
+// ordinary heap as an overlay (they simply have no arena entry) until
+// the next Rebuild folds them into fresh slabs.
+package arena
+
+import (
+	"trajmatch/internal/geom"
+	"trajmatch/internal/tbox"
+	"trajmatch/internal/traj"
+)
+
+// MemberBoxes is the box budget of the per-member summaries: the same
+// coarsening budget the candidate verification path used to spend per
+// query, paid once at build time instead.
+const MemberBoxes = 16
+
+// Arena is one shard's slab storage plus the per-member summary tables.
+type Arena struct {
+	// Point storage: member i's samples are pts[offs[i]:offs[i+1]], with
+	// the spatial projection split into xs/ys over the same index range.
+	pts  []traj.Point
+	xs   []float64
+	ys   []float64
+	offs []int64
+
+	// Per-member identity and summaries.
+	ids    []int64
+	labels []int64
+	lens   []float64 // total spatial length (traj.Length)
+	bbox   []float64 // 4 per member: MinX, MinY, MaxX, MaxY
+
+	// Coarsened per-member box sequences (tbox.FromTrajectory with the
+	// MemberBoxes budget), flattened: member i's rects are
+	// boxes[4*boxOffs[i] : 4*boxOffs[i+1]] as MinX, MinY, MaxX, MaxY
+	// quadruples.
+	boxes   []float64
+	boxOffs []int64
+
+	byID map[int]int32
+
+	// mapped is non-nil when the slabs alias an mmap'd snapshot file
+	// (the mapping itself, kept alive for the arena's lifetime).
+	mapped []byte
+}
+
+// Build constructs an arena over members: samples are copied into fresh
+// contiguous slabs, each trajectory's Points is re-pointed at its slab
+// window (bit-identical values, shared backing), and its SoA view and
+// cached length are primed so the kernels never materialise per-call
+// copies. Build is called under the same serialisation as any index
+// (re)build; the trajectories must already be validated.
+func Build(members []*traj.Trajectory) *Arena {
+	a := &Arena{
+		offs:    make([]int64, 1, len(members)+1),
+		boxOffs: make([]int64, 1, len(members)+1),
+		ids:     make([]int64, 0, len(members)),
+		labels:  make([]int64, 0, len(members)),
+		lens:    make([]float64, 0, len(members)),
+		bbox:    make([]float64, 0, 4*len(members)),
+		byID:    make(map[int]int32, len(members)),
+	}
+	total := 0
+	for _, m := range members {
+		total += len(m.Points)
+	}
+	a.pts = make([]traj.Point, 0, total)
+	a.xs = make([]float64, 0, total)
+	a.ys = make([]float64, 0, total)
+	for i, m := range members {
+		start := len(a.pts)
+		a.pts = append(a.pts, m.Points...)
+		for _, p := range m.Points {
+			a.xs = append(a.xs, p.X)
+			a.ys = append(a.ys, p.Y)
+		}
+		end := len(a.pts)
+		a.offs = append(a.offs, int64(end))
+		a.ids = append(a.ids, int64(m.ID))
+		a.labels = append(a.labels, int64(m.Label))
+		a.lens = append(a.lens, m.Length())
+		seq := tbox.FromTrajectory(m, MemberBoxes)
+		bb := geom.Empty()
+		for j := 0; j < seq.Len(); j++ {
+			r := seq.Rect(j)
+			a.boxes = append(a.boxes, r.Min.X, r.Min.Y, r.Max.X, r.Max.Y)
+			bb = bb.Union(r)
+		}
+		a.boxOffs = append(a.boxOffs, int64(len(a.boxes)/4))
+		a.bbox = append(a.bbox, bb.Min.X, bb.Min.Y, bb.Max.X, bb.Max.Y)
+		a.byID[m.ID] = int32(i)
+
+		// Re-point the trajectory at its slab window and prime the SoA
+		// view; the capped slice keeps appends elsewhere from spilling
+		// into the next member's window.
+		m.Points = a.pts[start:end:end]
+		m.Prime(traj.View{X: a.xs[start:end:end], Y: a.ys[start:end:end]}, a.lens[i])
+	}
+	return a
+}
+
+// Len returns the number of member trajectories in the arena.
+func (a *Arena) Len() int { return len(a.ids) }
+
+// Lookup returns the arena index of the member with the given ID.
+func (a *Arena) Lookup(id int) (int, bool) {
+	i, ok := a.byID[id]
+	return int(i), ok
+}
+
+// Length returns member i's total spatial length (identical to the
+// trajectory's cached Length).
+func (a *Arena) Length(i int) float64 { return a.lens[i] }
+
+// BBox returns member i's spatial bounding box as a 4-float window
+// (MinX, MinY, MaxX, MaxY) into the shared slab.
+func (a *Arena) BBox(i int) []float64 { return a.bbox[4*i : 4*i+4] }
+
+// Boxes returns member i's coarsened box-sequence rects as a flat
+// window of MinX, MinY, MaxX, MaxY quadruples.
+func (a *Arena) Boxes(i int) []float64 {
+	return a.boxes[4*a.boxOffs[i] : 4*a.boxOffs[i+1]]
+}
+
+// BoxSeq returns member i's box sequence as a core.Boxes view, for the
+// exact Theorem-2 bound DP. The view is a value type aliasing the slab;
+// no per-call allocation.
+func (a *Arena) BoxSeq(i int) BoxView {
+	return BoxView{rects: a.Boxes(i)}
+}
+
+// BoxView adapts a flat rect window to the core.Boxes interface.
+type BoxView struct{ rects []float64 }
+
+// Len returns the number of rects in the view.
+func (v BoxView) Len() int { return len(v.rects) / 4 }
+
+// Rect returns the i-th rect.
+func (v BoxView) Rect(i int) geom.Rect {
+	r := v.rects[4*i : 4*i+4]
+	return geom.Rect{
+		Min: geom.Point{X: r[0], Y: r[1]},
+		Max: geom.Point{X: r[2], Y: r[3]},
+	}
+}
+
+// MemStats describes an arena's residency for observability endpoints.
+type MemStats struct {
+	// Members and Points count the slab-resident trajectories and their
+	// samples; trajectories inserted after the build (the overlay) are
+	// not included.
+	Members int `json:"members"`
+	Points  int `json:"points"`
+	// Bytes is the total slab footprint (point, coordinate, and summary
+	// slabs). For an mmap-backed arena this is file-backed page-cache
+	// residency, not heap.
+	Bytes int `json:"bytes"`
+	// Mapped reports whether the slabs alias an mmap'd snapshot file
+	// rather than heap allocations.
+	Mapped bool `json:"mapped"`
+}
+
+// Stats returns the arena's residency counters.
+func (a *Arena) Stats() MemStats {
+	if a == nil {
+		return MemStats{}
+	}
+	return MemStats{
+		Members: len(a.ids),
+		Points:  len(a.pts),
+		Bytes: 24*len(a.pts) + 8*(len(a.xs)+len(a.ys)+len(a.lens)+len(a.bbox)+len(a.boxes)) +
+			8*(len(a.offs)+len(a.ids)+len(a.labels)+len(a.boxOffs)),
+		Mapped: a.mapped != nil,
+	}
+}

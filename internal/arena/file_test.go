@@ -1,0 +1,228 @@
+package arena
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trajmatch/internal/traj"
+)
+
+func testMembers(n int) []*traj.Trajectory {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]*traj.Trajectory, n)
+	for i := range out {
+		pts := make([]traj.Point, 2+rng.Intn(6))
+		x, y := rng.Float64()*100, rng.Float64()*100
+		for j := range pts {
+			x += rng.NormFloat64()
+			y += rng.NormFloat64()
+			pts[j] = traj.P(x, y, float64(j))
+		}
+		out[i] = traj.New(i+1, pts)
+		out[i].Label = i % 3
+	}
+	return out
+}
+
+func testTreeSection() *TreeSection {
+	return &TreeSection{
+		NBoxes:   []float64{0, 0, 1, 1, 0.5},
+		NMeta:    []int64{0, 1, 3, 0, 0, 0, 2, 0, 1, 0, 2, 0},
+		Members:  []int64{0, -1},
+		VPs:      []float64{0.5, 0.5},
+		DVals:    []float64{1.5, 2.5},
+		OPts:     []float64{1, 2, 0, 3, 4, 1},
+		OOffs:    []int64{0, 2},
+		OIDs:     []int64{99},
+		OLabels:  []int64{7},
+		Children: nil,
+	}
+}
+
+func encodeTestFile(t *testing.T) (string, *Arena, *TreeSection) {
+	t.Helper()
+	a := Build(testMembers(20))
+	ts := testTreeSection()
+	var buf bytes.Buffer
+	if err := Encode(&buf, a, ts, []byte(`{"k":1}`)); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "x.arena")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, a, ts
+}
+
+// TestFileRoundTrip pins that Open returns bit-identical slabs and tree
+// payload, whether mapped or heap-decoded.
+func TestFileRoundTrip(t *testing.T) {
+	path, a, ts := encodeTestFile(t)
+	snap, err := Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	b := snap.Arena
+	if b.Len() != a.Len() {
+		t.Fatalf("len %d != %d", b.Len(), a.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.ids[i] != b.ids[i] || a.labels[i] != b.labels[i] || a.lens[i] != b.lens[i] {
+			t.Fatalf("member %d identity mismatch", i)
+		}
+		if a.offs[i+1] != b.offs[i+1] {
+			t.Fatalf("member %d offsets mismatch", i)
+		}
+	}
+	for i, p := range a.pts {
+		if p != b.pts[i] || a.xs[i] != b.xs[i] || a.ys[i] != b.ys[i] {
+			t.Fatalf("point %d mismatch", i)
+		}
+	}
+	for i, v := range a.boxes {
+		if b.boxes[i] != v {
+			t.Fatalf("box value %d mismatch", i)
+		}
+	}
+	if string(snap.Extra) != `{"k":1}` {
+		t.Fatalf("extra %q", snap.Extra)
+	}
+	got := snap.Tree
+	for name, pair := range map[string][2][]int64{
+		"nmeta":    {ts.NMeta, got.NMeta},
+		"members":  {ts.Members, got.Members},
+		"ooffs":    {ts.OOffs, got.OOffs},
+		"oids":     {ts.OIDs, got.OIDs},
+		"olabels":  {ts.OLabels, got.OLabels},
+		"children": {ts.Children, got.Children},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s length mismatch", name)
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s[%d] mismatch", name, i)
+			}
+		}
+	}
+	for name, pair := range map[string][2][]float64{
+		"nboxes": {ts.NBoxes, got.NBoxes},
+		"vps":    {ts.VPs, got.VPs},
+		"dvals":  {ts.DVals, got.DVals},
+		"opts":   {ts.OPts, got.OPts},
+	} {
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s[%d] mismatch", name, i)
+			}
+		}
+	}
+}
+
+// TestFileMembersMaterialise pins that Members reconstructs trajectories
+// bit-identical to the originals, with primed views and lengths.
+func TestFileMembersMaterialise(t *testing.T) {
+	orig := testMembers(20)
+	path, _, _ := encodeTestFile(t)
+	snap, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := snap.Arena.Members()
+	if len(ms) != len(orig) {
+		t.Fatalf("got %d members, want %d", len(ms), len(orig))
+	}
+	for i, m := range ms {
+		o := orig[i]
+		if m.ID != o.ID || m.Label != o.Label || len(m.Points) != len(o.Points) {
+			t.Fatalf("member %d header mismatch", i)
+		}
+		for j, p := range m.Points {
+			if p != o.Points[j] {
+				t.Fatalf("member %d point %d mismatch", i, j)
+			}
+		}
+		if m.Length() != o.Length() {
+			t.Fatalf("member %d length %v != %v", i, m.Length(), o.Length())
+		}
+		v := m.View()
+		for j := range v.X {
+			if v.X[j] != o.Points[j].X || v.Y[j] != o.Points[j].Y {
+				t.Fatalf("member %d view mismatch at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestFileCorruptionMatrix flips bits and truncates at positions across
+// the whole file and asserts every damaged variant fails with a clean
+// ErrCorrupt — never a panic (the deferred recover would catch one) and
+// never a silently successful load of wrong data. Both the mmap path
+// (Open) and the heap path (Decode) are exercised.
+func TestFileCorruptionMatrix(t *testing.T) {
+	path, _, _ := encodeTestFile(t)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	check := func(name string, data []byte) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: panic: %v", name, r)
+			}
+		}()
+		p := filepath.Join(dir, "c.arena")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(p); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Open err = %v, want ErrCorrupt", name, err)
+		}
+		if _, err := Decode(append([]byte(nil), data...)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Decode err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// Truncations: empty, header-only, mid-meta, mid-section, missing
+	// trailer byte.
+	for _, n := range []int{0, 8, 15, 40, len(good) / 3, len(good) / 2, len(good) - 1} {
+		check("truncate", good[:n])
+	}
+	// Bit flips spread across the file: header, meta, every section
+	// region, trailer.
+	step := len(good)/97 + 1
+	for off := 0; off < len(good); off += step {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x10
+		check("bitflip", bad)
+	}
+	// A zero-filled file of plausible size.
+	check("zeros", make([]byte, len(good)))
+}
+
+// TestFileEncodeNilArena pins that a nil arena (a shard grown purely by
+// Insert) still round-trips: everything rides in the overlay sections.
+func TestFileEncodeNilArena(t *testing.T) {
+	ts := &TreeSection{
+		OPts:    []float64{1, 2, 0, 3, 4, 1},
+		OOffs:   []int64{0, 2},
+		OIDs:    []int64{5},
+		OLabels: []int64{0},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, nil, ts, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Arena.Len() != 0 || len(snap.Tree.OIDs) != 1 {
+		t.Fatalf("nil-arena round trip: %d members, %d overlay", snap.Arena.Len(), len(snap.Tree.OIDs))
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package arena
+
+// Non-unix platforms read snapshots onto the heap; the format and every
+// verification step are identical, only Mapped stays false.
+func mapFile(string) ([]byte, bool) { return nil, false }
+
+func unmapFile([]byte) {}

@@ -1,0 +1,41 @@
+//go:build unix
+
+package arena
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only, returning (nil, false) on any
+// failure so the caller falls back to a heap read. An empty file maps
+// to an empty slice without touching mmap (zero-length mappings are an
+// EINVAL on Linux).
+func mapFile(path string) ([]byte, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || fi.Size() < 0 || fi.Size() > int64(int(^uint(0)>>1)) {
+		return nil, false
+	}
+	if fi.Size() == 0 {
+		return []byte{}, true
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// unmapFile releases a mapping that failed verification before any
+// slice aliased it; verified mappings are kept for the process
+// lifetime (see Open).
+func unmapFile(b []byte) {
+	if len(b) > 0 {
+		_ = syscall.Munmap(b)
+	}
+}

@@ -5,8 +5,20 @@ import (
 	"math/rand"
 	"testing"
 
+	"trajmatch/internal/raceflag"
 	"trajmatch/internal/traj"
 )
+
+// skipIfRace skips alloc-count assertions under the race detector, where
+// sync.Pool drops a quarter of Puts by design and every pooled code path
+// therefore allocates on a random fraction of calls. CI runs these tests
+// in a separate non-race step so the fences still gate merges.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("alloc counts are not meaningful under -race: sync.Pool deliberately drops Puts")
+	}
+}
 
 // The bounded kernel's contract, verified property-style on random
 // workloads:
@@ -114,6 +126,7 @@ func TestDistanceBoundedAbandonsFarPairs(t *testing.T) {
 // the trajectories and all DP scratch is pooled. This is the regression
 // fence for the zero-alloc guarantee (the ISSUE-2 tentpole).
 func TestDistanceZeroAllocs(t *testing.T) {
+	skipIfRace(t)
 	rng := rand.New(rand.NewSource(43))
 	a := randomSmoothTraj(rng, 40)
 	b := randomSmoothTraj(rng, 35)
@@ -135,6 +148,7 @@ func TestDistanceZeroAllocs(t *testing.T) {
 }
 
 func TestLowerBoundZeroAllocs(t *testing.T) {
+	skipIfRace(t)
 	rng := rand.New(rand.NewSource(44))
 	member := randomSmoothTraj(rng, 30)
 	q := randomSmoothTraj(rng, 20)

@@ -35,6 +35,27 @@ type Boxes interface {
 // Summing over the pieces of segment i and taking the best single box of
 // the (monotone) run it spans yields exactly one path of this DP.
 func LowerBound(q *traj.Trajectory, b Boxes) float64 {
+	return LowerBoundBounded(q, b, math.Inf(1))
+}
+
+// LowerBoundBounded is LowerBound with early abandoning against limit:
+// the result is exact whenever it does not exceed limit, and otherwise
+// some value strictly above limit (possibly +Inf). Callers that only
+// compare the bound against a pruning threshold — the k-NN search and the
+// batched leaf pass — therefore make identical decisions while the DP
+// skips states that can no longer finish within the limit and abandons
+// outright once a whole row exceeds it.
+//
+// Admissibility of the two cuts: transition costs are non-negative, so
+// state costs are monotone non-decreasing along DP paths. A state whose
+// prefix-min already exceeds limit cannot start a completion within limit
+// (cell skip), and since every alignment passes through each row, a row
+// whose minimum exceeds limit proves the final value does too (row
+// abandon). The optimal path of any result <= limit only visits states
+// <= limit, so no such state is ever skipped and the result is exact.
+// With limit = +Inf neither cut fires and the DP is bit-identical to the
+// pre-arena LowerBound.
+func LowerBoundBounded(q *traj.Trajectory, b Boxes, limit float64) float64 {
 	n := q.NumSegments()
 	nb := b.Len()
 	if n == 0 || nb == 0 {
@@ -46,12 +67,28 @@ func LowerBound(q *traj.Trajectory, b Boxes) float64 {
 	// evaluations allocate nothing.
 	scratch := scratchPool.Get().(*dpScratch)
 	dp, nxt := scratch.lbRows(nb)
+	rects := scratch.lbRects(nb)
+	// Pin the slice lengths to the loop bound so the row and rect accesses
+	// below compile without bounds checks.
+	dp, nxt, rects = dp[:nb], nxt[:nb], rects[:nb]
 	for j := range dp {
 		dp[j] = 0 // free skip of any box prefix
+		rects[j] = b.Rect(j)
 	}
+	hasLimit := !math.IsInf(limit, 1)
 	for i := 0; i < n; i++ {
 		e := q.Segment(i).Spatial()
 		l := e.Length()
+		// Bounding box of the segment, for the cheap prescreen below.
+		ex0, ex1 := e.A.X, e.B.X
+		if ex1 < ex0 {
+			ex0, ex1 = ex1, ex0
+		}
+		ey0, ey1 := e.A.Y, e.B.Y
+		if ey1 < ey0 {
+			ey0, ey1 = ey1, ey0
+		}
+		rowMin := inf
 		for j := range nxt {
 			nxt[j] = inf
 		}
@@ -61,13 +98,49 @@ func LowerBound(q *traj.Trajectory, b Boxes) float64 {
 			if dp[j] < bestSoFar {
 				bestSoFar = dp[j]
 			}
-			if math.IsInf(bestSoFar, 1) {
+			if math.IsInf(bestSoFar, 1) || bestSoFar > limit {
 				continue
 			}
-			c := bestSoFar + 2*b.Rect(j).DistToSegment(e)*l
+			r := rects[j]
+			if hasLimit && l > 0 {
+				// Prescreen: the rect-to-rect distance between box j and
+				// the segment's bounding box underestimates the exact
+				// rect-to-segment distance, so a cell provably above the
+				// limit skips the piecewise-quadratic DistToSegment
+				// entirely. The 1e-9 deflation keeps the estimate below
+				// any float rounding of the exact call, so no cell the
+				// reference DP would have kept is ever skipped.
+				dx, dy := 0.0, 0.0
+				if d := r.Min.X - ex1; d > 0 {
+					dx = d
+				} else if d := ex0 - r.Max.X; d > 0 {
+					dx = d
+				}
+				if d := r.Min.Y - ey1; d > 0 {
+					dy = d
+				} else if d := ey0 - r.Max.Y; d > 0 {
+					dy = d
+				}
+				if dx > 0 || dy > 0 {
+					est := bestSoFar + 2*math.Sqrt(dx*dx+dy*dy)*l*(1-1e-9)
+					if est > limit {
+						continue
+					}
+				}
+			}
+			c := bestSoFar + 2*r.DistToSegment(e)*l
 			if c < nxt[j] {
 				nxt[j] = c
 			}
+			if c < rowMin {
+				rowMin = c
+			}
+		}
+		if rowMin > limit {
+			// Row abandon: every assignment consumes segment i somewhere
+			// in this row, and no state here is within limit.
+			scratchPool.Put(scratch)
+			return inf
 		}
 		dp, nxt = nxt, dp
 	}
@@ -78,6 +151,182 @@ func LowerBound(q *traj.Trajectory, b Boxes) float64 {
 		}
 	}
 	scratchPool.Put(scratch)
+	return best
+}
+
+// SegScreen is the pooled per-query state of ScreenLowerBound: each
+// query segment's spatial bounding box and length, laid out as parallel
+// arrays so the screen's inner loop is pure float arithmetic over
+// contiguous memory. Reset once per query, then shared across every
+// member screened.
+type SegScreen struct {
+	x0, y0, x1, y1, l []float64
+
+	// dp, nxt back ScreenLowerBoundMonotone's rolling rows; they live
+	// here so the monotone tier shares the screen's pooling.
+	dp, nxt []float64
+}
+
+// Rows returns the monotone tier's rolling rows, nb entries each.
+func (s *SegScreen) Rows(nb int) (dp, nxt []float64) {
+	if cap(s.dp) < nb {
+		s.dp = make([]float64, nb)
+		s.nxt = make([]float64, nb)
+	}
+	return s.dp[:nb], s.nxt[:nb]
+}
+
+// Reset fills the screen's arrays from q's segments.
+func (s *SegScreen) Reset(q *traj.Trajectory) {
+	n := q.NumSegments()
+	if cap(s.l) < n {
+		s.x0 = make([]float64, n)
+		s.y0 = make([]float64, n)
+		s.x1 = make([]float64, n)
+		s.y1 = make([]float64, n)
+		s.l = make([]float64, n)
+	}
+	s.x0, s.y0, s.x1, s.y1, s.l = s.x0[:n], s.y0[:n], s.x1[:n], s.y1[:n], s.l[:n]
+	v := q.View()
+	for i := 0; i < n; i++ {
+		ax, bx := v.X[i], v.X[i+1]
+		if bx < ax {
+			ax, bx = bx, ax
+		}
+		ay, by := v.Y[i], v.Y[i+1]
+		if by < ay {
+			ay, by = by, ay
+		}
+		s.x0[i], s.x1[i] = ax, bx
+		s.y0[i], s.y1[i] = ay, by
+		dx := v.X[i+1] - v.X[i]
+		dy := v.Y[i+1] - v.Y[i]
+		s.l[i] = math.Sqrt(dx*dx + dy*dy)
+	}
+}
+
+// ScreenLowerBound returns a cheap admissible lower bound on the raw
+// (cumulative) EDwP(q, T) for any trajectory T whose geometry lies
+// inside the given rects — a flat slab of MinX, MinY, MaxX, MaxY
+// quadruples, typically a member's arena-resident box sequence or its
+// single bounding box. It relaxes Theorem 2 twice: each query segment
+// picks its best rect independently (the monotone-assignment constraint
+// is dropped, which can only lower the value), and the rect-to-segment
+// distance is relaxed to the rect-to-segment-bounding-box distance
+// (again a lower bound). Both relaxations keep it below LowerBound,
+// hence below EDwP, so comparing it against an inflated raw limit is a
+// sound skip test. The running sum only grows, so the scan early-exits
+// as soon as it passes limit; the returned value is then merely "some
+// value above limit".
+func ScreenLowerBound(s *SegScreen, rects []float64, limit float64) float64 {
+	sum := 0.0
+	for i, l := range s.l {
+		if l == 0 {
+			continue
+		}
+		x0, y0, x1, y1 := s.x0[i], s.y0[i], s.x1[i], s.y1[i]
+		best := math.Inf(1)
+		for r := 0; r+3 < len(rects); r += 4 {
+			dx := 0.0
+			if d := rects[r] - x1; d > 0 {
+				dx = d
+			} else if d := x0 - rects[r+2]; d > 0 {
+				dx = d
+			}
+			dy := 0.0
+			if d := rects[r+1] - y1; d > 0 {
+				dy = d
+			} else if d := y0 - rects[r+3]; d > 0 {
+				dy = d
+			}
+			if d2 := dx*dx + dy*dy; d2 < best {
+				best = d2
+				if best == 0 {
+					break
+				}
+			}
+		}
+		if best > 0 {
+			sum += 2 * math.Sqrt(best) * l
+			if sum > limit {
+				return sum
+			}
+		}
+	}
+	return sum
+}
+
+// ScreenLowerBoundMonotone tightens ScreenLowerBound by restoring the
+// monotone-assignment constraint of Theorem 2: segments must consume
+// rects in order (with free skips), exactly like LowerBoundBounded's DP,
+// but the per-cell cost stays the rect-to-segment-bounding-box gap — no
+// piecewise-quadratic DistToSegment, so a cell costs a few comparisons
+// and multiplies. The result sits between ScreenLowerBound and
+// LowerBound: still admissible against the raw cumulative EDwP, tighter
+// on members whose box chain runs a different route than the query.
+// Like LowerBoundBounded it is exact-or-above-limit: whenever the
+// returned value does not exceed limit it equals the true relaxed bound,
+// otherwise it is some value above limit (possibly +Inf).
+//
+// dp and nxt are caller-provided scratch of at least len(rects)/4
+// entries (the screen's pooled rows); they are overwritten.
+func ScreenLowerBoundMonotone(s *SegScreen, rects []float64, limit float64, dp, nxt []float64) float64 {
+	nb := len(rects) / 4
+	n := len(s.l)
+	if n == 0 || nb == 0 {
+		return 0
+	}
+	inf := math.Inf(1)
+	dp, nxt = dp[:nb], nxt[:nb]
+	for j := range dp {
+		dp[j] = 0 // free skip of any rect prefix
+	}
+	for i := 0; i < n; i++ {
+		l := s.l[i]
+		x0, y0, x1, y1 := s.x0[i], s.y0[i], s.x1[i], s.y1[i]
+		rowMin := inf
+		bestSoFar := inf
+		for j := 0; j < nb; j++ {
+			if dp[j] < bestSoFar {
+				bestSoFar = dp[j]
+			}
+			c := inf
+			if bestSoFar <= limit {
+				r := j * 4
+				dx := 0.0
+				if d := rects[r] - x1; d > 0 {
+					dx = d
+				} else if d := x0 - rects[r+2]; d > 0 {
+					dx = d
+				}
+				dy := 0.0
+				if d := rects[r+1] - y1; d > 0 {
+					dy = d
+				} else if d := y0 - rects[r+3]; d > 0 {
+					dy = d
+				}
+				if d2 := dx*dx + dy*dy; d2 > 0 {
+					c = bestSoFar + 2*math.Sqrt(d2)*l
+				} else {
+					c = bestSoFar
+				}
+				if c < rowMin {
+					rowMin = c
+				}
+			}
+			nxt[j] = c
+		}
+		if rowMin > limit {
+			return inf // row abandon: no assignment is within limit
+		}
+		dp, nxt = nxt, dp
+	}
+	best := inf
+	for j := 0; j < nb; j++ {
+		if dp[j] < best {
+			best = dp[j] // free skip of any rect suffix
+		}
+	}
 	return best
 }
 

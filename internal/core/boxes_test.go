@@ -174,3 +174,68 @@ func TestLowerBoundIsFiniteAndFast(t *testing.T) {
 		t.Errorf("invalid bound %v", lb)
 	}
 }
+
+// flatRects builds an ordered covering rect chain for m — consecutive
+// segment groups, each collapsed to its bounding box — flattened to the
+// MinX, MinY, MaxX, MaxY quadruples the screen tier consumes (the same
+// layout the arena stores).
+func flatRects(m *traj.Trajectory, group int) []float64 {
+	var out []float64
+	n := m.NumSegments()
+	for i := 0; i < n; i += group {
+		e := m.Segment(i)
+		r := geom.RectOf(e.S1.XY(), e.S2.XY())
+		for j := i + 1; j < n && j < i+group; j++ {
+			e := m.Segment(j)
+			r = r.ExtendPoint(e.S1.XY()).ExtendPoint(e.S2.XY())
+		}
+		out = append(out, r.Min.X, r.Min.Y, r.Max.X, r.Max.Y)
+	}
+	return out
+}
+
+// TestScreenLowerBoundMonotone pins the monotone screen tier's contract:
+// it sits between the unordered screen and the true cumulative EDwP
+// (admissibility), returns 0 for a member screened against its own
+// chain, and honours exact-or-above-limit semantics for every limit.
+func TestScreenLowerBoundMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	scr := new(SegScreen)
+	inf := math.Inf(1)
+	for it := 0; it < 80; it++ {
+		m := randomSmoothTraj(rng, 3+rng.Intn(10))
+		q := randomSmoothTraj(rng, 3+rng.Intn(10))
+		rects := flatRects(m, 1+rng.Intn(3))
+
+		// A member against its own chain: every segment's box gap is 0.
+		own := flatRects(m, 1)
+		scr.Reset(m)
+		dp, nxt := scr.Rows(len(own) / 4)
+		if got := ScreenLowerBoundMonotone(scr, own, inf, dp, nxt); got != 0 {
+			t.Fatalf("it %d: member vs own rects = %v, want 0", it, got)
+		}
+
+		scr.Reset(q)
+		dp, nxt = scr.Rows(len(rects) / 4)
+		mono := ScreenLowerBoundMonotone(scr, rects, inf, dp, nxt)
+		free := ScreenLowerBound(scr, rects, inf)
+		d := Distance(q, m)
+		if mono > d+1e-6*(1+d) {
+			t.Fatalf("it %d: monotone screen %v exceeds EDwP %v", it, mono, d)
+		}
+		if free > mono+1e-6*(1+mono) {
+			t.Fatalf("it %d: unordered screen %v exceeds monotone %v", it, free, mono)
+		}
+		// Exact-or-above-limit, sampled across the value's range.
+		for _, frac := range []float64{0, 0.3, 0.9, 1.1} {
+			limit := mono * frac
+			got := ScreenLowerBoundMonotone(scr, rects, limit, dp, nxt)
+			if got <= limit && math.Abs(got-mono) > 1e-9*(1+mono) {
+				t.Fatalf("it %d: limit %v: got %v claims exact, want %v", it, limit, got, mono)
+			}
+			if mono > limit && got <= limit {
+				t.Fatalf("it %d: limit %v: got %v under limit but true value %v above", it, limit, got, mono)
+			}
+		}
+	}
+}

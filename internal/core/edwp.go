@@ -202,9 +202,22 @@ func repCost(h1, a1, h2, a2 geom.Point) float64 {
 }
 
 // run executes the forward DP with rolling rows. The inner loop is the
-// hottest code in the repository: per cell it computes the four projection
+// hottest code in the repository: per cell it computes the projection
 // points shared by every layer's transitions once, then relaxes the three
 // (or four, in sub/prefix modes) outgoing edges of each layer.
+//
+// The loop body is restructured for the arena's SoA layout — coordinates
+// stream from the trajectories' View slices — and every repeated
+// computation is shared rather than recomputed: segment lengths are hoisted
+// to per-row/per-column caches (cov1 of every sample-anchored layer is the
+// same |p_i p_{i+1}|; cov2 likewise), the INS1 projection of cell (i, j) is
+// the layer-I1 head of cell (i, j+1) (within-row reuse), and the INS2
+// projection of cell (i, j) is the layer-I2 head of cell (i+1, j)
+// (cross-row reuse via stamped scratch columns). Sharing is
+// value-preserving by construction — identical operands through identical
+// operations — so results are bit-identical to the pre-arena kernel, which
+// edwp_ref_test.go keeps verbatim as the oracle. Additions are never
+// reassociated.
 //
 // limit makes the kernel bound-aware. Every transition cost is
 // non-negative, so state costs are monotone non-decreasing along DP paths:
@@ -241,11 +254,36 @@ func run(t1, t2 *traj.Trajectory, mode alignMode, limit float64, cancel *Cancel)
 		return math.Inf(1), false
 	}
 
-	px := t1.XYs()
-	qx := t2.XYs()
+	v1 := t1.View()
+	v2 := t2.View()
+	p1x, p1y := v1.X, v1.Y
+	p2x, p2y := v2.X, v2.Y
+	// Pin the slice lengths to the loop bounds so the coordinate loads in
+	// the cell loop compile without bounds checks.
+	p1x, p1y = p1x[:n], p1y[:n]
+	p2x, p2y = p2x[:m], p2y[:m]
 
 	scratch := scratchPool.Get().(*dpScratch)
-	cur, next := scratch.dpRows(m)
+	// Rows are padded by one state group beyond column m-1: together with
+	// the sentinel loads at the top of the cell loop this lets the compiler
+	// prove every cur/next access in range and drop its bounds check. The
+	// padding cells are initialised to +Inf and never written or read.
+	cur, next := scratch.dpRows(m + 1)
+	seg2, projX, projY, stamp := scratch.auxRows(m)
+	seg2 = seg2[:m]
+	projX, projY, stamp = projX[:m], projY[:m], stamp[:m]
+	// seg2[j] = |q_j q_{j+1}|: the cov2 of every sample-anchored layer at
+	// column j, identical across rows, computed once per call. The operand
+	// order differs from Dist's but the squared differences do not, so the
+	// value is bit-identical.
+	for j := 0; j < m-1; j++ {
+		dx := p2x[j+1] - p2x[j]
+		dy := p2y[j+1] - p2y[j]
+		seg2[j] = math.Sqrt(dx*dx + dy*dy)
+	}
+	for j := range stamp {
+		stamp[j] = -1 // no cached projection belongs to this call yet
+	}
 
 	inf := math.Inf(1)
 	for k := range cur {
@@ -269,49 +307,81 @@ func run(t1, t2 *traj.Trajectory, mode alignMode, limit float64, cancel *Cancel)
 			return inf, true
 		}
 		nextMin := inf
-		last1 := i == n-1
+		i1 := i + 1
+		last1 := i1 == n
+		pi := geom.Point{X: p1x[i], Y: p1y[i]}
 		var e1 geom.Segment
 		var pNext geom.Point
-		if !last1 {
-			e1 = geom.Segment{A: px[i], B: px[i+1]}
-			pNext = px[i+1]
+		var len1 float64 // |p_i p_{i+1}|: cov1 of the sample-anchored layers
+		if i1 < n {
+			pNext = geom.Point{X: p1x[i1], Y: p1y[i1]}
+			e1 = geom.Segment{A: pi, B: pNext}
+			len1 = pi.Dist(pNext)
 		}
+		// prevProj1 holds the INS1 projection of the previous column:
+		// e1.Closest(q_{j'+1}) computed at column j' is exactly this
+		// column's layer-I1 head when j = j'+1.
+		var prevProj1 geom.Point
+		prevProj1Col := -2
 		for j := 0; j < m; j++ {
 			base := j * nL
-			c0, c1, c2, c3 := cur[base+lS], cur[base+lI1], cur[base+lI2], cur[base+lStop]
+			// Two-group windows over the rolling rows: the padding group
+			// keeps base+8 in range at j = m-1, and the constant indices
+			// below (max nL+lI1 = 5) compile without bounds checks.
+			cRow := cur[base : base+8]
+			nRow := next[base : base+8]
+			c0, c1, c2, c3 := cRow[lS], cRow[lI1], cRow[lI2], cRow[lStop]
 			if c0 == inf && c1 == inf && c2 == inf && c3 == inf {
 				continue
 			}
-			last2 := j == m-1
+			j1 := j + 1
+			last2 := j1 == m
+			qj := geom.Point{X: p2x[j], Y: p2y[j]}
 			var e2 geom.Segment
 			var qNext geom.Point
-			if !last2 {
-				e2 = geom.Segment{A: qx[j], B: qx[j+1]}
-				qNext = qx[j+1]
+			var len2 float64
+			if j1 < m {
+				qNext = geom.Point{X: p2x[j1], Y: p2y[j1]}
+				e2 = geom.Segment{A: qj, B: qNext}
+				len2 = seg2[j]
 			}
-			// Shared per-cell geometry.
-			h1I1 := px[i]
-			if !last1 {
-				h1I1 = e1.Closest(qx[j]) // head of layer I1
+			// Layer heads, computed only for live layers and reused from
+			// the neighbouring cell that already projected the same point
+			// onto the same segment whenever possible.
+			h1I1 := pi
+			if !last1 && c1 < inf {
+				if prevProj1Col == j-1 {
+					h1I1 = prevProj1
+				} else {
+					h1I1 = e1.Closest(qj)
+				}
 			}
-			h2I2 := qx[j]
-			if !last2 {
-				h2I2 = e2.Closest(px[i]) // head of layer I2
+			h2I2 := qj
+			if !last2 && c2 < inf {
+				if stamp[j] == int32(i) {
+					h2I2 = geom.Point{X: projX[j], Y: projY[j]}
+				} else {
+					h2I2 = e2.Closest(pi)
+				}
 			}
-			proj1 := px[i] // INS1 split point on q's segment
+			proj1 := pi // INS1 split point on q's segment
 			if !last2 {
 				if !last1 {
 					proj1 = e1.Closest(qNext)
+					prevProj1 = proj1
+					prevProj1Col = j
 				} else {
-					proj1 = px[n-1]
+					proj1 = geom.Point{X: p1x[n-1], Y: p1y[n-1]}
 				}
 			}
-			proj2 := qx[j] // INS2 split point on t's segment
+			proj2 := qj // INS2 split point on t's segment
 			if !last1 {
 				if !last2 {
 					proj2 = e2.Closest(pNext)
+					projX[j], projY[j] = proj2.X, proj2.Y
+					stamp[j] = int32(i + 1) // = h2I2 of cell (i+1, j)
 				} else {
-					proj2 = qx[m-1]
+					proj2 = geom.Point{X: p2x[m-1], Y: p2y[m-1]}
 				}
 			}
 
@@ -326,102 +396,189 @@ func run(t1, t2 *traj.Trajectory, mode alignMode, limit float64, cancel *Cancel)
 			if !last1 {
 				dIns2 = pNext.Dist(proj2)
 			}
+			// Distances shared across layers: sample-to-sample head gap
+			// (dh of layer S, and half of every stop cost), the stop
+			// target pNext→q_j, and the INS split-point coverages.
+			var dSS float64
+			if c0 < inf || c3 < inf {
+				dSS = pi.Dist(qj)
+			}
+			var dPNq float64
+			if !last1 && (c3 < inf || mode != modeGlobal) {
+				dPNq = pNext.Dist(qj)
+			}
+			var dPp1 float64 // |p_i proj1|: INS1 coverage of layers S and I2
+			if !last2 && (c0 < inf || c2 < inf) {
+				dPp1 = pi.Dist(proj1)
+			}
+			var dQp2 float64 // |q_j proj2|: INS2 coverage of layers S and I1
+			if !last1 && (c0 < inf || c1 < inf) {
+				dQp2 = qj.Dist(proj2)
+			}
 
-			for layer := 0; layer < nL; layer++ {
-				c := cur[base+layer]
-				if c == inf {
-					continue
-				}
-				h1, h2 := px[i], qx[j]
-				switch layer {
-				case lI1:
-					h1 = h1I1
-				case lI2:
-					h2 = h2I2
-				}
-				if last1 {
-					// q consumed. Global mode also requires t consumed.
-					if mode != modeGlobal || last2 {
-						if c < best {
-							best = c
-						}
+			if last1 {
+				// q consumed. Global mode also requires t consumed.
+				if mode != modeGlobal || last2 {
+					if c0 < best {
+						best = c0
+					}
+					if c1 < best {
+						best = c1
+					}
+					if c2 < best {
+						best = c2
+					}
+					if c3 < best {
+						best = c3
 					}
 				}
-				if layer == lStop {
-					// t has ended at sample j: q's remaining segments
-					// replace against the zero-length tail.
-					if !last1 {
-						cost := c + (h1.Dist(h2)+pNext.Dist(h2))*h1.Dist(pNext)
-						if cost <= limit {
-							if idx := base + lStop; cost < next[idx] {
-								next[idx] = cost
-							}
-							if cost < nextMin {
-								nextMin = cost
-							}
-						}
-					}
-					continue
-				}
-				// Per-layer distance terms, shared across the transitions.
-				dh := h1.Dist(h2)
-				var cov1 float64 // remaining piece of q's segment
-				if !last1 {
-					cov1 = h1.Dist(pNext)
-				}
-				var cov2 float64 // remaining piece of t's segment
-				if !last2 {
-					cov2 = h2.Dist(qNext)
-				}
-				// REP: consume the rest of both current segments.
+			}
+
+			// Layer S: both heads at samples (h1 = p_i, h2 = q_j).
+			if c0 < inf {
 				if !last1 && !last2 {
-					cost := c + (dh+dRep)*(cov1+cov2)
+					cost := c0 + (dSS+dRep)*(len1+len2)
 					if cost <= limit {
-						if idx := base + nL + lS; cost < next[idx] {
-							next[idx] = cost
+						if cost < nRow[nL+lS] {
+							nRow[nL+lS] = cost
 						}
 						if cost < nextMin {
 							nextMin = cost
 						}
 					}
 				}
-				// INS1: consume t's segment against part of q's segment
-				// (or against q's zero-length tail). Writes stay in the
-				// current row; survivors feed next through their own
-				// outgoing edges at column j+1.
 				if !last2 {
-					cost := c + (dh+dIns1)*(h1.Dist(proj1)+cov2)
+					cost := c0 + (dSS+dIns1)*(dPp1+len2)
 					if cost <= limit {
-						if idx := base + nL + lI1; cost < cur[idx] {
-							cur[idx] = cost
+						if cost < cRow[nL+lI1] {
+							cRow[nL+lI1] = cost
 						}
 					}
 				}
-				// INS2: consume q's segment against part of t's segment
-				// (or against t's zero-length tail when t is exhausted).
 				if !last1 {
-					cost := c + (dh+dIns2)*(cov1+h2.Dist(proj2))
+					cost := c0 + (dSS+dIns2)*(len1+dQp2)
 					if cost <= limit {
-						if idx := base + lI2; cost < next[idx] {
-							next[idx] = cost
+						if cost < nRow[lI2] {
+							nRow[lI2] = cost
 						}
 						if cost < nextMin {
 							nextMin = cost
 						}
 					}
 				}
-				// Stop t at sample j (sub/prefix only, from sample-aligned
-				// layers): q's next segment replaces against the tail.
-				if mode != modeGlobal && (layer == lS || layer == lI1) && !last1 && !last2 {
-					qj := qx[j]
-					cost := c + (h1.Dist(qj)+pNext.Dist(qj))*cov1
+				if mode != modeGlobal && !last1 && !last2 {
+					cost := c0 + (dSS+dPNq)*len1
 					if cost <= limit {
-						if idx := base + lStop; cost < next[idx] {
-							next[idx] = cost
+						if cost < nRow[lStop] {
+							nRow[lStop] = cost
 						}
 						if cost < nextMin {
 							nextMin = cost
 						}
+					}
+				}
+			}
+
+			// Layer I1: T1's head is the projected point h1I1.
+			if c1 < inf {
+				dh := h1I1.Dist(qj)
+				var cov1 float64
+				if !last1 {
+					cov1 = h1I1.Dist(pNext)
+				}
+				if !last1 && !last2 {
+					cost := c1 + (dh+dRep)*(cov1+len2)
+					if cost <= limit {
+						if cost < nRow[nL+lS] {
+							nRow[nL+lS] = cost
+						}
+						if cost < nextMin {
+							nextMin = cost
+						}
+					}
+				}
+				if !last2 {
+					cost := c1 + (dh+dIns1)*(h1I1.Dist(proj1)+len2)
+					if cost <= limit {
+						if cost < cRow[nL+lI1] {
+							cRow[nL+lI1] = cost
+						}
+					}
+				}
+				if !last1 {
+					cost := c1 + (dh+dIns2)*(cov1+dQp2)
+					if cost <= limit {
+						if cost < nRow[lI2] {
+							nRow[lI2] = cost
+						}
+						if cost < nextMin {
+							nextMin = cost
+						}
+					}
+				}
+				if mode != modeGlobal && !last1 && !last2 {
+					cost := c1 + (dh+dPNq)*cov1
+					if cost <= limit {
+						if cost < nRow[lStop] {
+							nRow[lStop] = cost
+						}
+						if cost < nextMin {
+							nextMin = cost
+						}
+					}
+				}
+			}
+
+			// Layer I2: T2's head is the projected point h2I2. No stop
+			// transition — stops only enter from sample-aligned layers.
+			if c2 < inf {
+				dh := pi.Dist(h2I2)
+				var cov2 float64
+				if !last2 {
+					cov2 = h2I2.Dist(qNext)
+				}
+				if !last1 && !last2 {
+					cost := c2 + (dh+dRep)*(len1+cov2)
+					if cost <= limit {
+						if cost < nRow[nL+lS] {
+							nRow[nL+lS] = cost
+						}
+						if cost < nextMin {
+							nextMin = cost
+						}
+					}
+				}
+				if !last2 {
+					cost := c2 + (dh+dIns1)*(dPp1+cov2)
+					if cost <= limit {
+						if cost < cRow[nL+lI1] {
+							cRow[nL+lI1] = cost
+						}
+					}
+				}
+				if !last1 {
+					cost := c2 + (dh+dIns2)*(len1+h2I2.Dist(proj2))
+					if cost <= limit {
+						if cost < nRow[lI2] {
+							nRow[lI2] = cost
+						}
+						if cost < nextMin {
+							nextMin = cost
+						}
+					}
+				}
+			}
+
+			// Layer Stop: t has ended at sample j (h1 = p_i, h2 = q_j);
+			// q's remaining segments replace against the zero-length tail.
+			if c3 < inf && !last1 {
+				cost := c3 + (dSS+dPNq)*len1
+				if cost <= limit {
+					if cost < nRow[lStop] {
+						nRow[lStop] = cost
+					}
+					if cost < nextMin {
+						nextMin = cost
 					}
 				}
 			}

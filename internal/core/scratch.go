@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"trajmatch/internal/geom"
+)
 
 // dpScratch holds the reusable buffers of the hot kernels: the two rolling
 // DP rows of run (cur/next, m·nL states each) and the two rolling rows of
@@ -13,6 +17,22 @@ import "sync"
 type dpScratch struct {
 	rows []float64 // backing for run's cur and next (2·m·nL)
 	lb   []float64 // backing for LowerBound's dp and nxt (2·nb)
+
+	// Auxiliary per-column state of run: seg caches t2's segment lengths
+	// (hoisted out of the cell loop — every sample-anchored layer reuses
+	// them), projX/projY hold the INS2 projection computed at row i for
+	// column j, which is exactly the layer-I2 head of cell (i+1, j), and
+	// stamp records which row each cached projection belongs to.
+	seg   []float64
+	projX []float64
+	projY []float64
+	stamp []int32
+
+	// rects is LowerBound's devirtualised copy of the box sequence: the
+	// Boxes interface is consulted once per box per call instead of once
+	// per DP cell, and the bound's inner loop streams over a contiguous
+	// rect array.
+	rects []geom.Rect
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(dpScratch) }}
@@ -27,6 +47,17 @@ func (s *dpScratch) dpRows(m int) (cur, next []float64) {
 	return r[: m*nL : m*nL], r[m*nL:]
 }
 
+// auxRows returns the per-column auxiliary buffers of run, m entries each.
+func (s *dpScratch) auxRows(m int) (seg, projX, projY []float64, stamp []int32) {
+	if cap(s.seg) < m {
+		s.seg = make([]float64, m)
+		s.projX = make([]float64, m)
+		s.projY = make([]float64, m)
+		s.stamp = make([]int32, m)
+	}
+	return s.seg[:m], s.projX[:m], s.projY[:m], s.stamp[:m]
+}
+
 // lbRows returns dp and nxt row slices with nb states each.
 func (s *dpScratch) lbRows(nb int) (dp, nxt []float64) {
 	need := 2 * nb
@@ -35,4 +66,12 @@ func (s *dpScratch) lbRows(nb int) (dp, nxt []float64) {
 	}
 	r := s.lb[:need]
 	return r[:nb:nb], r[nb:]
+}
+
+// lbRects returns the devirtualised rect buffer, nb entries.
+func (s *dpScratch) lbRects(nb int) []geom.Rect {
+	if cap(s.rects) < nb {
+		s.rects = make([]geom.Rect, nb)
+	}
+	return s.rects[:nb]
 }

@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// distToSegmentRef is the pre-arena DistToSegment, kept verbatim as the
+// bit-identity oracle for the closure-free rewrite.
+func distToSegmentRef(r Rect, s Segment) float64 {
+	if r.Contains(s.A) || r.Contains(s.B) {
+		return 0
+	}
+	if r.IsEmpty() {
+		return math.Inf(1)
+	}
+	var ts [10]float64
+	n := 0
+	ts[n] = 0
+	n++
+	ts[n] = 1
+	n++
+	addCrossing := func(a, b, bound float64) {
+		if d := b - a; d != 0 {
+			if t := (bound - a) / d; t > 0 && t < 1 {
+				ts[n] = t
+				n++
+			}
+		}
+	}
+	addCrossing(s.A.X, s.B.X, r.Min.X)
+	addCrossing(s.A.X, s.B.X, r.Max.X)
+	addCrossing(s.A.Y, s.B.Y, r.Min.Y)
+	addCrossing(s.A.Y, s.B.Y, r.Max.Y)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+	dx := s.B.X - s.A.X
+	dy := s.B.Y - s.A.Y
+	gap := func(a, d, lo, hi, tm float64) (float64, float64) {
+		c := a + d*tm
+		switch {
+		case c < lo:
+			return -d, lo - a
+		case c > hi:
+			return d, a - hi
+		default:
+			return 0, 0
+		}
+	}
+	best := math.Inf(1)
+	eval := func(t, ax, bx, ay, by float64) {
+		gx := ax*t + bx
+		gy := ay*t + by
+		if gx < 0 {
+			gx = 0
+		}
+		if gy < 0 {
+			gy = 0
+		}
+		if d2 := gx*gx + gy*gy; d2 < best {
+			best = d2
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		t1, t2 := ts[i], ts[i+1]
+		tm := (t1 + t2) / 2
+		ax, bx := gap(s.A.X, dx, r.Min.X, r.Max.X, tm)
+		ay, by := gap(s.A.Y, dy, r.Min.Y, r.Max.Y, tm)
+		eval(t1, ax, bx, ay, by)
+		eval(t2, ax, bx, ay, by)
+		if den := ax*ax + ay*ay; den > 0 {
+			if tv := -(ax*bx + ay*by) / den; tv > t1 && tv < t2 {
+				eval(tv, ax, bx, ay, by)
+			}
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// TestDistToSegmentMatchesReference drives the rewritten DistToSegment
+// against the verbatim original over random rect/segment pairs, including
+// degenerate segments, axis-aligned segments and rects sharing coordinates
+// with segment endpoints, requiring bit-identical results.
+func TestDistToSegmentMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	coord := func() float64 {
+		switch rng.Intn(5) {
+		case 0:
+			return float64(rng.Intn(11)) - 5 // grid values: exact collisions
+		default:
+			return rng.NormFloat64() * 10
+		}
+	}
+	for iter := 0; iter < 200000; iter++ {
+		a := Point{X: coord(), Y: coord()}
+		b := Point{X: coord(), Y: coord()}
+		switch rng.Intn(8) {
+		case 0:
+			b = a // degenerate segment
+		case 1:
+			b.X = a.X // vertical
+		case 2:
+			b.Y = a.Y // horizontal
+		}
+		r := Empty().ExtendPoint(Point{X: coord(), Y: coord()}).ExtendPoint(Point{X: coord(), Y: coord()})
+		s := Seg(a, b)
+		got := r.DistToSegment(s)
+		want := distToSegmentRef(r, s)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("iter %d: r=%+v s=%+v got %v (%x) want %v (%x)",
+				iter, r, s, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	// Empty rect.
+	if got, want := Empty().DistToSegment(Seg(Point{}, Point{X: 1})), distToSegmentRef(Empty(), Seg(Point{}, Point{X: 1})); got != want {
+		t.Fatalf("empty rect: got %v want %v", got, want)
+	}
+}

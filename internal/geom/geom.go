@@ -202,6 +202,14 @@ func (r Rect) DistToPoint(p Point) float64 {
 // axis-aligned rectangle is convex and piecewise quadratic along the
 // segment, with breakpoints only where a coordinate crosses a rectangle
 // edge. The minimum over each piece is closed-form.
+// between reports whether v lies strictly between a and b. It is the
+// division-free necessary condition for an edge crossing in DistToSegment:
+// when false, the crossing parameter cannot land in (0, 1), so the
+// division there would never add a breakpoint.
+func between(v, a, b float64) bool {
+	return (a < v && v < b) || (b < v && v < a)
+}
+
 func (r Rect) DistToSegment(s Segment) float64 {
 	if r.Contains(s.A) || r.Contains(s.B) {
 		return 0
@@ -209,50 +217,76 @@ func (r Rect) DistToSegment(s Segment) float64 {
 	if r.IsEmpty() {
 		return math.Inf(1)
 	}
-	// Breakpoints where x(t) or y(t) crosses an edge coordinate.
-	var ts [10]float64
-	n := 0
-	ts[n] = 0
-	n++
-	ts[n] = 1
-	n++
-	addCrossing := func(a, b, bound float64) {
-		if d := b - a; d != 0 {
-			if t := (bound - a) / d; t > 0 && t < 1 {
-				ts[n] = t
-				n++
-			}
+	// Breakpoints where x(t) or y(t) crosses an edge coordinate. The body
+	// is closure-free — the hot bound DP calls this ~thousands of times per
+	// query, and captured locals forced the breakpoint array onto a zeroed
+	// stack frame (duffzero) with every call. Only the ≤4 interior edge
+	// crossings are buffered; the fixed 0/1 endpoints are supplied by the
+	// piece loop itself, keeping the buffer small enough for inline stack
+	// zeroing. The between test in front of each crossing skips the
+	// division whenever the edge coordinate falls outside the segment's
+	// coordinate span; it never changes the breakpoint set (see the
+	// equivalence test against distToSegmentRef).
+	var cr [4]float64
+	m := 0
+	if between(r.Min.X, s.A.X, s.B.X) {
+		if t := (r.Min.X - s.A.X) / (s.B.X - s.A.X); t > 0 && t < 1 {
+			cr[m] = t
+			m++
 		}
 	}
-	addCrossing(s.A.X, s.B.X, r.Min.X)
-	addCrossing(s.A.X, s.B.X, r.Max.X)
-	addCrossing(s.A.Y, s.B.Y, r.Min.Y)
-	addCrossing(s.A.Y, s.B.Y, r.Max.Y)
-	// Insertion sort of the ≤6 breakpoints.
-	for i := 1; i < n; i++ {
-		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
+	if between(r.Max.X, s.A.X, s.B.X) {
+		if t := (r.Max.X - s.A.X) / (s.B.X - s.A.X); t > 0 && t < 1 {
+			cr[m] = t
+			m++
+		}
+	}
+	if between(r.Min.Y, s.A.Y, s.B.Y) {
+		if t := (r.Min.Y - s.A.Y) / (s.B.Y - s.A.Y); t > 0 && t < 1 {
+			cr[m] = t
+			m++
+		}
+	}
+	if between(r.Max.Y, s.A.Y, s.B.Y) {
+		if t := (r.Max.Y - s.A.Y) / (s.B.Y - s.A.Y); t > 0 && t < 1 {
+			cr[m] = t
+			m++
+		}
+	}
+	// Insertion sort of the ≤4 crossings; all lie strictly inside (0, 1),
+	// so the piece boundaries below — 0, sorted crossings, 1 — are exactly
+	// the sorted breakpoint list of the reference formulation.
+	for i := 1; i < m; i++ {
+		for j := i; j > 0 && cr[j] < cr[j-1]; j-- {
+			cr[j], cr[j-1] = cr[j-1], cr[j]
 		}
 	}
 	dx := s.B.X - s.A.X
 	dy := s.B.Y - s.A.Y
-	// gap returns the affine coefficients (α, β) of the axis gap α·t+β on
-	// the regime holding at parameter tm, such that gap ≥ 0 there.
-	gap := func(a, d, lo, hi, tm float64) (float64, float64) {
-		c := a + d*tm
-		switch {
-		case c < lo:
-			return -d, lo - a
-		case c > hi:
-			return d, a - hi
-		default:
-			return 0, 0
-		}
-	}
 	best := math.Inf(1)
-	eval := func(t, ax, bx, ay, by float64) {
-		gx := ax*t + bx
-		gy := ay*t + by
+	t1 := 0.0
+	for i := 0; i <= m; i++ {
+		t2 := 1.0
+		if i < m {
+			t2 = cr[i]
+		}
+		tm := (t1 + t2) / 2
+		// Affine coefficients (α, β) of each axis gap α·t+β on the regime
+		// holding at parameter tm, such that gap ≥ 0 there.
+		var ax, bx float64
+		if c := s.A.X + dx*tm; c < r.Min.X {
+			ax, bx = -dx, r.Min.X-s.A.X
+		} else if c > r.Max.X {
+			ax, bx = dx, s.A.X-r.Max.X
+		}
+		var ay, by float64
+		if c := s.A.Y + dy*tm; c < r.Min.Y {
+			ay, by = -dy, r.Min.Y-s.A.Y
+		} else if c > r.Max.Y {
+			ay, by = dy, s.A.Y-r.Max.Y
+		}
+		gx := ax*t1 + bx
+		gy := ay*t1 + by
 		if gx < 0 {
 			gx = 0
 		}
@@ -262,20 +296,34 @@ func (r Rect) DistToSegment(s Segment) float64 {
 		if d2 := gx*gx + gy*gy; d2 < best {
 			best = d2
 		}
-	}
-	for i := 0; i+1 < n; i++ {
-		t1, t2 := ts[i], ts[i+1]
-		tm := (t1 + t2) / 2
-		ax, bx := gap(s.A.X, dx, r.Min.X, r.Max.X, tm)
-		ay, by := gap(s.A.Y, dy, r.Min.Y, r.Max.Y, tm)
-		eval(t1, ax, bx, ay, by)
-		eval(t2, ax, bx, ay, by)
+		gx = ax*t2 + bx
+		gy = ay*t2 + by
+		if gx < 0 {
+			gx = 0
+		}
+		if gy < 0 {
+			gy = 0
+		}
+		if d2 := gx*gx + gy*gy; d2 < best {
+			best = d2
+		}
 		// Interior vertex of the quadratic (ax·t+bx)² + (ay·t+by)².
 		if den := ax*ax + ay*ay; den > 0 {
 			if tv := -(ax*bx + ay*by) / den; tv > t1 && tv < t2 {
-				eval(tv, ax, bx, ay, by)
+				gx = ax*tv + bx
+				gy = ay*tv + by
+				if gx < 0 {
+					gx = 0
+				}
+				if gy < 0 {
+					gy = 0
+				}
+				if d2 := gx*gx + gy*gy; d2 < best {
+					best = d2
+				}
 			}
 		}
+		t1 = t2
 	}
 	return math.Sqrt(best)
 }

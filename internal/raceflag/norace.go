@@ -1,0 +1,6 @@
+//go:build !race
+
+package raceflag
+
+// Enabled is true when the build includes the race detector.
+const Enabled = false

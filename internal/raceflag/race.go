@@ -1,0 +1,12 @@
+//go:build race
+
+// Package raceflag reports whether the binary was built with the race
+// detector. Allocation-count tests consult it: under -race, sync.Pool
+// deliberately drops a quarter of Puts to shake out use-after-Put bugs,
+// so every pooled-scratch code path allocates on a random fraction of
+// calls and exact alloc-count assertions are meaningless. Those tests
+// skip themselves when Enabled and run in a dedicated non-race CI step.
+package raceflag
+
+// Enabled is true when the build includes the race detector.
+const Enabled = true

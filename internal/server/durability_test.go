@@ -284,11 +284,15 @@ func TestCrashRecoverySweep(t *testing.T) {
 						t.Fatalf("failpoint %d: wreckage: %v", failAt, err)
 					}
 
-					// Reboot from the wreckage with the real filesystem.
-					// Recovery must always succeed: every crash the injector
-					// can produce leaves a readable snapshot + WAL.
+					// Reboot from the wreckage with the real filesystem,
+					// through the mmap boot path: shards whose arena file
+					// survived intact map it, the rest fall back to the gob
+					// stream, and recovery must always succeed either way —
+					// every crash the injector can produce leaves a readable
+					// snapshot + WAL. (The workload boot above stays on the
+					// gob path, so both loaders see every failpoint.)
 					rec, err := LoadSnapshotSpecs(iterSnap, nil, Options{
-						CacheSize: -1, Workers: 1, WALDir: iterWAL, Prefilter: true,
+						CacheSize: -1, Workers: 1, WALDir: iterWAL, Prefilter: true, Mmap: true,
 					})
 					if err != nil {
 						t.Fatalf("failpoint %d (%d acked): recovery failed: %v", failAt, acked, err)
@@ -505,6 +509,10 @@ func TestSnapshotShrinkRemovesStaleShards(t *testing.T) {
 		shardFileName(1): true,
 		shardFileName(2): true,
 		shardFileName(3): true,
+		arenaFileName(0): true,
+		arenaFileName(1): true,
+		arenaFileName(2): true,
+		arenaFileName(3): true,
 	}
 	for _, ent := range entries {
 		if !want[ent.Name()] {

@@ -80,6 +80,13 @@ type Options struct {
 	// SnapshotDir, when non-empty, is where POST /snapshot writes the
 	// sharded snapshot and where SaveSnapshot/LoadSnapshot default to.
 	SnapshotDir string
+	// Mmap makes LoadSnapshot serve each shard straight from its
+	// mmap-able arena file (shard-NNNN.arena) when one is present and
+	// matches the manifest: the point slabs alias the page cache instead
+	// of being deserialised, so a warm boot is O(members), not
+	// O(samples). Any verification failure falls back per shard to the
+	// gob stream — the loaded state is identical either way.
+	Mmap bool
 	// Prefilter builds the sketch/LSH candidate prefilter at boot: one
 	// sketch index per shard, shared across every loaded metric.
 	// Queries still opt in per request (Query.Prefilter) — an engine
@@ -830,6 +837,12 @@ type ShardStats struct {
 	Shard  int `json:"shard"`
 	Size   int `json:"size"`
 	Height int `json:"height"`
+	// Mem is the shard's memory layout: arena slab residency (bytes,
+	// member and sample counts, mmap versus heap), the overlay count
+	// (members inserted since the last rebuild, not yet slab-resident),
+	// and how many rebuilds have folded an overlay in. Tree-backed
+	// shards only.
+	Mem *trajtree.MemStats `json:"mem,omitempty"`
 }
 
 // MetricStats is one loaded metric's slice of the engine counters on
@@ -923,7 +936,7 @@ func (e *Engine) Stats() Stats {
 	st.PerShard = make([]ShardStats, len(e.sets[0].shards))
 	for i, s := range e.sets[0].shards {
 		size, h := s.size(), s.height()
-		st.PerShard[i] = ShardStats{Shard: i, Size: size, Height: h}
+		st.PerShard[i] = ShardStats{Shard: i, Size: size, Height: h, Mem: s.memStats()}
 		st.Size += size
 		if h > st.Height {
 			st.Height = h

@@ -185,6 +185,30 @@ func (s *shard) save(w io.Writer) (int, error) {
 	return tree.Size(), nil
 }
 
+// saveArena serialises a tree-backed shard in the mmap-able arena
+// snapshot format, under the same locking discipline as save.
+func (s *shard) saveArena(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tree, ok := treeOf(s.be)
+	if !ok {
+		return fmt.Errorf("snapshot %w", backend.ErrNotSupported)
+	}
+	return tree.SaveArena(w)
+}
+
+// memStats returns a tree-backed shard's memory-layout counters (nil
+// otherwise); the stats endpoint reports them per shard.
+func (s *shard) memStats() *trajtree.MemStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if tree, ok := treeOf(s.be); ok {
+		ms := tree.MemStats()
+		return &ms
+	}
+	return nil
+}
+
 // options returns the tree options of a tree-backed shard (the zero
 // value otherwise); the snapshot manifest records them.
 func (s *shard) options() trajtree.Options {

@@ -145,6 +145,16 @@ type snapshotManifest struct {
 	// any byte reaches the gob decoder, so bit rot or a mixed-epoch
 	// directory surfaces as a clean "snapshot corrupt" error.
 	Checksums []uint32 `json:"checksums"`
+	// ArenaChecksums, when present, holds one CRC32C per shard arena
+	// file (shard-NNNN.arena, the mmap-able encoding of the same state
+	// as the gob stream): the value of the file's own content-checksum
+	// trailer. A loader booting with Options.Mmap compares the trailer
+	// against this list to tell whether the arena file belongs to this
+	// manifest's epoch; on any mismatch it falls back to the gob
+	// stream, so the field is an accelerator, never a dependency —
+	// snapshots that omit it (or whose arena files are damaged) still
+	// load.
+	ArenaChecksums []uint32 `json:"arena_checksums,omitempty"`
 	// Metrics lists the metric backends the directory holds streams for,
 	// in persist order. Only tree-backed metrics are persistable today,
 	// so the list is ["edwp"]; it is recorded (rather than implied) so a
@@ -195,6 +205,21 @@ func manifestChecksum(man snapshotManifest) (uint32, error) {
 }
 
 func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.tree", i) }
+
+// arenaFileName is the mmap-able twin of shardFileName: the same shard
+// state in the arena snapshot encoding (see internal/arena/file.go).
+func arenaFileName(i int) string { return fmt.Sprintf("shard-%04d.arena", i) }
+
+func parseArenaFileName(name string) (int, bool) {
+	var i int
+	if n, err := fmt.Sscanf(name, "shard-%d.arena", &i); n != 1 || err != nil {
+		return 0, false
+	}
+	if arenaFileName(i) != name {
+		return 0, false
+	}
+	return i, true
+}
 
 // parseShardFileName inverts shardFileName, rejecting near-misses like
 // temp files (the round-trip check catches trailing garbage Sscanf
@@ -273,13 +298,14 @@ func (e *Engine) SaveSnapshot(dir string) error {
 	}
 	shards := ms.shards
 	man := snapshotManifest{
-		Version:     snapshotVersion,
-		Shards:      len(shards),
-		TreeOptions: shards[0].options(),
-		Sizes:       make([]int, len(shards)),
-		Checksums:   make([]uint32, len(shards)),
-		Metrics:     []string{ms.name},
-		SavedAt:     time.Now().UTC(),
+		Version:        snapshotVersion,
+		Shards:         len(shards),
+		TreeOptions:    shards[0].options(),
+		Sizes:          make([]int, len(shards)),
+		Checksums:      make([]uint32, len(shards)),
+		ArenaChecksums: make([]uint32, len(shards)),
+		Metrics:        []string{ms.name},
+		SavedAt:        time.Now().UTC(),
 	}
 	if e.sketches != nil {
 		p := e.sketchParams
@@ -290,7 +316,7 @@ func (e *Engine) SaveSnapshot(dir string) error {
 	// crash) leaves the previous snapshot fully intact. The fixed .tmp
 	// names are safe under snapMu and let an interrupted save's litter
 	// be swept by the next one.
-	tmps := make([]string, len(shards))
+	tmps := make([]string, 2*len(shards))
 	cleanup := func() {
 		for _, t := range tmps {
 			if t != "" {
@@ -304,7 +330,7 @@ func (e *Engine) SaveSnapshot(dir string) error {
 		if err != nil {
 			return err
 		}
-		tmps[i] = tmp
+		tmps[2*i] = tmp
 		// The trailer checksum hashes exactly the bytes the file
 		// receives (header included, trailer excluded).
 		h := crc32.New(snapCRC)
@@ -339,6 +365,38 @@ func (e *Engine) SaveSnapshot(dir string) error {
 		}
 		man.Sizes[i] = size
 		man.Checksums[i] = h.Sum32()
+		// The arena twin: the same shard state in the mmap-able
+		// encoding, written with the same write-fsync-rename discipline.
+		// Its content checksum is the file's own trailer (the last four
+		// bytes), captured here for the manifest.
+		atmp := filepath.Join(dir, arenaFileName(i)+".tmp")
+		af, err := e.fs.OpenFile(atmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		tmps[2*i+1] = atmp
+		var tail tailWriter
+		abw := bufio.NewWriterSize(io.MultiWriter(af, &tail), 1<<20)
+		if err := shards[i].saveArena(abw); err != nil {
+			af.Close()
+			return err
+		}
+		if err := abw.Flush(); err != nil {
+			af.Close()
+			return err
+		}
+		if err := af.Sync(); err != nil {
+			af.Close()
+			return err
+		}
+		if err := af.Close(); err != nil {
+			return err
+		}
+		sum, ok := tail.sum32()
+		if !ok {
+			return fmt.Errorf("arena file for shard %d too short", i)
+		}
+		man.ArenaChecksums[i] = sum
 		return nil
 	})
 	if err != nil {
@@ -348,13 +406,20 @@ func (e *Engine) SaveSnapshot(dir string) error {
 	// Phase 2: every shard streamed successfully — rename them into
 	// place, manifest last. A crash inside this loop mixes new shard
 	// files with the old manifest; the loader's checksum, size and
-	// option checks reject such a directory rather than serving from it.
-	for i, tmp := range tmps {
-		if err := e.fs.Rename(tmp, filepath.Join(dir, shardFileName(i))); err != nil {
+	// option checks reject such a directory rather than serving from it
+	// (or, with a WAL, salvage it — the arena files just fall back to
+	// the gob streams on their own checksum mismatch).
+	for i := range shards {
+		if err := e.fs.Rename(tmps[2*i], filepath.Join(dir, shardFileName(i))); err != nil {
 			cleanup()
 			return fmt.Errorf("server: snapshot: %w", err)
 		}
-		tmps[i] = ""
+		tmps[2*i] = ""
+		if err := e.fs.Rename(tmps[2*i+1], filepath.Join(dir, arenaFileName(i))); err != nil {
+			cleanup()
+			return fmt.Errorf("server: snapshot: %w", err)
+		}
+		tmps[2*i+1] = ""
 	}
 	sum, err := manifestChecksum(man)
 	if err != nil {
@@ -393,6 +458,35 @@ func (e *Engine) SaveSnapshot(dir string) error {
 	return nil
 }
 
+// tailWriter remembers the last four bytes written through it: the
+// arena encoding ends in its content checksum, so after the stream
+// completes the tail IS the file's self-vouching CRC32C, which the
+// manifest records for epoch comparison at load.
+type tailWriter struct {
+	tail [4]byte
+	n    int64
+}
+
+func (t *tailWriter) Write(p []byte) (int, error) {
+	if len(p) >= 4 {
+		copy(t.tail[:], p[len(p)-4:])
+	} else {
+		var both [8]byte
+		k := copy(both[:], t.tail[:])
+		k += copy(both[k:], p)
+		copy(t.tail[:], both[k-4:k])
+	}
+	t.n += int64(len(p))
+	return len(p), nil
+}
+
+func (t *tailWriter) sum32() (uint32, bool) {
+	if t.n < 4 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(t.tail[:]), true
+}
+
 // writeFileSync writes data to name through fsys and fsyncs it before
 // closing — the write half of the write-fsync-rename commit pattern.
 func writeFileSync(fsys faultfs.FS, name string, data []byte) error {
@@ -425,6 +519,9 @@ func (e *Engine) cleanStaleShardFiles(dir string, count int) error {
 		name := ent.Name()
 		stale := strings.HasSuffix(name, ".tmp")
 		if idx, ok := parseShardFileName(name); ok && idx >= count {
+			stale = true
+		}
+		if idx, ok := parseArenaFileName(name); ok && idx >= count {
 			stale = true
 		}
 		if !stale {
@@ -539,6 +636,17 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 	opt.Shards = man.Shards
 	treeShards := make([]*shard, man.Shards)
 	err = par.ForErr(opt.Workers, man.Shards, func(i int) error {
+		// Fast path: with Mmap requested and a manifest that vouches for
+		// the arena files, boot this shard straight from its mapping.
+		// Failure of any kind — missing file, wrong epoch, corruption,
+		// option or size disagreement — is not an error: the gob stream
+		// below is the authoritative fallback and loads identical state.
+		if opt.Mmap && i < len(man.ArenaChecksums) {
+			if tree, ok := loadArenaShard(dir, i, man); ok {
+				treeShards[i] = &shard{be: tree}
+				return nil
+			}
+		}
 		path := filepath.Join(dir, shardFileName(i))
 		// Pass 1: verify the container's own trailer checksum end to end
 		// before handing a single byte to the decoder — gob must never
@@ -664,6 +772,39 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 		return nil, err
 	}
 	return e, nil
+}
+
+// loadArenaShard attempts the mmap boot of one shard: the arena file's
+// trailer (its content CRC32C) must match the manifest — proving file
+// and manifest come from the same save — and the mapped tree must carry
+// the manifest's options and size. The file is read through package os,
+// not the engine's faultfs: mappings cannot be fault-injected anyway,
+// and the gob fallback keeps full injection coverage.
+func loadArenaShard(dir string, i int, man snapshotManifest) (*trajtree.Tree, bool) {
+	path := filepath.Join(dir, arenaFileName(i))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	fi, err := f.Stat()
+	if err != nil || fi.Size() < 4 {
+		f.Close()
+		return nil, false
+	}
+	var trailer [4]byte
+	_, err = f.ReadAt(trailer[:], fi.Size()-4)
+	f.Close()
+	if err != nil || binary.LittleEndian.Uint32(trailer[:]) != man.ArenaChecksums[i] {
+		return nil, false
+	}
+	tree, err := trajtree.LoadArena(path)
+	if err != nil {
+		return nil, false
+	}
+	if tree.Size() != man.Sizes[i] || tree.Options() != man.TreeOptions.WithDefaults() {
+		return nil, false
+	}
+	return tree, true
 }
 
 // restorePrefilter reattaches the candidate prefilter after a snapshot

@@ -95,6 +95,23 @@ type Trajectory struct {
 	// The atomic makes concurrent first calls race-free — both goroutines
 	// compute the same slice and either store wins.
 	xy atomic.Pointer[[]geom.Point]
+
+	// view and length cache the SoA coordinate view and the total spatial
+	// length under the same immutability contract as xy. Both may be
+	// installed eagerly by Prime (the arena storage layer backs views with
+	// its shared slabs) or filled lazily on first use.
+	view   atomic.Pointer[View]
+	length atomic.Pointer[float64]
+}
+
+// View is the structure-of-arrays spatial projection of a trajectory: the
+// sample coordinates split into parallel X and Y slices of equal length.
+// The hot DP kernels consume Views so their inner loops stream over
+// contiguous float64 memory instead of striding through []Point records;
+// arena-backed trajectories alias shard-wide slabs here. The slices are
+// shared and must be treated as read-only.
+type View struct {
+	X, Y []float64
 }
 
 // New returns a trajectory over pts with the given id and no label.
@@ -148,12 +165,47 @@ func (t *Trajectory) XYs() []geom.Point {
 	return pts
 }
 
-// Length returns the total spatial length (Eq. 1).
+// View returns the SoA spatial projection of the sample points, cached on
+// the trajectory like XYs. Arena-backed trajectories have it pre-installed
+// (pointing into the shard slab) via Prime; standalone trajectories — query
+// arguments, test fixtures — compute it once on first use.
+func (t *Trajectory) View() View {
+	if v := t.view.Load(); v != nil {
+		return *v
+	}
+	n := len(t.Points)
+	buf := make([]float64, 2*n)
+	x, y := buf[:n:n], buf[n:]
+	for i, p := range t.Points {
+		x[i] = p.X
+		y[i] = p.Y
+	}
+	v := &View{X: x, Y: y}
+	t.view.Store(v)
+	return *v
+}
+
+// Prime installs precomputed caches: a coordinate view (typically aliasing
+// an arena slab) and the total spatial length. The values must equal what
+// View and Length would compute — Prime only changes where the memory
+// lives, never a result.
+func (t *Trajectory) Prime(v View, length float64) {
+	t.view.Store(&v)
+	t.length.Store(&length)
+}
+
+// Length returns the total spatial length (Eq. 1), computed once and
+// cached: the normalised distance of Eq. 4 divides by it on every kernel
+// call, so the repeated O(n) sqrt walk showed up in query profiles.
 func (t *Trajectory) Length() float64 {
+	if l := t.length.Load(); l != nil {
+		return *l
+	}
 	var sum float64
 	for i := 0; i < t.NumSegments(); i++ {
 		sum += t.Segment(i).Length()
 	}
+	t.length.Store(&sum)
 	return sum
 }
 

@@ -1,0 +1,266 @@
+package trajtree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"trajmatch/internal/arena"
+	"trajmatch/internal/geom"
+	"trajmatch/internal/tbox"
+	"trajmatch/internal/traj"
+)
+
+// Arena snapshot: the tree flattened next to its shard's slabs in the
+// arena package's mmap-able format (arena/file.go). Where the gob
+// stream (persist.go) decodes every sample on load, this path aliases
+// the point slabs straight out of a verified mapping and rebuilds only
+// the node structures — an O(members + nodes) warm boot.
+//
+// Per-node metadata record (arena.NMetaStride int64s, in nmeta order):
+//
+//	 0 boxOff     offset into nboxes, in 5-float box units
+//	 1 boxCount
+//	 2 seqCount   tbox.Seq insert count
+//	 3 childOff   offset into children
+//	 4 childCount
+//	 5 memberOff  offset into members
+//	 6 memberCount
+//	 7 vpOff      offset into vps, in 2-float point units
+//	 8 vpCount
+//	 9 descOff    offset into dvals, in float units
+//	10 descRows   row count; -1 encodes a nil descriptor table
+//	11 maxLenBits math.Float64bits of the node's maxLen
+//
+// Descriptor rows have uniform stride vpCount (vantage.Descriptor
+// always returns one value per vantage point), so the rows need no
+// per-row offset table. Members are arena indices; trajectories
+// inserted since the last rebuild (the overlay) have no arena entry and
+// are stored in the overlay sections, referenced as -(overlay index)-1.
+
+// arenaExtra is the tree-level metadata stored in the snapshot's meta
+// header.
+type arenaExtra struct {
+	Version int     `json:"version"`
+	Options Options `json:"options"`
+	Size    int     `json:"size"`
+	Root    int64   `json:"root"` // node index; -1 when empty
+}
+
+// SaveArena writes the tree in the arena snapshot format. It is an
+// alternative encoding of exactly the state Save writes: a tree loaded
+// from either stream answers every query identically.
+func (t *Tree) SaveArena(w io.Writer) error {
+	extra := arenaExtra{Version: 1, Options: t.opt, Size: t.size, Root: -1}
+	var ts arena.TreeSection
+	if t.root != nil {
+		// Members without an arena entry (pure-Insert trees and the
+		// overlay) get their samples serialised inline.
+		overlayIdx := make(map[int]int)
+		ts.OOffs = append(ts.OOffs, 0)
+		for _, m := range t.root.members {
+			if t.ar != nil {
+				if _, ok := t.ar.Lookup(m.ID); ok {
+					continue
+				}
+			}
+			overlayIdx[m.ID] = len(ts.OIDs)
+			ts.OIDs = append(ts.OIDs, int64(m.ID))
+			ts.OLabels = append(ts.OLabels, int64(m.Label))
+			for _, p := range m.Points {
+				ts.OPts = append(ts.OPts, p.X, p.Y, p.T)
+			}
+			ts.OOffs = append(ts.OOffs, int64(len(ts.OPts)/3))
+		}
+		memberRef := func(m *traj.Trajectory) (int64, error) {
+			if t.ar != nil {
+				if ai, ok := t.ar.Lookup(m.ID); ok {
+					return int64(ai), nil
+				}
+			}
+			oi, ok := overlayIdx[m.ID]
+			if !ok {
+				return 0, fmt.Errorf("trajtree: save arena: member %d in a node but not under the root", m.ID)
+			}
+			return -int64(oi) - 1, nil
+		}
+		var flatten func(n *node) (int64, error)
+		flatten = func(n *node) (int64, error) {
+			rec := make([]int64, arena.NMetaStride)
+			rec[0] = int64(len(ts.NBoxes) / 5)
+			rec[1] = int64(n.seq.Len())
+			rec[2] = int64(n.seq.Count())
+			for i := 0; i < n.seq.Len(); i++ {
+				r := n.seq.Rect(i)
+				ts.NBoxes = append(ts.NBoxes, r.Min.X, r.Min.Y, r.Max.X, r.Max.Y, n.seq.MinLen(i))
+			}
+			rec[5] = int64(len(ts.Members))
+			rec[6] = int64(len(n.members))
+			for _, m := range n.members {
+				ref, err := memberRef(m)
+				if err != nil {
+					return 0, err
+				}
+				ts.Members = append(ts.Members, ref)
+			}
+			rec[7] = int64(len(ts.VPs) / 2)
+			rec[8] = int64(len(n.vps))
+			for _, vp := range n.vps {
+				ts.VPs = append(ts.VPs, vp.X, vp.Y)
+			}
+			rec[9] = int64(len(ts.DVals))
+			rec[10] = -1
+			if n.descs != nil {
+				rec[10] = int64(len(n.descs))
+				for _, row := range n.descs {
+					if len(row) != len(n.vps) {
+						return 0, fmt.Errorf("trajtree: save arena: descriptor row length %d != %d vantage points",
+							len(row), len(n.vps))
+					}
+					ts.DVals = append(ts.DVals, row...)
+				}
+			}
+			rec[11] = int64(math.Float64bits(n.maxLen))
+			idx := int64(len(ts.NMeta) / arena.NMetaStride)
+			ts.NMeta = append(ts.NMeta, rec...)
+			rec = ts.NMeta[idx*arena.NMetaStride:]
+			rec[3] = int64(len(ts.Children))
+			rec[4] = int64(len(n.children))
+			// Reserve the child window before recursing so each node's
+			// children stay contiguous.
+			base := len(ts.Children)
+			ts.Children = append(ts.Children, make([]int64, len(n.children))...)
+			for i, c := range n.children {
+				ci, err := flatten(c)
+				if err != nil {
+					return 0, err
+				}
+				ts.Children[base+i] = ci
+			}
+			return idx, nil
+		}
+		root, err := flatten(t.root)
+		if err != nil {
+			return err
+		}
+		extra.Root = root
+	}
+	raw, err := json.Marshal(extra)
+	if err != nil {
+		return err
+	}
+	return arena.Encode(w, t.ar, &ts, raw)
+}
+
+// LoadArena reconstructs a tree from an arena snapshot file, mmap-ing
+// the slabs when the platform allows (falling back to a heap read
+// otherwise — identical result, higher boot cost). Verification failures
+// of any kind wrap arena.ErrCorrupt; callers are expected to fall back
+// to the gob stream. The mapping is never unmapped: member trajectories
+// alias it for the life of the process.
+func LoadArena(path string) (*Tree, error) {
+	snap, err := arena.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trajtree: load arena: %w", err)
+	}
+	var extra arenaExtra
+	if err := json.Unmarshal(snap.Extra, &extra); err != nil {
+		return nil, fmt.Errorf("trajtree: load arena: meta: %v: %w", err, arena.ErrCorrupt)
+	}
+	if extra.Version != 1 {
+		return nil, fmt.Errorf("trajtree: load arena: unsupported version %d: %w", extra.Version, arena.ErrCorrupt)
+	}
+	a, ts := snap.Arena, snap.Tree
+	members := a.Members()
+	// Overlay members are few (a rebuild folds them into the slabs), so
+	// they are copied onto the heap rather than aliased.
+	overlay := make([]*traj.Trajectory, len(ts.OIDs))
+	for i := range overlay {
+		pts := make([]traj.Point, ts.OOffs[i+1]-ts.OOffs[i])
+		for j := range pts {
+			k := (ts.OOffs[i] + int64(j)) * 3
+			pts[j] = traj.Point{X: ts.OPts[k], Y: ts.OPts[k+1], T: ts.OPts[k+2]}
+		}
+		tr := traj.New(int(ts.OIDs[i]), pts)
+		tr.Label = int(ts.OLabels[i])
+		overlay[i] = tr
+	}
+	resolve := func(ref int64) *traj.Trajectory {
+		if ref >= 0 {
+			return members[ref]
+		}
+		return overlay[-ref-1]
+	}
+	t := newTreeShell(extra.Options, extra.Size)
+	if extra.Root >= 0 {
+		nNodes := len(ts.NMeta) / arena.NMetaStride
+		if extra.Root >= int64(nNodes) {
+			return nil, fmt.Errorf("trajtree: load arena: root %d of %d nodes: %w", extra.Root, nNodes, arena.ErrCorrupt)
+		}
+		nodes := make([]node, nNodes)
+		built := make([]bool, nNodes)
+		var build func(i int64) (*node, error)
+		build = func(i int64) (*node, error) {
+			if built[i] {
+				// A node reachable twice means the child table encodes a
+				// DAG or a cycle; refuse rather than recurse forever.
+				return nil, fmt.Errorf("trajtree: load arena: node %d reached twice: %w", i, arena.ErrCorrupt)
+			}
+			built[i] = true
+			rec := ts.NMeta[i*arena.NMetaStride : (i+1)*arena.NMetaStride]
+			n := &nodes[i]
+			boxes := make([]tbox.Box, rec[1])
+			for bi := range boxes {
+				v := ts.NBoxes[(rec[0]+int64(bi))*5:]
+				boxes[bi] = tbox.Box{
+					Rect: geom.Rect{Min: geom.Point{X: v[0], Y: v[1]}, Max: geom.Point{X: v[2], Y: v[3]}},
+					MinL: v[4],
+				}
+			}
+			n.seq = tbox.FromBoxes(boxes, int(rec[2]))
+			n.maxLen = math.Float64frombits(uint64(rec[11]))
+			if rec[6] > 0 {
+				n.members = make([]*traj.Trajectory, rec[6])
+				for mi := range n.members {
+					n.members[mi] = resolve(ts.Members[rec[5]+int64(mi)])
+				}
+			}
+			if rec[8] > 0 {
+				n.vps = make([]geom.Point, rec[8])
+				for vi := range n.vps {
+					v := ts.VPs[(rec[7]+int64(vi))*2:]
+					n.vps[vi] = geom.Point{X: v[0], Y: v[1]}
+				}
+			}
+			if rows := rec[10]; rows >= 0 {
+				// Rows alias the descriptor slab; stride is the VP count.
+				n.descs = make([][]float64, rows)
+				stride := rec[8]
+				for ri := int64(0); ri < rows; ri++ {
+					off := rec[9] + ri*stride
+					n.descs[ri] = ts.DVals[off : off+stride : off+stride]
+				}
+			}
+			for ci := int64(0); ci < rec[4]; ci++ {
+				c, err := build(ts.Children[rec[3]+ci])
+				if err != nil {
+					return nil, err
+				}
+				n.children = append(n.children, c)
+			}
+			return n, nil
+		}
+		root, err := build(extra.Root)
+		if err != nil {
+			return nil, err
+		}
+		t.root = root
+	}
+	if err := t.checkInvariants(); err != nil {
+		return nil, fmt.Errorf("trajtree: load arena: %v: %w", err, arena.ErrCorrupt)
+	}
+	t.ar = a
+	t.overlay = len(overlay)
+	return t, nil
+}

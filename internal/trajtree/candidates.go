@@ -1,6 +1,7 @@
 package trajtree
 
 import (
+	"trajmatch/internal/arena"
 	"trajmatch/internal/backend"
 	"trajmatch/internal/core"
 	"trajmatch/internal/tbox"
@@ -9,14 +10,16 @@ import (
 
 var _ backend.CandidateSearcher = (*Tree)(nil)
 
-// candLBBoxes is the box budget of the per-candidate summaries built
+// candLBBoxes is the box budget of the per-candidate summaries used
 // during prefilter verification. The tree's node bounds cover whole
-// subtrees, not arbitrary member subsets, so verification summarizes
-// each candidate on the fly — a coarse budget keeps the bound DP at
+// subtrees, not arbitrary member subsets, so verification bounds each
+// candidate individually — a coarse budget keeps the bound DP at
 // O(len(q)·candLBBoxes) per candidate, a fraction of one exact
 // evaluation, while still rejecting most of the admitted set before any
-// kernel runs.
-const candLBBoxes = 16
+// kernel runs. It equals the arena's per-member budget so the summaries
+// are precomputed at build time and only overlay members (inserted
+// since the last rebuild) are summarised on the fly.
+const candLBBoxes = arena.MemberBoxes
 
 // SearchKNNIn is the backend.CandidateSearcher capability: exact EDwP
 // k-NN restricted to the prefilter's candidate IDs. Each candidate gets
@@ -55,7 +58,19 @@ func (t *Tree) SearchKNNIn(q *traj.Trajectory, ids []int, k int, bound *SharedBo
 		st.LowerBoundCalls++
 		// EDwP is symmetric, so the box bound holds in both directions;
 		// the max is admissible and noticeably tighter than either side.
-		lb := core.LowerBound(q, tbox.FromTrajectory(m, candLBBoxes))
+		// Arena-resident members use their precomputed summary (built by
+		// the identical FromTrajectory call, so the bound — and with it
+		// the scan order — is bit-identical to summarising on the fly).
+		var mseq core.Boxes
+		if t.ar != nil {
+			if ai, ok := t.ar.Lookup(m.ID); ok {
+				mseq = t.ar.BoxSeq(ai)
+			}
+		}
+		if mseq == nil {
+			mseq = tbox.FromTrajectory(m, candLBBoxes)
+		}
+		lb := core.LowerBound(q, mseq)
 		if rev := core.LowerBound(m, qSeq); rev > lb {
 			lb = rev
 		}

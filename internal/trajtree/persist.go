@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"trajmatch/internal/arena"
 	"trajmatch/internal/geom"
 	"trajmatch/internal/tbox"
 	"trajmatch/internal/traj"
@@ -132,6 +133,14 @@ func Load(r io.Reader) (*Tree, error) {
 	}
 	if err := t.checkInvariants(); err != nil {
 		return nil, fmt.Errorf("trajtree: load: %w", err)
+	}
+	// Rebuild the arena over the loaded members: the decoded
+	// trajectories are re-pointed at fresh slabs and the per-member
+	// summaries behind the leaf screen are recomputed (they are a
+	// deterministic function of the geometry, so queries behave exactly
+	// as on the saved tree).
+	if t.root != nil {
+		t.ar = arena.Build(t.root.members)
 	}
 	return t, nil
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"trajmatch/internal/core"
 	"trajmatch/internal/pqueue"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/vantage"
@@ -22,6 +23,13 @@ type visitSet struct {
 
 var visitPool = sync.Pool{
 	New: func() any { return &visitSet{marks: make(map[int]uint64, 64)} },
+}
+
+// screenPool recycles the per-query segment screens of the leaf-level
+// lower-bound pass; steady-state queries reset a warm screen instead of
+// allocating one.
+var screenPool = sync.Pool{
+	New: func() any { return new(core.SegScreen) },
 }
 
 // begin invalidates all previous marks in O(1).
@@ -115,6 +123,15 @@ func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl
 	processed.begin()
 	defer visitPool.Put(processed)
 
+	// The member screen shares one per-query segment table across every
+	// candidate it rejects (see Tree.screenMember).
+	var scr *core.SegScreen
+	if t.ar != nil {
+		scr = screenPool.Get().(*core.SegScreen)
+		scr.Reset(q)
+		defer screenPool.Put(scr)
+	}
+
 	// effLimit is the tightest admissible abandon limit currently known:
 	// the local k-th best once the answer set is full, lowered further by
 	// the shared bound when one is attached.
@@ -145,7 +162,17 @@ func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl
 			return false
 		}
 		st.DistanceCalls++
-		d, abandoned := t.distBounded(q, tr, effLimit(), ctl.CancelFlag())
+		limit := effLimit()
+		if scr != nil && t.screenMember(scr, qLen, tr, limit) {
+			// The screen proves the bounded kernel would abandon this
+			// candidate, so the evaluation is cut before the DP starts;
+			// it is counted exactly as the abandoned evaluation it
+			// replaces, keeping the stats — and every downstream
+			// decision — identical to the unscreened search.
+			st.EarlyAbandons++
+			return false
+		}
+		d, abandoned := t.distBounded(q, tr, limit, ctl.CancelFlag())
 		if abandoned {
 			st.EarlyAbandons++
 			return false
@@ -217,10 +244,12 @@ func (t *Tree) knnSearch(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl
 			}
 		}
 		// Step 2 (lines 11–13): push surviving children ordered by their
-		// lower bounds.
+		// lower bounds. The bounded DP abandons against the current limit;
+		// surviving bounds are exact, so the queue order — and with it the
+		// result stream — is identical to the unbounded search.
 		for _, child := range c.children {
 			st.LowerBoundCalls++
-			lb := t.lower(q, qLen, child)
+			lb := t.lowerBounded(q, qLen, child, effLimit())
 			if lb >= effLimit() {
 				st.NodesPruned++
 				continue

@@ -1,6 +1,7 @@
 package trajtree
 
 import (
+	"trajmatch/internal/core"
 	"trajmatch/internal/pqueue"
 	"trajmatch/internal/traj"
 )
@@ -42,6 +43,12 @@ func (t *Tree) rangeSeeded(q *traj.Trajectory, radius float64, ctl *Ctl) ([]Resu
 		return nil, st, false, ctl.Err()
 	}
 	qLen := q.Length()
+	var scr *core.SegScreen
+	if t.ar != nil {
+		scr = screenPool.Get().(*core.SegScreen)
+		scr.Reset(q)
+		defer screenPool.Put(scr)
+	}
 	var out []Result
 	truncated := false
 	var walk func(n *node)
@@ -57,6 +64,13 @@ func (t *Tree) rangeSeeded(q *traj.Trajectory, radius float64, ctl *Ctl) ([]Resu
 					return
 				}
 				st.DistanceCalls++
+				// Leaf-level screen: members the arena summaries prove
+				// outside the radius skip the kernel, counted as the
+				// abandoned evaluations they would have been.
+				if scr != nil && t.screenMember(scr, qLen, tr, radius) {
+					st.EarlyAbandons++
+					continue
+				}
 				d, abandoned := t.distBounded(q, tr, radius, ctl.CancelFlag())
 				if d <= radius {
 					out = append(out, Result{Traj: tr, Dist: d})
@@ -71,7 +85,7 @@ func (t *Tree) rangeSeeded(q *traj.Trajectory, radius float64, ctl *Ctl) ([]Resu
 				return
 			}
 			st.LowerBoundCalls++
-			if lb := t.lower(q, qLen, child); lb > radius {
+			if lb := t.lowerBounded(q, qLen, child, radius); lb > radius {
 				st.NodesPruned++
 				continue
 			}

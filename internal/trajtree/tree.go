@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 
+	"trajmatch/internal/arena"
 	"trajmatch/internal/backend"
 	"trajmatch/internal/core"
 	"trajmatch/internal/geom"
@@ -130,6 +131,16 @@ type Tree struct {
 	mods int    // inserts + deletes since the last (re)build
 	gen  uint64 // bumped by every Insert/Delete/Rebuild
 	rng  *rand.Rand
+
+	// ar is the shard's arena: slab-resident samples plus the
+	// per-member summaries behind the leaf-level lower-bound screen.
+	// It is rebuilt by Rebuild and nil only for trees grown purely by
+	// Insert from empty. Members inserted after the last (re)build form
+	// the overlay: they live on the heap with no arena entry and are
+	// folded into fresh slabs by the next Rebuild.
+	ar      *arena.Arena
+	overlay int    // live members without an arena entry
+	foldIns uint64 // rebuilds that folded an overlay into new slabs
 }
 
 // New bulk-loads a TrajTree over db. Every trajectory must have at least
@@ -150,6 +161,10 @@ func New(db []*traj.Trajectory, opt Options) (*Tree, error) {
 	if len(db) > 0 {
 		owned := make([]*traj.Trajectory, len(db))
 		copy(owned, db)
+		// The arena is built first so construction-time distance calls
+		// already stream over the primed slab views; priming installs
+		// bit-identical values, so the built tree is unchanged.
+		tr.ar = arena.Build(owned)
 		tr.root = tr.build(owned, tbox.Build(owned, opt.MaxBoxes), opt.Parallel)
 	}
 	return tr, nil
@@ -228,6 +243,87 @@ func (t *Tree) lower(q *traj.Trajectory, qLen float64, n *node) float64 {
 		return 0
 	}
 	return lb / den
+}
+
+// lowerBounded is lower with early abandoning: exact whenever the bound
+// does not exceed limit, and some value strictly above limit (possibly
+// +Inf) otherwise, so every `>= limit`/`> limit` pruning decision matches
+// lower's while the Theorem-2 DP abandons rows that can no longer matter.
+// The normalised path translates limit into the raw cumulative domain the
+// DP works in, inflated by the same relative epsilon the bounded kernel
+// uses so boundary values survive the multiplication-versus-division
+// rounding difference.
+func (t *Tree) lowerBounded(q *traj.Trajectory, qLen float64, n *node, limit float64) float64 {
+	if t.opt.Cumulative {
+		raw := limit
+		if !math.IsInf(limit, 1) {
+			raw += raw * 1e-12
+		}
+		return core.LowerBoundBounded(q, n.seq, raw)
+	}
+	den := qLen + n.maxLen
+	if den == 0 {
+		return 0
+	}
+	raw := limit
+	if !math.IsInf(limit, 1) {
+		raw = limit * den
+		raw += raw * 1e-12
+	}
+	return core.LowerBoundBounded(q, n.seq, raw) / den
+}
+
+// screenMember is the leaf-level lower-bound screen: it reports whether
+// the arena's per-member summaries prove that evaluating tr cannot beat
+// limit — i.e. that the bounded kernel would abandon the evaluation. A
+// true return is therefore behaviour-preserving: the caller skips work
+// whose outcome is already known, never a candidate that could enter
+// the answer. Members without an arena entry (the post-build overlay)
+// are never screened. The raw limit is inflated by a relative 1e-9 so
+// the screen's float rounding (~1e-13 relative) can never flip a
+// decision the kernel — whose own epsilon is 1e-12 — would have taken
+// the other way.
+func (t *Tree) screenMember(scr *core.SegScreen, qLen float64, tr *traj.Trajectory, limit float64) bool {
+	if math.IsInf(limit, 1) {
+		return false
+	}
+	ai, ok := t.ar.Lookup(tr.ID)
+	if !ok {
+		return false
+	}
+	raw := limit
+	if !t.opt.Cumulative {
+		den := qLen + t.ar.Length(ai)
+		if den <= 0 {
+			return false
+		}
+		raw = limit * den
+	}
+	raw += raw * 1e-9
+	// Two tiers, both over flat slab windows: the single bounding box
+	// (O(len q)) rejects far-away members, the coarsened box sequence
+	// (O(len q · MemberBoxes), early-exiting) rejects most of the rest.
+	if core.ScreenLowerBound(scr, t.ar.BBox(ai), raw) > raw {
+		return true
+	}
+	return core.ScreenLowerBound(scr, t.ar.Boxes(ai), raw) > raw
+}
+
+// MemStats describes the tree's memory layout for the stats endpoint:
+// the arena's slab residency plus the overlay and fold-in counters.
+type MemStats struct {
+	Arena arena.MemStats `json:"arena"`
+	// Overlay counts live members not resident in the arena —
+	// trajectories inserted since the last (re)build.
+	Overlay int `json:"overlay"`
+	// FoldIns counts rebuilds that folded an overlay into fresh slabs.
+	FoldIns uint64 `json:"fold_ins"`
+}
+
+// MemStats returns the tree's memory-layout counters. Like every Tree
+// accessor it requires the caller to serialise updates against reads.
+func (t *Tree) MemStats() MemStats {
+	return MemStats{Arena: t.ar.Stats(), Overlay: t.overlay, FoldIns: t.foldIns}
 }
 
 // build constructs the subtree over ts, whose summary seq (already

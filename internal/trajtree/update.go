@@ -31,11 +31,15 @@ func (t *Tree) Insert(tr *traj.Trajectory) error {
 			maxLen:  tr.Length(),
 		}
 		t.size = 1
+		t.overlay++
 		return nil
 	}
 	t.insertAt(t.root, tr)
 	t.size++
 	t.mods++
+	// The new member lives on the heap until a rebuild folds it into
+	// fresh arena slabs; until then the leaf screen skips it.
+	t.overlay++
 	t.maybeRebuild()
 	return nil
 }
@@ -97,6 +101,11 @@ func (t *Tree) Delete(id int) bool {
 	t.gen++
 	t.size--
 	t.mods++
+	if t.ar == nil {
+		t.overlay--
+	} else if _, ok := t.ar.Lookup(id); !ok {
+		t.overlay--
+	}
 	t.maybeRebuild()
 	return true
 }
@@ -159,6 +168,17 @@ func (t *Tree) All() []*traj.Trajectory {
 // summaries after many updates.
 func (t *Tree) Rebuild() error {
 	members := t.All()
+	// Current members have escaped to readers through query results, and
+	// arena.Build re-points each trajectory's Points at its new slab —
+	// a write no lock covers once a result is out. Rebuild therefore
+	// hands Build fresh headers over the same (read-only) point slices:
+	// the escaped headers are never touched, they just keep aliasing the
+	// previous slabs until their holders drop them.
+	for i, m := range members {
+		h := traj.New(m.ID, m.Points)
+		h.Label = m.Label
+		members[i] = h
+	}
 	fresh, err := New(members, t.opt)
 	if err != nil {
 		return err
@@ -167,6 +187,11 @@ func (t *Tree) Rebuild() error {
 	t.size = fresh.size
 	t.mods = 0
 	t.gen++
+	// The rebuild folded every live member — overlay included — into
+	// the fresh tree's arena slabs.
+	t.ar = fresh.ar
+	t.overlay = 0
+	t.foldIns++
 	return nil
 }
 
