@@ -3,17 +3,36 @@
 // labelled gesture trajectories (the ASL stand-in), optionally with one of
 // the paper's noise models applied.
 //
+// With -stream, instead of writing the corpus as a static file, trajgen
+// replays it as a live ingest stream: every trajectory becomes a live
+// track whose points are emitted as append records in global timestamp
+// order (so tracks interleave like concurrent vehicles), each followed by
+// a seal once its last point is out. -rate paces the replay in records
+// per second with -jitter adding bounded randomness to each gap, and
+// -stream-batch groups consecutive points of one track per record.
+// Records go to -o as NDJSON ({"op":"append",...} / {"op":"seal",...})
+// ready to pipe into curl — or straight to a running trajserve when
+// -addr names its base URL (POST /v1/append and /v1/seal).
+//
 // Usage:
 //
 //	trajgen -kind taxi -n 1000 -o taxi.csv
 //	trajgen -kind asl -classes 98 -instances 27 -format ndjson -o asl.ndjson
 //	trajgen -kind taxi -n 500 -noise inter -pct 0.25 -o noisy.csv
+//	trajgen -kind taxi -n 100 -stream -rate 200 -jitter 0.3 -addr http://localhost:8080
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
 	"os"
+	"sort"
+	"time"
 
 	"trajmatch"
 )
@@ -29,6 +48,14 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		format    = flag.String("format", "csv", "output format: csv | ndjson")
 		out       = flag.String("o", "-", "output file (- for stdout)")
+
+		stream  = flag.Bool("stream", false, "replay the corpus as a timestamped append/seal stream instead of writing it as a file")
+		rate    = flag.Float64("rate", 0, "stream pacing in records per second (0 = as fast as possible)")
+		jitter  = flag.Float64("jitter", 0, "fractional jitter on each inter-record gap, 0..1")
+		batch   = flag.Int("stream-batch", 1, "consecutive points of one track per append record")
+		addr    = flag.String("addr", "", "trajserve base URL to POST the stream to (e.g. http://localhost:8080); empty writes NDJSON records to -o")
+		sealEnd = flag.Bool("stream-seal", true, "seal each track after its last point")
+		idOff   = flag.Int("id-offset", 0, "added to every streamed track ID, to keep live tracks clear of an already-indexed corpus")
 	)
 	flag.Parse()
 
@@ -63,6 +90,14 @@ func main() {
 		fatalf("unknown -noise %q", *noise)
 	}
 
+	if *stream {
+		runStream(db, streamConfig{
+			rate: *rate, jitter: *jitter, batch: *batch, idOff: *idOff,
+			addr: *addr, seal: *sealEnd, seed: *seed, out: *out,
+		})
+		return
+	}
+
 	w := os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
@@ -85,6 +120,148 @@ func main() {
 		fatalf("write: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d trajectories\n", len(db))
+}
+
+type streamConfig struct {
+	rate, jitter float64
+	batch, idOff int
+	addr         string
+	seal         bool
+	seed         int64
+	out          string
+}
+
+// streamRecord is one replayed event, ordered by the timestamp of its
+// first point (seals by the track's last timestamp, after its appends).
+type streamRecord struct {
+	t      float64
+	seal   bool
+	id     int
+	label  int
+	points [][3]float64
+}
+
+// runStream replays db as an interleaved append/seal stream.
+func runStream(db []*trajmatch.Trajectory, cfg streamConfig) {
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+	var recs []streamRecord
+	for _, tr := range db {
+		for lo := 0; lo < len(tr.Points); lo += cfg.batch {
+			hi := lo + cfg.batch
+			if hi > len(tr.Points) {
+				hi = len(tr.Points)
+			}
+			pts := make([][3]float64, hi-lo)
+			for i, p := range tr.Points[lo:hi] {
+				pts[i] = [3]float64{p.X, p.Y, p.T}
+			}
+			recs = append(recs, streamRecord{
+				t: tr.Points[lo].T, id: tr.ID + cfg.idOff, label: tr.Label, points: pts,
+			})
+		}
+		if cfg.seal && len(tr.Points) >= 2 {
+			recs = append(recs, streamRecord{
+				t: tr.Points[len(tr.Points)-1].T, seal: true, id: tr.ID + cfg.idOff,
+			})
+		}
+	}
+	// Global timestamp order interleaves the tracks; ties resolve by
+	// track then by kind so a track's appends stay ordered and its seal
+	// comes last. sort.SliceStable keeps a track's equal-timestamp
+	// appends in point order.
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].t != recs[j].t {
+			return recs[i].t < recs[j].t
+		}
+		if recs[i].id != recs[j].id {
+			return recs[i].id < recs[j].id
+		}
+		return !recs[i].seal && recs[j].seal
+	})
+
+	var sink func(streamRecord) error
+	if cfg.addr != "" {
+		client := &http.Client{Timeout: 30 * time.Second}
+		sink = func(r streamRecord) error { return postRecord(client, cfg.addr, r) }
+	} else {
+		w := io.Writer(os.Stdout)
+		if cfg.out != "-" {
+			f, err := os.Create(cfg.out)
+			if err != nil {
+				fatalf("create %s: %v", cfg.out, err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		sink = func(r streamRecord) error { return enc.Encode(wireRecord(r)) }
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed + 2))
+	var gap time.Duration
+	if cfg.rate > 0 {
+		gap = time.Duration(float64(time.Second) / cfg.rate)
+	}
+	appends, seals := 0, 0
+	t0 := time.Now()
+	for i, r := range recs {
+		if gap > 0 && i > 0 {
+			d := gap
+			if cfg.jitter > 0 {
+				d += time.Duration((rng.Float64()*2 - 1) * cfg.jitter * float64(gap))
+			}
+			if d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if err := sink(r); err != nil {
+			fatalf("stream record %d: %v", i, err)
+		}
+		if r.seal {
+			seals++
+		} else {
+			appends++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "streamed %d appends and %d seals over %d tracks in %v\n",
+		appends, seals, len(db), time.Since(t0).Round(time.Millisecond))
+}
+
+// wireRecord renders a stream record as the NDJSON op envelope.
+func wireRecord(r streamRecord) map[string]any {
+	if r.seal {
+		return map[string]any{"op": "seal", "id": r.id}
+	}
+	m := map[string]any{"op": "append", "id": r.id, "points": r.points}
+	if r.label != 0 {
+		m["label"] = r.label
+	}
+	return m
+}
+
+// postRecord delivers one record to a running trajserve.
+func postRecord(client *http.Client, base string, r streamRecord) error {
+	path, body := "/v1/append", map[string]any{"id": r.id, "label": r.label, "points": r.points}
+	if r.seal {
+		path, body = "/v1/seal", map[string]any{"id": r.id}
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -12,6 +12,11 @@
 //	                    "prefilter": false, "with_stats": true}
 //	POST /v1/insert    {"trajectories": [{...}, ...]}
 //	POST /v1/delete    {"ids": [17, 42]}
+//	POST /v1/append    {"id": 7, "label": 1, "points": [[x,y,t], ...]}
+//	POST /v1/seal      {"id": 7}
+//	POST /v1/watch     {"pattern": {"id": -1, "points": [...]}, "threshold": 250.0} (or "k": 5)
+//	POST /v1/unwatch   {"watch": 3}
+//	GET  /v1/events    ?since=N&max=M&wait_ms=T (long-poll) | ?sse=1 (SSE)
 //	POST /v1/rebuild   (no body)
 //	POST /v1/snapshot  (no body; requires -snapshot)
 //	GET  /v1/stats
@@ -54,6 +59,20 @@
 // sketch parameters re-arm the prefilter regardless of -prefilter) and
 // arms POST /snapshot to write one. SIGINT/SIGTERM drain in-flight
 // requests, then flush and close the write-ahead log, before exit.
+//
+// /v1/append grows live tracks point by point: each delta is validated,
+// WAL-logged (when -wal is set), and searchable by the very next query —
+// live tracks answer alongside the sealed index without rebuilding
+// anything. /v1/seal folds a finished track into the sharded index;
+// with -seal-after a background sealer folds tracks idle longer than
+// that duration automatically (checking every -seal-interval).
+// /v1/watch registers a standing query — a pattern plus a threshold or
+// a top-k budget — matched incrementally as appends arrive, with the
+// sketch token gate (when -prefilter is on) skipping the exact kernel
+// for watchers whose patterns share no grid cells with the new points.
+// Match events stream on /v1/events with monotonic seq numbers
+// (at-least-once; consumers resume with ?since), as long-poll JSON or
+// SSE. -events-buffer bounds the retained event window.
 //
 // With -wal DIR, every accepted insert and delete is appended to a
 // write-ahead log before it is acknowledged, and a boot replays the log
@@ -115,6 +134,10 @@ func main() {
 		queryTO  = flag.Duration("query-timeout", 0, "per-request search deadline, honoured down to the distance kernels (0 disables)")
 		metricsF = flag.String("metrics", "edwp", "comma-separated metric backends to boot over the database (edwp, dtw, edr); the first is the default of /v1/search")
 
+		sealAfter = flag.Duration("seal-after", 0, "background-seal live tracks idle longer than this (0 disables the sealer; explicit POST /v1/seal always works)")
+		sealInt   = flag.Duration("seal-interval", 0, "background sealer check period (0 = seal-after/4, at least 1s)")
+		eventsBuf = flag.Int("events-buffer", 0, "retained watch-event window for /v1/events resumption (0 = default 4096)")
+
 		prefilter  = flag.Bool("prefilter", false, "build the sketch/LSH candidate prefilter; queries opt in with \"prefilter\": true")
 		sketchCell = flag.Float64("sketch-cell", 0, "prefilter grid cell size in corpus units (0 derives from the corpus)")
 		sketchShin = flag.Int("sketch-shingle", 0, "prefilter shingle length in cells (0 = default 2)")
@@ -142,6 +165,9 @@ func main() {
 		WALDir:          *walDir,
 		WALSync:         syncPolicy,
 		WALSyncInterval: *walInt,
+		SealAfter:       *sealAfter,
+		SealInterval:    *sealInt,
+		EventBuffer:     *eventsBuf,
 		Prefilter:       *prefilter,
 		Sketch: trajmatch.SketchParams{
 			CellSize: *sketchCell,
@@ -193,6 +219,9 @@ func main() {
 			log.Printf("wal enabled at %s (sync %s): replayed %d records (%d torn tail bytes dropped)",
 				*walDir, ws.Policy, ws.Replayed, ws.DroppedTailBytes)
 		}
+	}
+	if *sealAfter > 0 {
+		log.Printf("background sealer armed: folding live tracks idle longer than %v", *sealAfter)
 	}
 	if engine.PrefilterEnabled() {
 		p := engine.SketchParams()

@@ -114,6 +114,27 @@ type SubSearcher interface {
 	SearchSub(q *traj.Trajectory, k int, bound *SharedBound, ctl *Ctl) ([]Result, Stats, bool, error)
 }
 
+// Distancer is the capability interface for one exact whole-trajectory
+// distance evaluation under the backend's metric, outside any index
+// walk. The live-track scan and the continuous-query matcher use it to
+// evaluate unindexed (still growing) trajectories with the same bounded
+// kernel, limit semantics and cancellation the indexed search uses:
+// returns the exact distance when it is <= limit, +Inf otherwise, and
+// reports whether the evaluation was abandoned (by the limit or by
+// ctl's cancellation — when ctl.Err() is non-nil the result is
+// meaningless). limit may be +Inf; ctl may be nil.
+type Distancer interface {
+	DistanceBetween(q, t *traj.Trajectory, limit float64, ctl *Ctl) (float64, bool)
+}
+
+// SubDistancer is the sub-trajectory form (EDwPsub, Eq. 6): the
+// distance from q to the best contiguous sub-trajectory of t, with the
+// same bounded-kernel contract as Distancer. Metrics without a
+// sub-trajectory form simply do not implement it.
+type SubDistancer interface {
+	SubDistanceBetween(q, t *traj.Trajectory, limit float64, ctl *Ctl) (float64, bool)
+}
+
 // Mutable is the capability interface for in-place updates. The engine
 // only accepts Insert/Delete/Rebuild when every loaded backend is
 // Mutable — a partial update would let the metrics' views of the corpus

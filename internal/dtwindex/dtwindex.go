@@ -37,7 +37,15 @@ func init() { backend.Register(MetricName) }
 var (
 	_ backend.Backend           = (*Index)(nil)
 	_ backend.CandidateSearcher = (*Index)(nil)
+	_ backend.Distancer         = (*Index)(nil)
 )
+
+// DistanceBetween evaluates bounded DTW between two trajectories —
+// the live-track scan's entry into the same kernel the indexed search
+// uses.
+func (ix *Index) DistanceBetween(q, t *traj.Trajectory, limit float64, ctl *backend.Ctl) (float64, bool) {
+	return dtwDist(q.Points, t.Points, limit, ctl.CancelFlag())
+}
 
 // Index holds the database with one precomputed MBR per trajectory.
 type Index struct {

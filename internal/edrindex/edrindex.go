@@ -29,7 +29,15 @@ func init() { backend.Register(MetricName) }
 var (
 	_ backend.Backend           = (*Index)(nil)
 	_ backend.CandidateSearcher = (*Index)(nil)
+	_ backend.Distancer         = (*Index)(nil)
 )
+
+// DistanceBetween evaluates bounded EDR between two trajectories at the
+// index's ε — the live-track scan's entry into the same early-abandon
+// kernel the indexed search uses.
+func (ix *Index) DistanceBetween(q, t *traj.Trajectory, limit float64, ctl *backend.Ctl) (float64, bool) {
+	return ix.edr.DistEarlyAbandonCancel(q, t, intLimit(limit), ctl.CancelFlag())
+}
 
 // cellKey addresses an ε-grid cell.
 type cellKey struct{ cx, cy int }

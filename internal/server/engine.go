@@ -58,6 +58,7 @@ import (
 	"trajmatch/internal/faultfs"
 	"trajmatch/internal/par"
 	"trajmatch/internal/sketch"
+	"trajmatch/internal/stream"
 	"trajmatch/internal/traj"
 	"trajmatch/internal/trajtree"
 	"trajmatch/internal/wal"
@@ -117,6 +118,18 @@ type Options struct {
 	// and snapshot files. nil means the real filesystem; the
 	// crash-recovery harness injects a faultfs.Injector here.
 	FS faultfs.FS
+	// SealAfter, when positive, arms the background sealer: a live track
+	// with no append for SealAfter is folded into the sealed shards as
+	// if POST /v1/seal had been called. 0 disables auto-sealing
+	// (explicit seals only).
+	SealAfter time.Duration
+	// SealInterval is how often the background sealer scans for idle
+	// tracks; 0 derives SealAfter/4 (at least a second).
+	SealInterval time.Duration
+	// EventBuffer is the match-event ring capacity — how far behind a
+	// GET /v1/events consumer may fall before it is told it missed
+	// events. 0 means stream.DefaultEventBuffer.
+	EventBuffer int
 }
 
 const defaultCacheSize = 1024
@@ -179,6 +192,22 @@ type Engine struct {
 	wal   *wal.Log
 	mutMu sync.Mutex
 
+	// Live ingest (stream.go): buffer holds the growing unsealed
+	// tracks, watches the standing queries, events the match feed.
+	// Built by initStream before WAL replay; never nil after
+	// construction. The sealer goroutine (when Options.SealAfter > 0)
+	// folds idle tracks into the sealed shards.
+	buffer   *stream.Buffer
+	watches  *stream.Registry
+	events   *stream.EventLog
+	sealStop chan struct{}
+	sealOnce sync.Once
+	sealWG   sync.WaitGroup
+	// replayGaps, during WAL replay only, records tracks whose head was
+	// in a truncated segment (track ID -> the point count a later
+	// carry-over record must restore); see replayRecord/checkReplayGaps.
+	replayGaps map[int]int
+
 	// sketches is the candidate prefilter: one sketch index per shard,
 	// shared across metric sets (candidacy depends on geometry alone,
 	// and every set shards the same corpus with the same placement).
@@ -207,6 +236,14 @@ type Engine struct {
 
 	prefilterCandidates atomic.Uint64
 	prefilterSkipped    atomic.Uint64
+
+	// Streaming counters (stream.go): acknowledged appends and seals,
+	// exact kernel evaluations the continuous-query matcher ran, and
+	// (append, watch) pairs its token gate skipped.
+	appends        atomic.Uint64
+	seals          atomic.Uint64
+	watchEvals     atomic.Uint64
+	watchGateSkips atomic.Uint64
 }
 
 // recordQueryStats folds one query's instrumentation into the engine's
@@ -534,7 +571,12 @@ func (e *Engine) fanout(ms *metricSet, q *traj.Trajectory, req Query, ctl *backe
 		}
 	}
 	if len(shards) == 1 {
-		return shardRun(0, bound)
+		res, st, truncated, err := shardRun(0, bound)
+		if err != nil {
+			return res, st, truncated, err
+		}
+		res, ltrunc, err := e.liveAugment(ms, q, req, res, ctl, &st)
+		return res, st, truncated || ltrunc, err
 	}
 	per := make([][]backend.Result, len(shards))
 	sts := make([]backend.Stats, len(shards))
@@ -576,7 +618,9 @@ func (e *Engine) fanout(ms *metricSet, q *traj.Trajectory, req Query, ctl *backe
 	if req.Kind == KindRange {
 		k = -1
 	}
-	return mergeResults(per, k), total, truncated, nil
+	res := mergeResults(per, k)
+	res, ltrunc, err := e.liveAugment(ms, q, req, res, ctl, &total)
+	return res, total, truncated || ltrunc, err
 }
 
 // mergeResults concatenates per-shard answer lists and sorts by
@@ -666,6 +710,9 @@ func (e *Engine) Insert(tr *traj.Trajectory) error {
 		return err
 	}
 	if e.wal == nil {
+		if tr != nil && e.buffer != nil && e.buffer.Has(tr.ID) {
+			return fmt.Errorf("server: trajectory ID %d is a live track (seal or delete it first)", tr.ID)
+		}
 		if err := e.applyInsert(tr); err != nil {
 			return err
 		}
@@ -681,7 +728,7 @@ func (e *Engine) Insert(tr *traj.Trajectory) error {
 		return fmt.Errorf("server: %w", err)
 	}
 	e.mutMu.Lock()
-	if e.Lookup(tr.ID) != nil {
+	if e.Lookup(tr.ID) != nil || (e.buffer != nil && e.buffer.Has(tr.ID)) {
 		e.mutMu.Unlock()
 		return fmt.Errorf("server: duplicate trajectory ID %d", tr.ID)
 	}
@@ -744,7 +791,7 @@ func (e *Engine) Delete(id int) bool {
 		return true
 	}
 	e.mutMu.Lock()
-	if e.Lookup(id) == nil {
+	if e.Lookup(id) == nil && (e.buffer == nil || !e.buffer.Has(id)) {
 		e.mutMu.Unlock()
 		return false
 	}
@@ -769,7 +816,9 @@ func (e *Engine) Delete(id int) bool {
 
 // applyDelete removes id from every metric's owning shard and the
 // sketch, reporting presence — the in-memory half of a delete, shared
-// by the live path and WAL replay.
+// by the live path and WAL replay. A live (unsealed) track with the ID
+// is dropped from the buffer instead, along with any top-k watch
+// answer entries it earned.
 func (e *Engine) applyDelete(id int) bool {
 	present := false
 	for _, ms := range e.sets {
@@ -779,6 +828,16 @@ func (e *Engine) applyDelete(id int) bool {
 			return false
 		}
 		present = present || ok
+	}
+	if e.buffer != nil {
+		if _, ok := e.buffer.Remove(id); ok {
+			present = true
+			for _, w := range e.watches.After(0) {
+				if w.K > 0 {
+					w.Drop(id)
+				}
+			}
+		}
 	}
 	if !present {
 		return false
@@ -909,6 +968,10 @@ type Stats struct {
 	// (appends, fsyncs, group-commit batching, recovery tallies);
 	// absent when the engine runs without a WAL.
 	WAL *wal.Stats `json:"wal,omitempty"`
+
+	// Stream carries the live-ingest counters: buffer size, append and
+	// seal tallies, standing-query fan-out and the token gate's savings.
+	Stream *StreamStats `json:"stream,omitempty"`
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -966,5 +1029,6 @@ func (e *Engine) Stats() Stats {
 		ws := e.wal.Stats()
 		st.WAL = &ws
 	}
+	st.Stream = e.streamStats()
 	return st
 }

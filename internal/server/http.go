@@ -250,6 +250,11 @@ type HandlerOptions struct {
 //	POST /v1/delete    {"ids": [17, 42]}
 //	POST /v1/rebuild   (no body)
 //	POST /v1/snapshot  (no body; 412 unless Options.SnapshotDir is set)
+//	POST /v1/append    {"id": 7, "label": 1, "points": [[x,y,t], ...]}
+//	POST /v1/seal      {"id": 7}
+//	POST /v1/watch     {"pattern": {...}, "threshold": 250 | "k": 5}
+//	POST /v1/unwatch   {"watch": 3}
+//	GET  /v1/events    ?since=N&max=M&wait_ms=T (or ?sse=1 for SSE)
 //	GET  /v1/stats
 //	GET  /v1/healthz
 //
@@ -271,6 +276,11 @@ func NewAPIHandler(e *Engine, opt HandlerOptions) http.Handler {
 		"/v1/delete":   {http.MethodPost, h.delete},
 		"/v1/rebuild":  {http.MethodPost, h.rebuild},
 		"/v1/snapshot": {http.MethodPost, h.snapshot},
+		"/v1/append":   {http.MethodPost, h.append},
+		"/v1/seal":     {http.MethodPost, h.seal},
+		"/v1/watch":    {http.MethodPost, h.watch},
+		"/v1/unwatch":  {http.MethodPost, h.unwatch},
+		"/v1/events":   {http.MethodGet, h.events},
 		"/v1/stats":    {http.MethodGet, h.stats},
 		"/v1/healthz":  {http.MethodGet, h.healthz},
 	}

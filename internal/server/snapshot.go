@@ -290,6 +290,15 @@ func (e *Engine) SaveSnapshot(dir string) error {
 	if e.wal != nil {
 		e.mutMu.Lock()
 		b, berr := e.wal.Barrier()
+		if berr == nil {
+			// The shard streams below carry only sealed state; live tracks
+			// exist solely in pre-barrier append records the truncation is
+			// about to drop. Re-log each live track's full state into the
+			// post-barrier segment — still under mutMu, so no append can
+			// interleave — and replay's offset-based idempotency absorbs
+			// the overlap with any later records.
+			berr = e.relogLiveTracks()
+		}
 		e.mutMu.Unlock()
 		if berr != nil {
 			return fmt.Errorf("server: snapshot: %w", berr)
@@ -450,6 +459,11 @@ func (e *Engine) SaveSnapshot(dir string) error {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
 	if e.wal != nil {
+		// The live-track carry-over records must be durable before the
+		// segments holding their originals disappear.
+		if err := e.wal.Sync(); err != nil {
+			return fmt.Errorf("server: snapshot: %w", err)
+		}
 		if err := e.wal.TruncateBefore(barrier); err != nil {
 			return fmt.Errorf("server: snapshot: %w", err)
 		}

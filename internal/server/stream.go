@@ -1,0 +1,583 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"trajmatch/internal/backend"
+	"trajmatch/internal/sketch"
+	"trajmatch/internal/stream"
+	"trajmatch/internal/traj"
+	"trajmatch/internal/wal"
+)
+
+// This file wires the live-ingest subsystem (internal/stream) into the
+// engine: the append path, the seal path (manual and background), the
+// standing-query surface (Watch/Unwatch/Events), and the live-track
+// stage of every search.
+//
+// The streaming lifecycle in one paragraph: POST /v1/append extends a
+// live track in the per-shard mutable buffer — WAL-logged first, so an
+// acked point survives a crash — and the track is immediately
+// searchable: every search, after merging its sealed-shard answers,
+// evaluates the live tracks with the same bounded kernel and merges by
+// (distance, ID). Each append also advances the track's incremental
+// fingerprint (sketch.Stream) and feeds the continuous-query matcher:
+// watches whose pattern shares no grid cell with the track are skipped
+// outright (the token gate; counter WatchGateSkips), colliding watches
+// run the exact prefix kernel, and a crossing emits an Event with a
+// monotonic sequence number on the long-poll/SSE feed. Sealing — an
+// explicit POST /v1/seal or the background idle sealer — folds the
+// finished track into every metric's sealed shard via the normal
+// insert machinery and drops it from the buffer.
+
+// Streaming errors the HTTP layer maps onto status codes.
+var (
+	// ErrSealedID rejects an append onto an ID that already exists as a
+	// sealed (indexed) trajectory.
+	ErrSealedID = errors.New("id already sealed")
+	// ErrNoTrack rejects a seal of an ID with no live track.
+	ErrNoTrack = errors.New("no live track with this id")
+	// ErrUnknownWatch rejects an unwatch of an unregistered watch ID.
+	ErrUnknownWatch = errors.New("no watch with this id")
+)
+
+// initStream builds the live-ingest state: the track buffer (sharded
+// with the engine's own placement, bumping the engine generation on
+// every mutation so cached answers stay coherent), the watch registry
+// and the event log. Called from attachWAL so it precedes WAL replay —
+// replayed append records land in the buffer.
+func (e *Engine) initStream() {
+	var params *sketch.Params
+	if e.sketches != nil {
+		p := e.sketchParams
+		params = &p
+	}
+	e.buffer = stream.NewBuffer(len(e.sets[0].shards), shardIndex, e.gen.bump, params)
+	e.watches = stream.NewRegistry()
+	e.events = stream.NewEventLog(e.opt.EventBuffer)
+}
+
+// validateDelta checks an append delta the way traj.Validate checks a
+// whole trajectory, minus the two-point minimum (a delta may be a
+// single point; the two-point floor applies to searchability and
+// sealing, not ingestion). lastT is the track's current final
+// timestamp, NaN for a new track.
+func validateDelta(pts []traj.Point, lastT float64) error {
+	if len(pts) == 0 {
+		return fmt.Errorf("%w: empty append", ErrInvalidQuery)
+	}
+	prev := lastT
+	for i, p := range pts {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) ||
+			math.IsNaN(p.T) || math.IsInf(p.T, 0) {
+			return fmt.Errorf("%w: non-finite coordinate at point %d", ErrInvalidQuery, i)
+		}
+		if !math.IsNaN(prev) && p.T < prev {
+			return fmt.Errorf("%w: timestamps not sorted at point %d", ErrInvalidQuery, i)
+		}
+		prev = p.T
+	}
+	return nil
+}
+
+// Append extends live track id by pts, creating the track (with the
+// given label) on first use, and returns the offset the delta landed at
+// — the track's point count before the append. With a WAL attached the
+// delta is logged before it is applied and acknowledged only once
+// durable per the sync policy. The appended points are visible to the
+// very next search (read-your-writes) once the track holds two points,
+// and the continuous-query matcher runs before Append returns, so a
+// watcher's match event is published within the append round-trip.
+func (e *Engine) Append(id, label int, pts []traj.Point) (int, error) {
+	if e.buffer == nil {
+		return 0, fmt.Errorf("server: engine built without streaming state")
+	}
+	e.mutMu.Lock()
+	if e.Lookup(id) != nil {
+		e.mutMu.Unlock()
+		return 0, fmt.Errorf("server: trajectory %d: %w", id, ErrSealedID)
+	}
+	lastT := math.NaN()
+	if snap, ok := e.buffer.Get(id); ok {
+		label = snap.Label // the first append's label wins
+		lastT = snap.Points[len(snap.Points)-1].T
+	}
+	if err := validateDelta(pts, lastT); err != nil {
+		e.mutMu.Unlock()
+		return 0, err
+	}
+	offset := e.buffer.Len(id)
+	var lsn uint64
+	if e.wal != nil {
+		var err error
+		lsn, err = e.wal.Append(wal.AppendPoints(id, label, offset, pts))
+		if err != nil {
+			e.mutMu.Unlock()
+			return 0, fmt.Errorf("server: %w", err)
+		}
+	}
+	e.applyAppend(id, label, pts)
+	e.mutMu.Unlock()
+	if e.wal != nil {
+		if err := e.wal.Commit(lsn); err != nil {
+			// Applied in memory but not durable: not acknowledged.
+			return 0, fmt.Errorf("server: %w", err)
+		}
+	}
+	e.appends.Add(1)
+	return offset, nil
+}
+
+// applyAppend is the in-memory half of an append, shared by the live
+// path and WAL replay: extend the buffer track and run the
+// continuous-query matcher under the shard lock (on replay the registry
+// is empty, so the matcher is a no-op).
+func (e *Engine) applyAppend(id, label int, pts []traj.Point) {
+	e.buffer.Append(id, label, pts, time.Now(), e.watchEval)
+}
+
+// Seal folds live track id into every metric's sealed shard — the
+// track must form a valid trajectory (two points minimum) — and drops
+// it from the buffer. Requires mutable backends, like Insert.
+func (e *Engine) Seal(id int) error {
+	if e.buffer == nil {
+		return fmt.Errorf("server: engine built without streaming state")
+	}
+	if err := e.requireMutable(); err != nil {
+		return err
+	}
+	e.mutMu.Lock()
+	snap, ok := e.buffer.Get(id)
+	if !ok {
+		e.mutMu.Unlock()
+		return fmt.Errorf("server: trajectory %d: %w", id, ErrNoTrack)
+	}
+	tr := traj.New(snap.ID, snap.Points)
+	tr.Label = snap.Label
+	if err := tr.Validate(); err != nil {
+		e.mutMu.Unlock()
+		return fmt.Errorf("%w: seal %d: %v", ErrInvalidQuery, id, err)
+	}
+	var lsn uint64
+	if e.wal != nil {
+		var err error
+		lsn, err = e.wal.Append(wal.Seal(id))
+		if err != nil {
+			e.mutMu.Unlock()
+			return fmt.Errorf("server: %w", err)
+		}
+	}
+	aerr := e.applySeal(id)
+	e.mutMu.Unlock()
+	if aerr != nil {
+		return aerr
+	}
+	if e.wal != nil {
+		if err := e.wal.Commit(lsn); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+	}
+	e.seals.Add(1)
+	return nil
+}
+
+// applySeal is the in-memory half of a seal, shared by the live path
+// and WAL replay: remove the track from the buffer and insert its
+// trajectory into every metric's owning shard and the sketch.
+func (e *Engine) applySeal(id int) error {
+	snap, ok := e.buffer.Remove(id)
+	if !ok {
+		return nil
+	}
+	tr := traj.New(snap.ID, snap.Points)
+	tr.Label = snap.Label
+	return e.applyInsert(tr)
+}
+
+// SealIdle seals every live track whose last append is at least d old
+// and that forms a valid trajectory, returning how many sealed. Tracks
+// still below two points are left for more appends (or deletion).
+func (e *Engine) SealIdle(d time.Duration) int {
+	if e.buffer == nil {
+		return 0
+	}
+	ids := e.buffer.IdleBefore(time.Now().Add(-d))
+	sort.Ints(ids)
+	n := 0
+	for _, id := range ids {
+		if e.Seal(id) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// startSealer arms the background sealer when Options.SealAfter asks
+// for one; stopSealer (Close) tears it down.
+func (e *Engine) startSealer() {
+	if e.opt.SealAfter <= 0 {
+		return
+	}
+	interval := e.opt.SealInterval
+	if interval <= 0 {
+		interval = e.opt.SealAfter / 4
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	e.sealStop = make(chan struct{})
+	e.sealWG.Add(1)
+	go func() {
+		defer e.sealWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.sealStop:
+				return
+			case <-t.C:
+				e.SealIdle(e.opt.SealAfter)
+			}
+		}
+	}()
+}
+
+func (e *Engine) stopSealer() {
+	if e.sealStop == nil {
+		return
+	}
+	e.sealOnce.Do(func() { close(e.sealStop) })
+	e.sealWG.Wait()
+}
+
+// Watch registers a standing query: pattern is matched against every
+// growing track under the named metric (empty means the default), with
+// exactly one of threshold (> 0: emit an event, once per track, when
+// the track's prefix distance reaches it) or k (> 0: emit an event
+// whenever a track enters or improves within the watch's k best). exact
+// opts out of the sketch token gate — every append evaluates the exact
+// kernel. Returns the watch ID events carry. Matching is evaluated on
+// appends after registration; tracks already matching are caught up on
+// their next append.
+func (e *Engine) Watch(pattern *traj.Trajectory, metric string, threshold float64, k int, exact bool) (int, error) {
+	if e.watches == nil {
+		return 0, fmt.Errorf("server: engine built without streaming state")
+	}
+	if pattern == nil {
+		return 0, fmt.Errorf("%w: nil watch pattern", ErrInvalidQuery)
+	}
+	if err := pattern.Validate(); err != nil {
+		return 0, fmt.Errorf("%w: watch pattern: %v", ErrInvalidQuery, err)
+	}
+	if (threshold > 0) == (k > 0) {
+		return 0, fmt.Errorf("%w: exactly one of threshold and k must be positive", ErrInvalidQuery)
+	}
+	if threshold > 0 && math.IsInf(threshold, 1) {
+		return 0, fmt.Errorf("%w: threshold must be finite", ErrInvalidQuery)
+	}
+	ms, err := e.resolveMetric(metric)
+	if err != nil {
+		return 0, err
+	}
+	be := ms.shards[0].be
+	if _, ok := be.(backend.SubDistancer); !ok {
+		if _, ok := be.(backend.Distancer); !ok {
+			return 0, fmt.Errorf("server: metric %q: watch %w", ms.name, backend.ErrNotSupported)
+		}
+	}
+	var tokens []uint64
+	if e.sketches != nil && !exact {
+		tokens, err = sketch.PatternTokens(e.sketchParams, pattern)
+		if err != nil {
+			return 0, fmt.Errorf("server: %w", err)
+		}
+	}
+	w := &stream.Watch{Pattern: pattern, Metric: ms.name, Threshold: threshold, K: k, Exact: exact}
+	return e.watches.Add(w, tokens), nil
+}
+
+// Unwatch unregisters a watch, clearing its per-track gating state.
+func (e *Engine) Unwatch(id int) bool {
+	if e.watches == nil || !e.watches.Remove(id) {
+		return false
+	}
+	e.buffer.ForgetWatch(id)
+	return true
+}
+
+// Watches returns the number of registered standing queries.
+func (e *Engine) Watches() int {
+	if e.watches == nil {
+		return 0
+	}
+	return e.watches.Count()
+}
+
+// Events returns up to max match events with sequence numbers > since,
+// plus whether the consumer's cursor predates the retained window (it
+// missed events it can never replay and should resync).
+func (e *Engine) Events(since uint64, max int) ([]stream.Event, bool) {
+	if e.events == nil {
+		return nil, false
+	}
+	return e.events.After(since, max)
+}
+
+// EventsWait returns a channel closed at the next published event —
+// the long-poll primitive behind GET /v1/events.
+func (e *Engine) EventsWait() <-chan struct{} {
+	return e.events.WaitCh()
+}
+
+// LastEventSeq returns the newest published event sequence number.
+func (e *Engine) LastEventSeq() uint64 {
+	if e.events == nil {
+		return 0
+	}
+	return e.events.LastSeq()
+}
+
+// watchEval is the continuous-query matcher, run under the buffer
+// shard's lock on every append (its position inside the lock is what
+// orders one track's events by append). Three stages: catch up on
+// watches registered since the track's previous append, open gates the
+// delta's fresh tokens collide with, then run the exact kernel for the
+// gated, unlatched watches only — the token gate is where the sketch
+// prefilter pays for itself, counted in watchGateSkips.
+func (e *Engine) watchEval(t *stream.Track, fresh []uint64) {
+	reg := e.watches
+	if max := reg.MaxID(); max > t.LastWatchID() {
+		for _, w := range reg.After(t.LastWatchID()) {
+			if w.Exact || t.Sketch() == nil {
+				t.SetGated(w.ID)
+				continue
+			}
+			for _, tok := range reg.Tokens(w.ID) {
+				if t.Sketch().HasToken(tok) {
+					t.SetGated(w.ID)
+					break
+				}
+			}
+		}
+		t.SetLastWatchID(max)
+	}
+	for _, id := range reg.Collide(fresh) {
+		t.SetGated(id)
+	}
+	gated := t.GatedIDs()
+	if skipped := reg.Count() - len(gated); skipped > 0 {
+		e.watchGateSkips.Add(uint64(skipped))
+	}
+	if len(gated) == 0 || t.Len() < 2 {
+		return
+	}
+	trackTr := traj.New(t.ID(), t.Points())
+	trackTr.Label = t.Label()
+	for _, wid := range gated {
+		w := reg.Get(wid)
+		if w == nil {
+			t.ForgetWatch(wid)
+			continue
+		}
+		if w.Threshold > 0 && t.Matched(wid) {
+			continue // threshold watches latch: one event per (watch, track)
+		}
+		ms := e.byName[w.Metric]
+		if ms == nil {
+			continue
+		}
+		limit := w.Threshold
+		if w.K > 0 {
+			limit = w.KthBound()
+		}
+		// Prefer the sub-trajectory kernel (EDwPsub): the pattern should
+		// match anywhere inside the growing track, which also makes the
+		// distance non-increasing as the track grows. Metrics without a
+		// sub-trajectory form match whole-track.
+		var d float64
+		var abandoned bool
+		be := ms.shards[0].be
+		e.watchEvals.Add(1)
+		if sd, ok := be.(backend.SubDistancer); ok {
+			d, abandoned = sd.SubDistanceBetween(w.Pattern, trackTr, limit, nil)
+		} else if dd, ok := be.(backend.Distancer); ok {
+			d, abandoned = dd.DistanceBetween(w.Pattern, trackTr, limit, nil)
+		} else {
+			continue
+		}
+		if abandoned || d > limit {
+			continue
+		}
+		if w.K > 0 {
+			if changed, rank := w.Offer(t.ID(), d); changed {
+				e.events.Publish(stream.Event{
+					Watch: wid, Track: t.ID(), Metric: w.Metric,
+					Dist: d, PrefixLen: t.Len(), Rank: rank,
+				})
+			}
+			continue
+		}
+		t.SetMatched(wid)
+		e.events.Publish(stream.Event{
+			Watch: wid, Track: t.ID(), Metric: w.Metric,
+			Dist: d, PrefixLen: t.Len(), Rank: -1,
+		})
+	}
+}
+
+// liveAugment is the live-track stage of a search: after the sealed
+// shards answered, evaluate every live track with at least two points
+// under the same bounded kernel (capability backend.Distancer /
+// SubDistancer) and re-merge by (distance, ID). The sealed answer's
+// k-th best seeds the evaluation limit, so live tracks that cannot
+// enter the answer abandon early. Tracks are visited in ID order —
+// with the strict-abandon kernel contract, the merged answer is the
+// same deterministic function of the combined corpus as a sealed-only
+// answer.
+func (e *Engine) liveAugment(ms *metricSet, q *traj.Trajectory, req Query, res []backend.Result, ctl *backend.Ctl, st *backend.Stats) ([]backend.Result, bool, error) {
+	if e.buffer == nil || e.buffer.Count() == 0 {
+		return res, false, nil
+	}
+	snaps := e.buffer.Snapshot()
+	sort.Slice(snaps, func(a, b int) bool { return snaps[a].ID < snaps[b].ID })
+	be := ms.shards[0].be
+	var eval func(q, t *traj.Trajectory, limit float64, ctl *backend.Ctl) (float64, bool)
+	if req.Kind == KindSubKNN {
+		sd, ok := be.(backend.SubDistancer)
+		if !ok {
+			return res, false, fmt.Errorf("metric %q: live sub-trajectory search %w", ms.name, backend.ErrNotSupported)
+		}
+		eval = sd.SubDistanceBetween
+	} else {
+		dd, ok := be.(backend.Distancer)
+		if !ok {
+			return res, false, fmt.Errorf("metric %q: live search %w", ms.name, backend.ErrNotSupported)
+		}
+		eval = dd.DistanceBetween
+	}
+	limit := req.Radius
+	if req.Kind != KindRange {
+		limit = req.seedLimit()
+		if req.K > 0 && len(res) >= req.K {
+			if d := res[len(res)-1].Dist; d < limit {
+				limit = d
+			}
+		}
+	}
+	added := false
+	truncated := false
+	for _, sn := range snaps {
+		if len(sn.Points) < 2 {
+			continue // not yet a valid trajectory; searchable from two points
+		}
+		if ctl.Cancelled() {
+			return nil, false, ctl.Err()
+		}
+		if !ctl.Take() {
+			truncated = true
+			break
+		}
+		tr := traj.New(sn.ID, sn.Points)
+		tr.Label = sn.Label
+		st.DistanceCalls++
+		d, abandoned := eval(q, tr, limit, ctl)
+		if abandoned {
+			if ctl.Cancelled() {
+				return nil, false, ctl.Err()
+			}
+			st.EarlyAbandons++
+			continue
+		}
+		if d > limit {
+			continue
+		}
+		res = append(res, backend.Result{Traj: tr, Dist: d})
+		added = true
+	}
+	if err := ctl.Err(); err != nil {
+		return nil, false, err
+	}
+	if added {
+		k := req.K
+		if req.Kind == KindRange {
+			k = -1
+		}
+		res = mergeResults([][]backend.Result{res}, k)
+	}
+	return res, truncated, nil
+}
+
+// relogLiveTracks appends each live track's full state (an offset-0
+// append record) to the WAL. SaveSnapshot calls it under mutMu right
+// after taking the barrier: the records land in the post-barrier
+// segment, so truncating the pre-barrier segments — which hold the
+// tracks' original append records, while the shard streams hold only
+// sealed state — loses nothing.
+func (e *Engine) relogLiveTracks() error {
+	if e.buffer == nil {
+		return nil
+	}
+	snaps := e.buffer.Snapshot()
+	sort.Slice(snaps, func(a, b int) bool { return snaps[a].ID < snaps[b].ID })
+	for _, sn := range snaps {
+		if _, err := e.wal.Append(wal.AppendPoints(sn.ID, sn.Label, 0, sn.Points)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LiveTracks returns the number of live (unsealed) tracks.
+func (e *Engine) LiveTracks() int {
+	if e.buffer == nil {
+		return 0
+	}
+	return e.buffer.Count()
+}
+
+// LiveTrack returns a snapshot of live track id.
+func (e *Engine) LiveTrack(id int) (stream.Snap, bool) {
+	if e.buffer == nil {
+		return stream.Snap{}, false
+	}
+	return e.buffer.Get(id)
+}
+
+// StreamStats is the live-ingest slice of GET /stats.
+type StreamStats struct {
+	// LiveTracks and LivePoints size the mutable buffer.
+	LiveTracks int `json:"live_tracks"`
+	LivePoints int `json:"live_points"`
+	// Appends and Seals count acknowledged operations.
+	Appends uint64 `json:"appends"`
+	Seals   uint64 `json:"seals"`
+	// Watches is the registered standing-query count; EventSeq the
+	// newest published event sequence number.
+	Watches  int    `json:"watches"`
+	EventSeq uint64 `json:"event_seq"`
+	// WatchEvals counts exact kernel evaluations the matcher ran;
+	// WatchGateSkips the (append, watch) pairs the token gate skipped
+	// without any exact work — the streaming prefilter saving.
+	WatchEvals     uint64 `json:"watch_evals"`
+	WatchGateSkips uint64 `json:"watch_gate_skips"`
+}
+
+func (e *Engine) streamStats() *StreamStats {
+	if e.buffer == nil {
+		return nil
+	}
+	return &StreamStats{
+		LiveTracks:     e.buffer.Count(),
+		LivePoints:     e.buffer.Points(),
+		Appends:        e.appends.Load(),
+		Seals:          e.seals.Load(),
+		Watches:        e.watches.Count(),
+		EventSeq:       e.events.LastSeq(),
+		WatchEvals:     e.watchEvals.Load(),
+		WatchGateSkips: e.watchGateSkips.Load(),
+	}
+}

@@ -33,8 +33,13 @@ import (
 
 // attachWAL opens the log configured in e.opt, replays it into the
 // freshly booted engine, and arms the mutation path. Called once at the
-// end of every engine constructor; a nil WALDir is a no-op.
+// end of every engine constructor. It also builds the live-ingest state
+// (initStream) — before replay, so replayed append records land in the
+// track buffer — and arms the background sealer; with a nil WALDir only
+// those two happen.
 func (e *Engine) attachWAL() error {
+	e.initStream()
+	defer e.startSealer()
 	if e.opt.WALDir == "" {
 		return nil
 	}
@@ -52,7 +57,33 @@ func (e *Engine) attachWAL() error {
 		l.Close()
 		return fmt.Errorf("server: wal replay: %w", err)
 	}
+	if err := e.checkReplayGaps(); err != nil {
+		l.Close()
+		return fmt.Errorf("server: wal replay: %w", err)
+	}
 	e.wal = l
+	return nil
+}
+
+// checkReplayGaps verifies that every append record skipped for
+// starting past its track's recovered prefix (replayRecord's
+// interrupted-truncation shape) was made whole by a later full-state
+// carry-over record — or that the track was sealed, which the snapshot
+// then covers. A leftover gap means acknowledged points are genuinely
+// unrecoverable, and the boot must refuse rather than serve the track
+// with a hole.
+func (e *Engine) checkReplayGaps() error {
+	for id, end := range e.replayGaps {
+		if e.Lookup(id) != nil {
+			continue
+		}
+		if e.buffer.Len(id) >= end {
+			continue
+		}
+		return fmt.Errorf("track %d has an unrepaired gap (recovered %d points, records reached %d)",
+			id, e.buffer.Len(id), end)
+	}
+	e.replayGaps = nil
 	return nil
 }
 
@@ -75,15 +106,60 @@ func (e *Engine) replayRecord(rec wal.Record) error {
 	case wal.OpDelete:
 		e.applyDelete(rec.ID)
 		return nil
+	case wal.OpAppend:
+		// Appends replay offset-based: a record overlapping what the
+		// track already holds (a snapshot carry-over record followed by
+		// the re-applied live records) applies only its novel suffix, so
+		// replay is idempotent and a recovered track is exactly the
+		// logged prefix. A record STARTING past what the track holds is
+		// the interrupted-truncation shape — segments are removed oldest
+		// first, so the log may open mid-track, with the snapshot's
+		// full-state carry-over record (durable before any truncation)
+		// further on to repair the head. The delta is skipped and the
+		// repair obligation recorded; a boot where it never arrives
+		// fails (checkReplayGaps) rather than serving a track with a
+		// hole.
+		if e.Lookup(rec.ID) != nil {
+			return nil // the track was sealed later in the log or snapshot
+		}
+		pts := rec.Traj.Points
+		have := e.buffer.Len(rec.ID)
+		if rec.Offset+len(pts) <= have {
+			return nil // fully applied already
+		}
+		if rec.Offset > have {
+			if e.replayGaps == nil {
+				e.replayGaps = make(map[int]int)
+			}
+			if end := rec.Offset + len(pts); end > e.replayGaps[rec.ID] {
+				e.replayGaps[rec.ID] = end
+			}
+			return nil
+		}
+		e.applyAppend(rec.ID, rec.Traj.Label, pts[have-rec.Offset:])
+		return nil
+	case wal.OpSeal:
+		if e.Lookup(rec.ID) != nil {
+			return nil // already sealed (snapshot or an earlier record)
+		}
+		if !e.buffer.Has(rec.ID) {
+			return fmt.Errorf("seal of unknown track %d", rec.ID)
+		}
+		if end, ok := e.replayGaps[rec.ID]; ok && e.buffer.Len(rec.ID) < end {
+			return fmt.Errorf("seal of track %d with unrepaired gap (have %d points, need %d)",
+				rec.ID, e.buffer.Len(rec.ID), end)
+		}
+		return e.applySeal(rec.ID)
 	}
 	return fmt.Errorf("unknown op %v", rec.Op)
 }
 
-// Close releases the engine's durable resources: it flushes and fsyncs
-// the write-ahead log (under every sync policy) and closes it. Queries
-// still work after Close; mutations fail. Engines without a WAL have
-// nothing to release and Close is a no-op.
+// Close releases the engine's durable resources: it stops the
+// background sealer, then flushes and fsyncs the write-ahead log (under
+// every sync policy) and closes it. Queries still work after Close;
+// mutations fail. Engines without a WAL only stop the sealer.
 func (e *Engine) Close() error {
+	e.stopSealer()
 	if e.wal == nil {
 		return nil
 	}

@@ -70,42 +70,65 @@ func (ix *Index) tokens(tr *traj.Trajectory) []uint64 {
 // fuzzing does).
 func (ix *Index) tokensAt(tr *traj.Trajectory, cell float64) []uint64 {
 	var out []uint64
-	var lastX, lastY int64
-	have := false
-	emit := func(x, y float64) {
-		cx, cy := quantize(x, cell), quantize(y, cell)
-		if have && cx == lastX && cy == lastY {
+	w := cellWalk{cell: cell}
+	w.feed(tr.Points, func(t uint64) { out = append(out, t) })
+	return out
+}
+
+// cellWalk is the resumable tokenization cursor: it carries the
+// consecutive-duplicate collapse state and the previous raw point across
+// feed calls, so feeding a point sequence in arbitrary chunks emits
+// exactly the token stream of feeding it whole. Index tokenizes a
+// finished trajectory through a throwaway walk; Stream keeps one alive
+// per growing track so each append tokenizes only the new segments.
+type cellWalk struct {
+	cell           float64
+	lastCx, lastCy int64
+	haveCell       bool
+	prev           traj.Point
+	havePrev       bool
+}
+
+// feed advances the walk over pts, invoking emit for every newly entered
+// cell. Segment interiors are walked at half-cell steps so every
+// traversed cell is emitted regardless of sampling rate; non-finite
+// points are skipped (and suppress the walk of their adjacent segments)
+// but still become the predecessor of the next point, mirroring the
+// whole-array semantics.
+func (w *cellWalk) feed(pts []traj.Point, emit func(uint64)) {
+	emitXY := func(x, y float64) {
+		cx, cy := quantize(x, w.cell), quantize(y, w.cell)
+		if w.haveCell && cx == w.lastCx && cy == w.lastCy {
 			return
 		}
-		lastX, lastY = cx, cy
-		have = true
-		out = append(out, cellToken(cx, cy))
+		w.lastCx, w.lastCy = cx, cy
+		w.haveCell = true
+		emit(cellToken(cx, cy))
 	}
-	pts := tr.Points
-	for i, p := range pts {
-		if !finite(p.X) || !finite(p.Y) {
-			continue
-		}
-		if i > 0 && finite(pts[i-1].X) && finite(pts[i-1].Y) {
-			// Walk the segment interior at half-cell steps so every
-			// traversed cell is emitted regardless of sampling rate.
-			px, py := pts[i-1].X, pts[i-1].Y
-			dx, dy := p.X-px, p.Y-py
-			dist := math.Hypot(dx, dy)
-			if finite(dist) && dist > cell/2 {
-				steps := int(dist / (cell / 2))
-				if steps > maxWalkSteps {
-					steps = maxWalkSteps
-				}
-				for s := 1; s < steps; s++ {
-					f := float64(s) / float64(steps)
-					emit(px+f*dx, py+f*dy)
+	for _, p := range pts {
+		if finite(p.X) && finite(p.Y) {
+			if w.havePrev && finite(w.prev.X) && finite(w.prev.Y) {
+				// Walk the segment interior at half-cell steps so every
+				// traversed cell is emitted regardless of sampling rate.
+				px, py := w.prev.X, w.prev.Y
+				dx, dy := p.X-px, p.Y-py
+				dist := math.Hypot(dx, dy)
+				if finite(dist) && dist > w.cell/2 {
+					steps := int(dist / (w.cell / 2))
+					if steps > maxWalkSteps {
+						steps = maxWalkSteps
+					}
+					for s := 1; s < steps; s++ {
+						f := float64(s) / float64(steps)
+						emitXY(px+f*dx, py+f*dy)
+					}
 				}
 			}
+			emitXY(p.X, p.Y)
 		}
-		emit(p.X, p.Y)
+		w.prev = p
+		w.havePrev = true
 	}
-	return out
 }
 
 // maxWalkSteps caps the per-segment walk so one absurdly long segment
@@ -125,13 +148,6 @@ func (ix *Index) shingles(toks []uint64) []uint64 {
 	}
 	k := ix.p.Shingle
 	var out []uint64
-	gram := func(ts []uint64) uint64 {
-		h := uint64(0x5851f42d4c957f2d)
-		for _, t := range ts {
-			h = mix2(h, t)
-		}
-		return h
-	}
 	if len(toks) < k {
 		out = append(out, gram(toks))
 	} else {
@@ -140,6 +156,17 @@ func (ix *Index) shingles(toks []uint64) []uint64 {
 		}
 	}
 	return dedupe(out)
+}
+
+// gram hashes one ordered token run into a single shingle value; the
+// k-gram sets and the short-sequence whole-run fallback both build on
+// it, as does Stream's incremental fold.
+func gram(ts []uint64) uint64 {
+	h := uint64(0x5851f42d4c957f2d)
+	for _, t := range ts {
+		h = mix2(h, t)
+	}
+	return h
 }
 
 // signature computes the MinHash signature of a shingle set: one

@@ -1,0 +1,127 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"trajmatch/internal/traj"
+)
+
+// streamWalkTraj builds a meandering track whose segments vary from
+// sub-cell jitter to multi-cell hops, so prefixes exercise the
+// duplicate collapse, the interior walk, and the short-sequence
+// shingle fallback.
+func streamWalkTraj(rng *rand.Rand, n int) []traj.Point {
+	pts := make([]traj.Point, n)
+	x, y := rng.Float64()*1000, rng.Float64()*1000
+	for i := range pts {
+		step := math.Exp(rng.Float64()*6 - 2) // ~0.14 .. ~55 units
+		ang := rng.Float64() * 2 * math.Pi
+		x += step * math.Cos(ang)
+		y += step * math.Sin(ang)
+		pts[i] = traj.Point{X: x, Y: y, T: float64(i)}
+	}
+	return pts
+}
+
+// TestStreamMatchesIndexAtEveryPrefix is the core incremental-sketch
+// property: a Stream extended in arbitrary chunks reports, at every
+// prefix, exactly the signature and token set Index computes from
+// scratch over the same points. Covers shingle lengths spanning the
+// whole-sequence-fallback transition and chunk sizes from single
+// points to bursts.
+func TestStreamMatchesIndexAtEveryPrefix(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		for _, chunk := range []int{1, 3, 7} {
+			rng := rand.New(rand.NewSource(int64(100*k + chunk)))
+			p := Params{CellSize: 10, Shingle: k, Hashes: 32, Bands: 8, MinCands: 8, Seed: 42}
+			ix := mustIndex(t, p)
+			s, err := NewStream(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts := streamWalkTraj(rng, 60)
+			var seen []uint64
+			for off := 0; off < len(pts); off += chunk {
+				end := off + chunk
+				if end > len(pts) {
+					end = len(pts)
+				}
+				fresh := s.Extend(pts[off:end])
+				seen = append(seen, fresh...)
+
+				prefix := &traj.Trajectory{ID: 1, Points: pts[:end]}
+				toks := ix.tokens(prefix)
+				wantSig := ix.signature(ix.shingles(toks))
+				if got := s.Signature(); !reflect.DeepEqual(got, wantSig) {
+					t.Fatalf("k=%d chunk=%d prefix=%d: signature diverged", k, chunk, end)
+				}
+				if s.TokenCount() != len(toks) {
+					t.Fatalf("k=%d chunk=%d prefix=%d: token count %d, want %d", k, chunk, end, s.TokenCount(), len(toks))
+				}
+				wantSet := dedupe(toks)
+				gotSet := append([]uint64(nil), seen...)
+				sort.Slice(gotSet, func(a, b int) bool { return gotSet[a] < gotSet[b] })
+				if !reflect.DeepEqual(gotSet, wantSet) {
+					t.Fatalf("k=%d chunk=%d prefix=%d: token set diverged (%d vs %d tokens)", k, chunk, end, len(gotSet), len(wantSet))
+				}
+				for _, tok := range wantSet {
+					if !s.HasToken(tok) {
+						t.Fatalf("k=%d chunk=%d prefix=%d: HasToken(%#x) = false", k, chunk, end, tok)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamNonFinitePoints: non-finite points must neither emit tokens
+// nor break chunked/whole equivalence (they suppress the interior walk
+// of adjacent segments exactly as Index's tokenizer does).
+func TestStreamNonFinitePoints(t *testing.T) {
+	p := Params{CellSize: 10, Shingle: 2, Hashes: 32, Bands: 8, MinCands: 8, Seed: 7}
+	ix := mustIndex(t, p)
+	pts := []traj.Point{
+		{X: 0, Y: 0, T: 0},
+		{X: 35, Y: 5, T: 1},
+		{X: math.NaN(), Y: 10, T: 2},
+		{X: 70, Y: 40, T: 3},
+		{X: math.Inf(1), Y: math.Inf(1), T: 4},
+		{X: 90, Y: 90, T: 5},
+	}
+	s, err := NewStream(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		s.Extend(pts[i : i+1])
+	}
+	whole := &traj.Trajectory{ID: 1, Points: pts}
+	want := ix.signature(ix.shingles(ix.tokens(whole)))
+	if got := s.Signature(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("signature diverged on non-finite input")
+	}
+}
+
+// TestPatternTokens: the registry-side fingerprint equals the distinct
+// token set of the index tokenizer.
+func TestPatternTokens(t *testing.T) {
+	p := Params{CellSize: 10, Shingle: 2, Hashes: 32, Bands: 8, MinCands: 8, Seed: 7}
+	ix := mustIndex(t, p)
+	rng := rand.New(rand.NewSource(9))
+	tr := &traj.Trajectory{ID: 3, Points: streamWalkTraj(rng, 40)}
+	got, err := PatternTokens(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+	if want := dedupe(ix.tokens(tr)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pattern tokens diverged: %d vs %d", len(got), len(want))
+	}
+	if _, err := PatternTokens(Params{CellSize: -1}, tr); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package stream
+
+import "sync"
+
+// Event is one continuous-query match notification. Seq numbers are
+// assigned contiguously from 1 in publish order; a consumer that
+// resumes with the last seq it processed receives every later event
+// still retained (at-least-once: a consumer that crashes after
+// processing but before persisting its cursor sees those events
+// again).
+type Event struct {
+	// Seq is the log-wide monotonic sequence number.
+	Seq uint64 `json:"seq"`
+	// Watch and Track identify the matched (standing query, live
+	// trajectory) pair.
+	Watch int `json:"watch"`
+	Track int `json:"track"`
+	// Metric is the watch's metric name.
+	Metric string `json:"metric"`
+	// Dist is the exact prefix distance that triggered the match.
+	Dist float64 `json:"dist"`
+	// PrefixLen is the track's point count when the match fired.
+	PrefixLen int `json:"prefix_len"`
+	// Rank is the track's position in a top-k watch's answer set
+	// (0-based), -1 for threshold watches.
+	Rank int `json:"rank"`
+}
+
+// EventLog is a bounded ring of match events with monotonic sequence
+// numbers and a broadcast channel for long-polling. Publishing never
+// blocks: when the ring is full the oldest event is dropped, and a
+// consumer resuming from before the retained window is told so (the
+// gap flag) rather than silently fed a truncated history. Safe for
+// concurrent use.
+type EventLog struct {
+	mu     sync.Mutex
+	buf    []Event // ring storage, len == capacity
+	next   uint64  // next seq to assign; seq starts at 1
+	count  int     // events currently retained (<= len(buf))
+	notify chan struct{}
+}
+
+// DefaultEventBuffer is the ring capacity when the caller does not
+// choose one.
+const DefaultEventBuffer = 4096
+
+// NewEventLog returns an empty log retaining up to capacity events
+// (DefaultEventBuffer when <= 0).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventBuffer
+	}
+	return &EventLog{buf: make([]Event, capacity), next: 1, notify: make(chan struct{})}
+}
+
+// Publish assigns ev its sequence number, retains it, wakes every
+// long-poller, and returns the assigned seq.
+func (l *EventLog) Publish(ev Event) uint64 {
+	l.mu.Lock()
+	ev.Seq = l.next
+	l.next++
+	l.buf[int(ev.Seq-1)%len(l.buf)] = ev
+	if l.count < len(l.buf) {
+		l.count++
+	}
+	ch := l.notify
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+	close(ch)
+	return ev.Seq
+}
+
+// LastSeq returns the newest assigned sequence number, 0 when no event
+// was ever published.
+func (l *EventLog) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// After returns up to max events with Seq > since, in sequence order,
+// and whether a gap precedes them: gap is true when events after since
+// have already been evicted from the ring, i.e. the consumer's cursor
+// is older than the retained window and it missed events it can never
+// replay. max <= 0 means no limit.
+func (l *EventLog) After(since uint64, max int) ([]Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	oldest := l.next - uint64(l.count) // seq of the oldest retained event
+	gap := since+1 < oldest
+	from := since + 1
+	if gap {
+		from = oldest
+	}
+	if from >= l.next {
+		return nil, gap
+	}
+	n := int(l.next - from)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = l.buf[int(from+uint64(i)-1)%len(l.buf)]
+	}
+	return out, gap
+}
+
+// WaitCh returns a channel closed at the next Publish — the long-poll
+// primitive. Callers re-check After and re-arm in a loop, so the
+// races between check and wait only cost a spurious wakeup.
+func (l *EventLog) WaitCh() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notify
+}

@@ -18,6 +18,19 @@ const (
 	// OpDelete records an accepted Engine.Delete; the payload carries
 	// the trajectory ID.
 	OpDelete Op = 2
+	// OpAppend records an accepted Engine.Append onto a live (unsealed)
+	// track: the payload carries the track's ID and label, the offset
+	// (the track's point count before this append), and the appended
+	// points. The offset makes replay idempotent — a record whose points
+	// the track already holds is skipped, so a re-logged full-state
+	// record (the snapshot carry-over) converges instead of doubling the
+	// track.
+	OpAppend Op = 3
+	// OpSeal records an accepted Engine.Seal: the live track with the
+	// given ID was folded into the sealed indexes. The points do not
+	// travel — replay reconstructs the track from its OpAppend records
+	// first, then seals it.
+	OpSeal Op = 4
 )
 
 func (op Op) String() string {
@@ -26,16 +39,23 @@ func (op Op) String() string {
 		return "insert"
 	case OpDelete:
 		return "delete"
+	case OpAppend:
+		return "append"
+	case OpSeal:
+		return "seal"
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
 
 // Record is one logged mutation. ID is always set; Traj only for
-// OpInsert.
+// OpInsert and OpAppend (where its Points are the appended delta and
+// Offset is the track length the delta extends); Offset only for
+// OpAppend.
 type Record struct {
-	Op   Op
-	ID   int
-	Traj *traj.Trajectory
+	Op     Op
+	ID     int
+	Offset int
+	Traj   *traj.Trajectory
 }
 
 // Insert returns the record logging an insert of tr.
@@ -43,6 +63,18 @@ func Insert(tr *traj.Trajectory) Record { return Record{Op: OpInsert, ID: tr.ID,
 
 // Delete returns the record logging a delete of id.
 func Delete(id int) Record { return Record{Op: OpDelete, ID: id} }
+
+// AppendPoints returns the record logging an append of pts onto live
+// track id at the given offset (the track's point count before the
+// append). label rides along so replay can recreate the track from its
+// first record.
+func AppendPoints(id, label, offset int, pts []traj.Point) Record {
+	tr := &traj.Trajectory{ID: id, Label: label, Points: pts}
+	return Record{Op: OpAppend, ID: id, Offset: offset, Traj: tr}
+}
+
+// Seal returns the record logging a seal of live track id.
+func Seal(id int) Record { return Record{Op: OpSeal, ID: id} }
 
 // encodeRecord serialises a record payload (the bytes the frame CRC
 // covers): one op byte, then varint fields. An insert carries
@@ -69,6 +101,31 @@ func encodeRecord(rec Record) ([]byte, error) {
 	case OpDelete:
 		buf := make([]byte, 1, 1+binary.MaxVarintLen64)
 		buf[0] = byte(OpDelete)
+		buf = binary.AppendVarint(buf, int64(rec.ID))
+		return buf, nil
+	case OpAppend:
+		if rec.Traj == nil {
+			return nil, fmt.Errorf("wal: append record without points")
+		}
+		if rec.Offset < 0 {
+			return nil, fmt.Errorf("wal: append record with negative offset %d", rec.Offset)
+		}
+		tr := rec.Traj
+		buf := make([]byte, 1, 1+2*binary.MaxVarintLen64+2*binary.MaxVarintLen64+24*len(tr.Points))
+		buf[0] = byte(OpAppend)
+		buf = binary.AppendVarint(buf, int64(rec.ID))
+		buf = binary.AppendVarint(buf, int64(tr.Label))
+		buf = binary.AppendUvarint(buf, uint64(rec.Offset))
+		buf = binary.AppendUvarint(buf, uint64(len(tr.Points)))
+		for _, p := range tr.Points {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.T))
+		}
+		return buf, nil
+	case OpSeal:
+		buf := make([]byte, 1, 1+binary.MaxVarintLen64)
+		buf[0] = byte(OpSeal)
 		buf = binary.AppendVarint(buf, int64(rec.ID))
 		return buf, nil
 	}
@@ -125,6 +182,49 @@ func decodeRecord(p []byte) (Record, error) {
 			return Record{}, fmt.Errorf("wal: delete record: %d trailing bytes", len(rest)-n)
 		}
 		return Record{Op: OpDelete, ID: int(id)}, nil
+	case OpAppend:
+		id, n := binary.Varint(rest)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("wal: append record: bad id")
+		}
+		rest = rest[n:]
+		label, n := binary.Varint(rest)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("wal: append record: bad label")
+		}
+		rest = rest[n:]
+		offset, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("wal: append record: bad offset")
+		}
+		rest = rest[n:]
+		npts, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("wal: append record: bad point count")
+		}
+		rest = rest[n:]
+		if uint64(len(rest)) != 24*npts {
+			return Record{}, fmt.Errorf("wal: append record: %d bytes for %d points", len(rest), npts)
+		}
+		pts := make([]traj.Point, npts)
+		for i := range pts {
+			pts[i] = traj.Point{
+				X: math.Float64frombits(binary.LittleEndian.Uint64(rest[0:8])),
+				Y: math.Float64frombits(binary.LittleEndian.Uint64(rest[8:16])),
+				T: math.Float64frombits(binary.LittleEndian.Uint64(rest[16:24])),
+			}
+			rest = rest[24:]
+		}
+		return AppendPoints(int(id), int(label), int(offset), pts), nil
+	case OpSeal:
+		id, n := binary.Varint(rest)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("wal: seal record: bad id")
+		}
+		if len(rest) != n {
+			return Record{}, fmt.Errorf("wal: seal record: %d trailing bytes", len(rest)-n)
+		}
+		return Record{Op: OpSeal, ID: int(id)}, nil
 	}
 	return Record{}, fmt.Errorf("wal: unknown op %d", op)
 }

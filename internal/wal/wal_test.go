@@ -53,7 +53,7 @@ func appendCommit(t *testing.T, l *Log, rec Record) uint64 {
 }
 
 func sameRecord(a, b Record) bool {
-	if a.Op != b.Op || a.ID != b.ID {
+	if a.Op != b.Op || a.ID != b.ID || a.Offset != b.Offset {
 		return false
 	}
 	if (a.Traj == nil) != (b.Traj == nil) {
@@ -85,7 +85,11 @@ func TestRoundTrip(t *testing.T) {
 		Insert(testTraj(1, 4)),
 		Insert(testTraj(2, 7)),
 		Delete(1),
+		AppendPoints(7, 2, 0, testTraj(7, 3).Points),
+		AppendPoints(7, 2, 3, testTraj(7, 2).Points),
+		Seal(7),
 		Insert(testTraj(3, 1)),
+		AppendPoints(8, 0, 0, nil),
 		Delete(99),
 	}
 	for _, r := range want {
@@ -495,5 +499,49 @@ func BenchmarkWALAppend(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestRecordCodec exercises the payload codec directly: every op round
+// trips, and structurally damaged payloads fail instead of half-parsing
+// (the payload passed its frame checksum, so damage means a writer bug
+// and must surface loudly).
+func TestRecordCodec(t *testing.T) {
+	recs := []Record{
+		Insert(testTraj(11, 5)),
+		Delete(-3),
+		AppendPoints(42, -1, 0, testTraj(42, 1).Points),
+		AppendPoints(42, 7, 12345, testTraj(42, 4).Points),
+		Seal(42),
+	}
+	for _, want := range recs {
+		p, err := encodeRecord(want)
+		if err != nil {
+			t.Fatalf("encode %v: %v", want.Op, err)
+		}
+		got, err := decodeRecord(p)
+		if err != nil {
+			t.Fatalf("decode %v: %v", want.Op, err)
+		}
+		if !sameRecord(got, want) {
+			t.Fatalf("%v round trip: got %+v want %+v", want.Op, got, want)
+		}
+		// Trailing garbage must be rejected for the fixed-shape ops and
+		// the point array length check must hold for the variable ones.
+		if _, err := decodeRecord(append(append([]byte(nil), p...), 0xEE)); err == nil {
+			t.Fatalf("%v: trailing byte accepted", want.Op)
+		}
+		if _, err := decodeRecord(p[:len(p)-1]); err == nil {
+			t.Fatalf("%v: truncated payload accepted", want.Op)
+		}
+	}
+	if _, err := encodeRecord(Record{Op: OpAppend, ID: 1}); err == nil {
+		t.Fatal("append record without points accepted")
+	}
+	if _, err := encodeRecord(Record{Op: OpAppend, ID: 1, Offset: -1, Traj: testTraj(1, 1)}); err == nil {
+		t.Fatal("append record with negative offset accepted")
+	}
+	if _, err := decodeRecord([]byte{0x7F}); err == nil {
+		t.Fatal("unknown op accepted")
 	}
 }

@@ -1,0 +1,160 @@
+// Streaming ingest benchmarks: the append path (single-point vs batched
+// deltas, with and without the write-ahead log) and standing-query
+// fan-out at a thousand registered watchers, where the sketch token
+// gate is counter-asserted to cut exact kernel evaluations.
+package trajmatch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"trajmatch"
+)
+
+// appendSource hands out monotonically timestamped points for a fixed
+// set of live tracks, cycling geometry from a corpus disjoint from the
+// sealed index.
+type appendSource struct {
+	pool   []*trajmatch.Trajectory
+	tracks int
+	seq    []int
+}
+
+func newAppendSource(tracks int, seed int64) *appendSource {
+	cfg := trajmatch.DefaultTaxiConfig(tracks)
+	cfg.Seed = seed
+	return &appendSource{pool: trajmatch.GenerateTaxi(cfg), tracks: tracks, seq: make([]int, tracks)}
+}
+
+// next returns the track ID and its next batch of points.
+func (s *appendSource) next(i, batch int) (int, []trajmatch.STPoint) {
+	tr := i % s.tracks
+	src := s.pool[tr].Points
+	pts := make([]trajmatch.STPoint, batch)
+	for j := range pts {
+		p := src[s.seq[tr]%len(src)]
+		pts[j] = trajmatch.P(p.X, p.Y, float64(s.seq[tr]))
+		s.seq[tr]++
+	}
+	return 100_000 + tr, pts
+}
+
+// BenchmarkAppendThroughput prices live ingest: one Append call per
+// iteration, single-point vs 16-point deltas, without a WAL and with
+// the default fsync-per-acknowledgement WAL. The sketch stream extends
+// on every point (prefilter enabled), so the numbers include the
+// incremental token maintenance the watch gate rides on.
+func BenchmarkAppendThroughput(b *testing.B) {
+	cfg := trajmatch.DefaultTaxiConfig(400)
+	cfg.Seed = 3
+	db := trajmatch.GenerateTaxi(cfg)
+	for _, walMode := range []string{"none", "always"} {
+		for _, batch := range []int{1, 16} {
+			b.Run(fmt.Sprintf("wal=%s/batch=%d", walMode, batch), func(b *testing.B) {
+				eopt := trajmatch.EngineOptions{CacheSize: -1, Shards: 4, Prefilter: true}
+				if walMode == "always" {
+					eopt.WALDir = b.TempDir()
+				}
+				engine, err := trajmatch.NewEngine(db, trajmatch.IndexOptions{Seed: 1}, eopt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer engine.Close()
+				src := newAppendSource(256, 17)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					id, pts := src.next(i, batch)
+					if _, err := engine.Append(id, 0, pts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "points/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkWatchFanout prices the continuous-query matcher at 1000
+// registered watchers per append. gate=sketch is the production path:
+// only watchers whose patterns share grid cells with the appended
+// points run the exact prefix kernel, and the benchmark fails unless
+// the counters prove the gate skipped work (every evaluation avoided is
+// a bounded EDwP sub-distance call saved). gate=exact forces all 1000
+// watchers through the kernel on every append — the fan-out cost the
+// gate exists to avoid.
+func BenchmarkWatchFanout(b *testing.B) {
+	const watchers = 1000
+	cfg := trajmatch.DefaultTaxiConfig(watchers)
+	cfg.Seed = 5
+	patterns := trajmatch.GenerateTaxi(cfg)
+	cfg2 := trajmatch.DefaultTaxiConfig(300)
+	cfg2.Seed = 6
+	db := trajmatch.GenerateTaxi(cfg2)
+	for _, gate := range []string{"sketch", "exact"} {
+		b.Run(fmt.Sprintf("gate=%s/watchers=%d", gate, watchers), func(b *testing.B) {
+			engine, err := trajmatch.NewEngine(db, trajmatch.IndexOptions{Seed: 1},
+				trajmatch.EngineOptions{CacheSize: -1, Shards: 2, Prefilter: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer engine.Close()
+			for _, p := range patterns {
+				// A 3-point window from the trajectory's middle third,
+				// clamped for the short tracks the generator emits.
+				lo := 0
+				if len(p.Points) >= 6 {
+					lo = len(p.Points) / 3
+				}
+				hi := lo + 3
+				if hi > len(p.Points) {
+					hi = len(p.Points)
+				}
+				pattern := trajmatch.NewTrajectory(-1, p.Points[lo:hi])
+				if _, err := engine.Watch(pattern, "", 1e-6, 0, gate == "exact"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			src := newAppendSource(64, 23)
+			// Pre-warm every live track past the 2-point minimum so each
+			// measured append is watch-eligible, then zero the counters'
+			// baseline by reading them before the timed loop.
+			for i := 0; i < src.tracks; i++ {
+				id, pts := src.next(i, 2)
+				if _, err := engine.Append(id, 0, pts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			warm := engine.Stats().Stream
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id, pts := src.next(i, 1)
+				if _, err := engine.Append(id, 0, pts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := engine.Stats().Stream
+			st.WatchEvals -= warm.WatchEvals
+			st.WatchGateSkips -= warm.WatchGateSkips
+			if st == nil {
+				b.Fatal("no stream stats")
+			}
+			b.ReportMetric(float64(st.WatchEvals)/float64(b.N), "evals/append")
+			if gate == "sketch" {
+				// The counter-assert: the gate must have skipped watchers,
+				// and strictly fewer exact evaluations than the all-pairs
+				// fan-out may have run.
+				if st.WatchGateSkips == 0 {
+					b.Fatal("token gate skipped nothing")
+				}
+				if st.WatchEvals >= uint64(b.N)*watchers {
+					b.Fatalf("gate cut nothing: %d evals over %d appends x %d watchers",
+						st.WatchEvals, b.N, watchers)
+				}
+			}
+		})
+	}
+}
