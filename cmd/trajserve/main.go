@@ -86,6 +86,25 @@
 // truncates the log segments the snapshot subsumes. GET /v1/stats
 // reports the log's counters under "wal".
 //
+// With -role the process takes a place in a cluster instead of serving
+// standalone. A shard node (-role shard -cluster-shards N -shard-ids
+// 0,3) is the same engine restricted to the named global shards of an
+// N-shard hash placement: it builds (or snapshot-loads) only those
+// shards, answers exactly its slice of any /v1 query, rejects misrouted
+// mutations with 421 not_owned, and adds GET /cluster/v1/info
+// (placement discovery) and GET /cluster/v1/snapshot/{file} (snapshot
+// shipping) beside the /v1 surface. A router (-role router -nodes
+// http://a:8081,http://b:8082) holds no corpus: it discovers each
+// node's shards, fans searches out per replica group with its running
+// k-th-best bound shipped as the seed limit, retries a slow node's
+// replica once under -node-timeout, degrades to a partial answer
+// ("degraded": true, per-node health in /v1/stats) when a whole group
+// is down, and merges by (distance, ID) — byte-identical to one big
+// engine when every group answers. -fetch-snapshot URL|DIR warm-boots a
+// replica by shipping a peer's snapshot sections (checksum-verified,
+// manifest committed last) into -snapshot before loading. -version (or
+// GET /v1/version) prints build, role and shard map.
+//
 // Usage:
 //
 //	trajgen -kind taxi -n 2000 -o db.csv
@@ -95,10 +114,16 @@
 //	curl -s -X POST localhost:8080/v1/snapshot        # persist the index
 //	trajserve -snapshot snap/ -addr :8080             # instant warm boot
 //	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+//
+//	# two-node cluster + router
+//	trajserve -role shard -cluster-shards 2 -shard-ids 0 -db db.csv -addr :8081
+//	trajserve -role shard -cluster-shards 2 -shard-ids 1 -db db.csv -addr :8082
+//	trajserve -role router -nodes http://localhost:8081,http://localhost:8082 -addr :8080
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -107,6 +132,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -138,6 +165,14 @@ func main() {
 		sealInt   = flag.Duration("seal-interval", 0, "background sealer check period (0 = seal-after/4, at least 1s)")
 		eventsBuf = flag.Int("events-buffer", 0, "retained watch-event window for /v1/events resumption (0 = default 4096)")
 
+		role          = flag.String("role", "standalone", "deployment role: standalone, shard (serve -shard-ids of a -cluster-shards placement), router (fan out over -nodes)")
+		shardIDs      = flag.String("shard-ids", "", "comma-separated global shard indices this shard node serves (role shard)")
+		clusterShards = flag.Int("cluster-shards", 0, "global shard count of the cluster hash placement (role shard; every node and router must agree)")
+		nodesF        = flag.String("nodes", "", "comma-separated shard-node base URLs (role router)")
+		nodeTimeout   = flag.Duration("node-timeout", 10*time.Second, "per-node request timeout of the router fan-out, and of -fetch-snapshot transfers")
+		fetchSrc      = flag.String("fetch-snapshot", "", "warm-boot source: ship this peer's (node URL or directory) snapshot sections for the served shards into -snapshot before boot, unless a snapshot is already there")
+		versionF      = flag.Bool("version", false, "print build, role and placement information as JSON and exit")
+
 		prefilter  = flag.Bool("prefilter", false, "build the sketch/LSH candidate prefilter; queries opt in with \"prefilter\": true")
 		sketchCell = flag.Float64("sketch-cell", 0, "prefilter grid cell size in corpus units (0 derives from the corpus)")
 		sketchShin = flag.Int("sketch-shingle", 0, "prefilter shingle length in cells (0 = default 2)")
@@ -146,6 +181,23 @@ func main() {
 		sketchMinC = flag.Int("sketch-min-cands", 0, "prefilter per-shard candidate floor (0 = default 32)")
 	)
 	flag.Parse()
+
+	switch *role {
+	case trajmatch.RoleStandalone, trajmatch.RoleShard, trajmatch.RoleRouter:
+	default:
+		fatalf("-role: unknown role %q (standalone, shard, router)", *role)
+	}
+	if *versionF {
+		printVersion(*role, *clusterShards, *shardIDs, *nodesF)
+		return
+	}
+	if *role == trajmatch.RoleRouter {
+		if *dbPath != "" || *shardIDs != "" {
+			fatalf("-role router holds no corpus; -db and -shard-ids do not apply")
+		}
+		runRouter(*addr, *nodesF, *nodeTimeout, *queryTO)
+		return
+	}
 
 	metricNames, err := parseMetrics(*metricsF)
 	if err != nil {
@@ -177,6 +229,45 @@ func main() {
 			MinCands: *sketchMinC,
 		},
 	}
+	var owned []int
+	if *role == trajmatch.RoleShard {
+		owned, err = parseShardIDs(*shardIDs)
+		if err != nil {
+			fatalf("-shard-ids: %v", err)
+		}
+		if *clusterShards < 1 {
+			fatalf("-role shard requires -cluster-shards (the global placement every node agrees on)")
+		}
+		eopt.Partition = &trajmatch.EnginePartition{Total: *clusterShards, Owned: owned}
+	} else if *shardIDs != "" || *clusterShards != 0 {
+		fatalf("-shard-ids and -cluster-shards apply to -role shard only")
+	}
+	if *nodesF != "" {
+		fatalf("-nodes applies to -role router only")
+	}
+
+	if *fetchSrc != "" {
+		if *snapshot == "" {
+			fatalf("-fetch-snapshot requires -snapshot DIR to ship into")
+		}
+		if trajmatch.EngineSnapshotExists(*snapshot) {
+			log.Printf("snapshot %s already present; skipping -fetch-snapshot %s", *snapshot, *fetchSrc)
+		} else {
+			tf := time.Now()
+			info, err := trajmatch.FetchEngineSnapshot(context.Background(), *fetchSrc, *snapshot, owned,
+				&http.Client{Timeout: *nodeTimeout})
+			if err != nil {
+				fatalf("fetch snapshot: %v", err)
+			}
+			want := owned
+			if want == nil {
+				want = info.Covered
+			}
+			log.Printf("shipped snapshot from %s: shards %v of %d in %v",
+				*fetchSrc, want, info.Shards, time.Since(tf).Round(time.Millisecond))
+		}
+	}
+
 	var engine *trajmatch.Engine
 	t0 := time.Now()
 	switch {
@@ -229,7 +320,16 @@ func main() {
 			p.CellSize, p.Shingle, p.Hashes, p.Bands, p.MinCands)
 	}
 
-	handler := trajmatch.NewAPIHandler(engine, trajmatch.HandlerOptions{QueryTimeout: *queryTO})
+	hopt := trajmatch.HandlerOptions{QueryTimeout: *queryTO}
+	var handler http.Handler
+	if *role == trajmatch.RoleShard {
+		vi := trajmatch.NewVersionInfo(trajmatch.RoleShard, engine)
+		hopt.Version = &vi
+		handler = trajmatch.NewClusterNodeHandler(engine, hopt)
+		log.Printf("shard node serving global shards %v of a %d-shard placement", engine.OwnedShards(), engine.ClusterShards())
+	} else {
+		handler = trajmatch.NewAPIHandler(engine, hopt)
+	}
 	if *pprofOn {
 		// Opt-in profiling: the handlers are registered explicitly on the
 		// API mux, which is the only mux this server ever serves. (The
@@ -246,20 +346,26 @@ func main() {
 		handler = mux
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
+	// Drained before close: no request is mid-mutation, so the flush
+	// makes every acknowledged mutation durable under every -wal-sync
+	// policy.
+	serveHTTP(*addr, handler, engine.Close)
+}
+
+// serveHTTP runs the server until SIGINT/SIGTERM, then drains in-flight
+// requests for up to 15 seconds before running closeFn and exiting, so
+// load balancers rolling the process do not sever live queries.
+func serveHTTP(addr string, handler http.Handler, closeFn func() error) {
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	// Serve until SIGINT/SIGTERM, then drain in-flight requests for up to
-	// 15 seconds before exiting, so load balancers rolling the process do
-	// not sever live queries.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("trajserve listening on %s", *addr)
+		log.Printf("trajserve listening on %s", addr)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
@@ -275,13 +381,96 @@ func main() {
 		if err := srv.Shutdown(sctx); err != nil {
 			fatalf("shutdown: %v", err)
 		}
-		// Drained: no request is mid-mutation, so this flush makes every
-		// acknowledged mutation durable under every -wal-sync policy.
-		if err := engine.Close(); err != nil {
-			fatalf("close: %v", err)
+		if closeFn != nil {
+			if err := closeFn(); err != nil {
+				fatalf("close: %v", err)
+			}
 		}
 		log.Printf("shutdown complete")
 	}
+}
+
+// runRouter boots the stateless fan-out role: discover the nodes'
+// placement, serve the public /v1 surface over the router.
+func runRouter(addr, nodesCSV string, nodeTimeout, queryTO time.Duration) {
+	var nodes []string
+	for _, part := range strings.Split(nodesCSV, ",") {
+		if s := strings.TrimSpace(part); s != "" {
+			nodes = append(nodes, s)
+		}
+	}
+	if len(nodes) == 0 {
+		fatalf("-role router requires -nodes (comma-separated shard-node base URLs)")
+	}
+	if queryTO > 0 && queryTO < nodeTimeout {
+		// The per-node timeout already bounds each fan-out leg; a shorter
+		// query timeout would be the effective one and the flag pair is
+		// probably a mistake.
+		log.Printf("warning: -query-timeout %v is shorter than -node-timeout %v; node requests are bounded by the smaller", queryTO, nodeTimeout)
+	}
+	rt, err := trajmatch.NewClusterRouter(context.Background(), trajmatch.ClusterConfig{
+		Nodes:   nodes,
+		Timeout: nodeTimeout,
+	})
+	if err != nil {
+		fatalf("router: %v", err)
+	}
+	st := rt.Stats()
+	log.Printf("router fronting %d global shards in %d groups over %d nodes",
+		st.ClusterShards, st.ShardGroups, len(st.Nodes))
+	serveHTTP(addr, trajmatch.NewClusterRouterHandler(rt), nil)
+}
+
+// printVersion writes the -version payload: what GET /v1/version would
+// report, assembled from flags alone (no index is built).
+func printVersion(role string, clusterShards int, shardIDs, nodesCSV string) {
+	v := trajmatch.NewVersionInfo(role, nil)
+	if role == trajmatch.RoleShard {
+		v.ClusterShards = clusterShards
+		if owned, err := parseShardIDs(shardIDs); err == nil {
+			v.OwnedShards = owned
+		}
+	}
+	if role == trajmatch.RoleRouter && nodesCSV != "" {
+		for _, part := range strings.Split(nodesCSV, ",") {
+			if s := strings.TrimSpace(part); s != "" {
+				v.Nodes = append(v.Nodes, s)
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// parseShardIDs parses the -shard-ids list ("0,3") into sorted unique
+// global indices; range validation against -cluster-shards happens in
+// the engine's placement resolution.
+func parseShardIDs(s string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		p := strings.TrimSpace(part)
+		if p == "" {
+			continue
+		}
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad shard index %q", p)
+		}
+		if id < 0 {
+			return nil, fmt.Errorf("negative shard index %d", id)
+		}
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shard indices given")
+	}
+	sort.Ints(out)
+	return out, nil
 }
 
 func logRequests(next http.Handler) http.Handler {

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"trajmatch/internal/server"
+)
+
+// FetchSnapshot ships a snapshot from src into dstDir so a replica can
+// warm-boot instead of rebuilding: it fetches the peer's manifest,
+// checks the manifest covers every requested global shard (nil shards
+// means everything the peer has), fetches each shard's tree stream and
+// arena twin, CRC-verifies the tree streams, and only then commits by
+// writing the manifest — the same "manifest last" transaction
+// SaveSnapshot uses, so a fetch killed midway leaves no loadable
+// half-snapshot. Existing files in dstDir are overwritten; stale shard
+// files from a previous fetch are left alone (the manifest's coverage,
+// not directory listing, drives the load).
+//
+// src is either a node base URL (http://host:port — files come from
+// GET /cluster/v1/snapshot/{file}) or a filesystem path (an object
+// store mount or a peer's exported directory — files are copied).
+//
+// Arena files are fetched best-effort: a peer that never saved arenas
+// (or a damaged transfer) downgrades the replica to the gob boot path
+// per shard, exactly the mmap fallback a local boot has. The returned
+// SnapshotInfo describes what was shipped.
+func FetchSnapshot(ctx context.Context, src, dstDir string, shards []int, client *http.Client) (server.SnapshotInfo, error) {
+	if client == nil {
+		client = &http.Client{}
+	}
+	fetch := fetcherFor(src, client)
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return server.SnapshotInfo{}, fmt.Errorf("cluster: fetch snapshot: %w", err)
+	}
+
+	// The manifest lands under a temp name first: it must be readable to
+	// plan the fetch, but its presence under the real name is the commit
+	// point and nothing is committed yet.
+	tmpDir, err := os.MkdirTemp(dstDir, "fetch-*")
+	if err != nil {
+		return server.SnapshotInfo{}, fmt.Errorf("cluster: fetch snapshot: %w", err)
+	}
+	defer os.RemoveAll(tmpDir)
+	if err := fetch(ctx, server.SnapshotManifestName, filepath.Join(tmpDir, server.SnapshotManifestName)); err != nil {
+		return server.SnapshotInfo{}, fmt.Errorf("cluster: fetch manifest: %w", err)
+	}
+	info, err := server.ReadSnapshotInfo(tmpDir)
+	if err != nil {
+		return server.SnapshotInfo{}, fmt.Errorf("cluster: fetched manifest: %w", err)
+	}
+	covered := map[int]bool{}
+	for _, g := range info.Covered {
+		covered[g] = true
+	}
+	if shards == nil {
+		shards = info.Covered
+	}
+	for _, g := range shards {
+		if !covered[g] {
+			return server.SnapshotInfo{}, fmt.Errorf(
+				"cluster: snapshot at %s covers shards %v of %d, not requested shard %d",
+				src, info.Covered, info.Shards, g)
+		}
+	}
+
+	// Shard sections land under .tmp names, are verified, then renamed
+	// into place — the manifest still names nothing until the end.
+	for _, g := range shards {
+		name := server.SnapshotFiles([]int{g})[1] // tree stream
+		tmp := filepath.Join(dstDir, name+".tmp")
+		if err := fetch(ctx, name, tmp); err != nil {
+			return server.SnapshotInfo{}, fmt.Errorf("cluster: fetch %s: %w", name, err)
+		}
+		if err := server.VerifySnapshotShardFile(tmp, g); err != nil {
+			os.Remove(tmp)
+			return server.SnapshotInfo{}, fmt.Errorf("cluster: fetched %s: %w", name, err)
+		}
+		if err := os.Rename(tmp, filepath.Join(dstDir, name)); err != nil {
+			return server.SnapshotInfo{}, fmt.Errorf("cluster: fetch snapshot: %w", err)
+		}
+
+		arena := server.SnapshotFiles([]int{g})[2] // arena twin, best-effort
+		tmp = filepath.Join(dstDir, arena+".tmp")
+		if err := fetch(ctx, arena, tmp); err != nil {
+			os.Remove(tmp)
+			continue // gob boot path per shard; the load re-verifies
+		}
+		if err := os.Rename(tmp, filepath.Join(dstDir, arena)); err != nil {
+			return server.SnapshotInfo{}, fmt.Errorf("cluster: fetch snapshot: %w", err)
+		}
+	}
+
+	// Commit: the manifest's arrival under its real name makes the
+	// directory a loadable snapshot.
+	if err := os.Rename(filepath.Join(tmpDir, server.SnapshotManifestName),
+		filepath.Join(dstDir, server.SnapshotManifestName)); err != nil {
+		return server.SnapshotInfo{}, fmt.Errorf("cluster: commit manifest: %w", err)
+	}
+	return info, nil
+}
+
+// fetcherFor returns the transfer function for src: HTTP against a
+// node's snapshot endpoint for URLs, a file copy for paths.
+func fetcherFor(src string, client *http.Client) func(ctx context.Context, name, dst string) error {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		base := strings.TrimRight(src, "/")
+		return func(ctx context.Context, name, dst string) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+snapshotPath+name, nil)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("%s: %s", name, resp.Status)
+			}
+			return writeAll(dst, resp.Body)
+		}
+	}
+	return func(ctx context.Context, name, dst string) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f, err := os.Open(filepath.Join(src, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return writeAll(dst, f)
+	}
+}
+
+// writeAll streams r into a freshly created dst, fsyncing before close
+// so a verified file cannot lose its tail to a crash after the rename.
+func writeAll(dst string, r io.Reader) error {
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		os.Remove(dst)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(dst)
+		return err
+	}
+	return f.Close()
+}

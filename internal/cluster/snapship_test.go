@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trajmatch/internal/server"
+	"trajmatch/internal/traj"
+	"trajmatch/internal/trajtree"
+)
+
+// snapshotSource builds a full 4-shard engine with a saved snapshot and
+// serves it through the cluster node handler.
+func snapshotSource(t *testing.T, db []*traj.Trajectory, total int) (*server.Engine, string, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	e, err := server.NewEngineFromDB(db, testTreeOpt, server.Options{
+		CacheSize:   -1,
+		Workers:     1,
+		Shards:      total,
+		SnapshotDir: dir,
+	})
+	if err != nil {
+		t.Fatalf("source engine: %v", err)
+	}
+	if err := e.SaveSnapshot(dir); err != nil {
+		t.Fatalf("save snapshot: %v", err)
+	}
+	srv := httptest.NewServer(NodeHandler(e, server.HandlerOptions{}))
+	t.Cleanup(srv.Close)
+	return e, dir, srv
+}
+
+// TestFetchSnapshotWarmBoot is the snapshot-shipping tentpole piece: a
+// replica owning shards {1,3} warm-boots by fetching just its sections
+// from a peer over HTTP and answers identically to a fresh partitioned
+// build from the same corpus.
+func TestFetchSnapshotWarmBoot(t *testing.T) {
+	db := testDB(200, 7)
+	const total = 4
+	_, srcDir, srv := snapshotSource(t, db, total)
+
+	owned := []int{1, 3}
+	dst := t.TempDir()
+	info, err := FetchSnapshot(context.Background(), srv.URL, dst, owned, nil)
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if info.Shards != total {
+		t.Fatalf("fetched manifest records %d shards, want %d", info.Shards, total)
+	}
+
+	// The shipped shard files are byte-identical to the source's.
+	for _, name := range server.SnapshotFiles(owned) {
+		got, err := os.ReadFile(filepath.Join(dst, name))
+		if err != nil {
+			t.Fatalf("fetched %s: %v", name, err)
+		}
+		want, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatalf("source %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s differs from the source after shipping", name)
+		}
+	}
+
+	replica, err := server.LoadSnapshot(dst, server.Options{
+		CacheSize: -1,
+		Workers:   1,
+		Partition: &server.Partition{Total: total, Owned: owned},
+	})
+	if err != nil {
+		t.Fatalf("replica warm boot: %v", err)
+	}
+	defer replica.Close()
+
+	// Reference: the same partition built cold from the corpus.
+	cold := newNodeEngine(t, db, total, owned)
+	if replica.Size() != cold.Size() {
+		t.Fatalf("replica owns %d trajectories, cold build %d", replica.Size(), cold.Size())
+	}
+	for _, tr := range db {
+		if g := server.ShardOf(tr.ID, total); g != 1 && g != 3 {
+			if replica.Lookup(tr.ID) != nil {
+				t.Fatalf("replica holds foreign trajectory %d (shard %d)", tr.ID, g)
+			}
+			continue
+		}
+		if replica.Lookup(tr.ID) == nil {
+			t.Fatalf("replica lost owned trajectory %d", tr.ID)
+		}
+	}
+	for _, q := range testDB(4, 99) {
+		req := server.Query{Kind: server.KindKNN, K: 5}
+		want, err := cold.Search(context.Background(), q, req)
+		if err != nil {
+			t.Fatalf("cold search: %v", err)
+		}
+		got, err := replica.Search(context.Background(), q, req)
+		if err != nil {
+			t.Fatalf("replica search: %v", err)
+		}
+		sameResults(t, "warm vs cold", got.Results, want.Results)
+	}
+}
+
+// TestFetchSnapshotFromDirectory covers the object-path source: the
+// same shipping flow reading files from a local directory instead of a
+// peer, fetching everything (nil shards) for a full standby.
+func TestFetchSnapshotFromDirectory(t *testing.T) {
+	db := testDB(150, 7)
+	const total = 4
+	src, srcDir, _ := snapshotSource(t, db, total)
+
+	dst := t.TempDir()
+	if _, err := FetchSnapshot(context.Background(), srcDir, dst, nil, nil); err != nil {
+		t.Fatalf("fetch from directory: %v", err)
+	}
+	standby, err := server.LoadSnapshot(dst, server.Options{CacheSize: -1, Workers: 1})
+	if err != nil {
+		t.Fatalf("standby boot: %v", err)
+	}
+	defer standby.Close()
+	if standby.Size() != src.Size() {
+		t.Fatalf("standby holds %d trajectories, source %d", standby.Size(), src.Size())
+	}
+	if standby.Shards() != src.Shards() {
+		t.Fatalf("standby has %d shards, source %d", standby.Shards(), src.Shards())
+	}
+}
+
+// TestFetchSnapshotFromPartitionedPeer ships between partitioned nodes:
+// a node that owns {0,1} saves its partial snapshot, and a fresh
+// replica of the same slice boots from it over HTTP.
+func TestFetchSnapshotFromPartitionedPeer(t *testing.T) {
+	db := testDB(150, 7)
+	const total = 4
+	owned := []int{0, 1}
+	dir := t.TempDir()
+	peer, err := server.NewEngineFromDB(db, testTreeOpt, server.Options{
+		CacheSize:   -1,
+		Workers:     1,
+		Partition:   &server.Partition{Total: total, Owned: owned},
+		SnapshotDir: dir,
+	})
+	if err != nil {
+		t.Fatalf("peer: %v", err)
+	}
+	if err := peer.SaveSnapshot(dir); err != nil {
+		t.Fatalf("peer save: %v", err)
+	}
+	srv := httptest.NewServer(NodeHandler(peer, server.HandlerOptions{}))
+	defer srv.Close()
+
+	dst := t.TempDir()
+	if _, err := FetchSnapshot(context.Background(), srv.URL, dst, owned, nil); err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	replica, err := server.LoadSnapshot(dst, server.Options{
+		CacheSize: -1,
+		Workers:   1,
+		Partition: &server.Partition{Total: total, Owned: owned},
+	})
+	if err != nil {
+		t.Fatalf("replica boot: %v", err)
+	}
+	defer replica.Close()
+	if replica.Size() != peer.Size() {
+		t.Fatalf("replica holds %d trajectories, peer %d", replica.Size(), peer.Size())
+	}
+}
+
+// TestFetchSnapshotRejects pins the failure modes: uncovered shards,
+// corrupt sections, and a source with no snapshot must all fail the
+// fetch — never silently produce a bootable-but-wrong directory.
+func TestFetchSnapshotRejects(t *testing.T) {
+	db := testDB(100, 7)
+	const total = 4
+
+	// Peer owning {0,1} cannot ship shard 2.
+	dir := t.TempDir()
+	owned := []int{0, 1}
+	peer, err := server.NewEngineFromDB(db, testTreeOpt, server.Options{
+		CacheSize: -1, Workers: 1,
+		Partition:   &server.Partition{Total: total, Owned: owned},
+		SnapshotDir: dir,
+	})
+	if err != nil {
+		t.Fatalf("peer: %v", err)
+	}
+	if err := peer.SaveSnapshot(dir); err != nil {
+		t.Fatalf("peer save: %v", err)
+	}
+	srv := httptest.NewServer(NodeHandler(peer, server.HandlerOptions{}))
+	defer srv.Close()
+	if _, err := FetchSnapshot(context.Background(), srv.URL, t.TempDir(), []int{2}, nil); err == nil {
+		t.Fatalf("fetch of an uncovered shard succeeded")
+	}
+
+	// A corrupted shard stream fails its CRC during shipping.
+	_, srcDir, _ := snapshotSource(t, db, total)
+	treeFile := filepath.Join(srcDir, server.SnapshotFiles([]int{1})[1])
+	data, err := os.ReadFile(treeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(treeFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FetchSnapshot(context.Background(), srcDir, t.TempDir(), []int{1}, nil); err == nil {
+		t.Fatalf("fetch of a corrupted shard stream succeeded")
+	}
+
+	// A node with no snapshot directory refuses to ship.
+	bare, err := server.NewEngineFromDB(db, trajtree.Options{Seed: 1, LeafSize: 5}, server.Options{CacheSize: -1, Workers: 1, Shards: total})
+	if err != nil {
+		t.Fatalf("bare engine: %v", err)
+	}
+	bsrv := httptest.NewServer(NodeHandler(bare, server.HandlerOptions{}))
+	defer bsrv.Close()
+	if _, err := FetchSnapshot(context.Background(), bsrv.URL, t.TempDir(), nil, nil); err == nil {
+		t.Fatalf("fetch from a snapshotless node succeeded")
+	}
+}

@@ -76,8 +76,15 @@ type Options struct {
 	// Shards is the number of hash-partitioned index shards per metric.
 	// 0 or 1 means a single shard (the pre-sharding engine); more shards
 	// mean finer-grained update locking and parallel builds at the cost
-	// of a per-query fan-out.
+	// of a per-query fan-out. Ignored when Partition is set (the local
+	// shard count is then len(Partition.Owned)).
 	Shards int
+	// Partition, when non-nil, makes this a cluster shard-node engine:
+	// trajectories hash into Partition.Total global shards, the engine
+	// builds and serves only the Partition.Owned subset, and operations
+	// on foreign IDs answer ErrNotOwned. See the Partition type and
+	// internal/cluster for the router that reassembles the subsets.
+	Partition *Partition
 	// SnapshotDir, when non-empty, is where POST /snapshot writes the
 	// sharded snapshot and where SaveSnapshot/LoadSnapshot default to.
 	SnapshotDir string
@@ -178,6 +185,7 @@ func (g *engineGen) bump()        { g.v.Add(1) }
 // metric.
 type Engine struct {
 	opt    Options
+	place  placement    // global hash modulus + owned-shard mapping
 	sets   []*metricSet // boot order; sets[0] is the default metric
 	byName map[string]*metricSet
 	cache  *lruCache // nil when caching is disabled
@@ -259,9 +267,9 @@ func (e *Engine) recordQueryStats(ms *metricSet, st backend.Stats) {
 	ms.recordStats(st)
 }
 
-// newEngine wraps pre-built metric sets.
-func newEngine(sets []*metricSet, opt Options) *Engine {
-	e := &Engine{opt: opt, sets: sets, byName: make(map[string]*metricSet, len(sets))}
+// newEngine wraps pre-built metric sets under the given placement.
+func newEngine(sets []*metricSet, place placement, opt Options) *Engine {
+	e := &Engine{opt: opt, place: place, sets: sets, byName: make(map[string]*metricSet, len(sets))}
 	e.fs = opt.FS
 	if e.fs == nil {
 		e.fs = faultfs.OS{}
@@ -283,9 +291,17 @@ func newEngine(sets []*metricSet, opt Options) *Engine {
 // as-is.
 func NewEngine(tree *trajtree.Tree, opt Options) *Engine {
 	opt = opt.withDefaults()
+	place, perr := resolvePlacement(opt)
+	if perr != nil {
+		// This constructor predates the error-returning ones; a malformed
+		// partition is a caller bug, not runtime state. Use
+		// NewMultiEngineFromDB for a recoverable error path.
+		panic(fmt.Sprintf("server: %v", perr))
+	}
+	opt.Shards = place.numLocal()
 	var e *Engine
-	if opt.Shards > 1 {
-		sets, err := buildMetricSets(tree.All(), []backend.Spec{trajtree.BackendSpec(tree.Options())}, opt)
+	if opt.Shards > 1 || place.partitioned() {
+		sets, err := buildMetricSets(tree.All(), []backend.Spec{trajtree.BackendSpec(tree.Options())}, place, opt)
 		if err != nil {
 			// Members of a valid tree are already validated and
 			// duplicate-free, so the build cannot fail on them. If it
@@ -294,10 +310,10 @@ func NewEngine(tree *trajtree.Tree, opt Options) *Engine {
 			// for.
 			panic(fmt.Sprintf("server: resharding a valid tree failed: %v", err))
 		}
-		e = newEngine(sets, opt)
+		e = newEngine(sets, place, opt)
 	} else {
 		set := &metricSet{name: trajtree.MetricName, shards: []*shard{{be: tree}}}
-		e = newEngine([]*metricSet{set}, opt)
+		e = newEngine([]*metricSet{set}, place, opt)
 	}
 	if opt.Prefilter {
 		if err := e.enablePrefilter(tree.All(), opt.Sketch); err != nil {
@@ -331,11 +347,16 @@ func NewEngineFromDB(db []*traj.Trajectory, topt trajtree.Options, opt Options) 
 // in parallel on the worker pool.
 func NewMultiEngineFromDB(db []*traj.Trajectory, specs []backend.Spec, opt Options) (*Engine, error) {
 	opt = opt.withDefaults()
-	sets, err := buildMetricSets(db, specs, opt)
+	place, err := resolvePlacement(opt)
 	if err != nil {
 		return nil, err
 	}
-	e := newEngine(sets, opt)
+	opt.Shards = place.numLocal()
+	sets, err := buildMetricSets(db, specs, place, opt)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(sets, place, opt)
 	if opt.Prefilter {
 		if err := e.enablePrefilter(db, opt.Sketch); err != nil {
 			return nil, err
@@ -347,8 +368,25 @@ func NewMultiEngineFromDB(db []*traj.Trajectory, specs []backend.Spec, opt Optio
 	return e, nil
 }
 
-// Shards returns the number of index shards per metric.
+// Shards returns the number of locally held index shards per metric
+// (the owned subset for a partitioned engine).
 func (e *Engine) Shards() int { return len(e.sets[0].shards) }
+
+// ClusterShards returns the global hash modulus: the cluster-wide shard
+// count for a partitioned engine, the local shard count otherwise.
+func (e *Engine) ClusterShards() int { return e.place.total }
+
+// OwnedShards returns the global shard indices this engine serves,
+// ascending (all of them for an unpartitioned engine).
+func (e *Engine) OwnedShards() []int { return e.place.ownedShards() }
+
+// Partitioned reports whether the engine serves a strict subset of the
+// cluster's shards (Options.Partition).
+func (e *Engine) Partitioned() bool { return e.place.partitioned() }
+
+// Owns reports whether this engine is responsible for the given
+// trajectory ID under the cluster placement.
+func (e *Engine) Owns(id int) bool { return e.place.localShard(id) >= 0 }
 
 // Size returns the number of indexed trajectories across all shards of
 // the default metric (every metric indexes the same corpus).
@@ -372,11 +410,15 @@ func (e *Engine) Height() int {
 	return max
 }
 
-// Lookup returns the indexed trajectory with the given ID, or nil. The
-// hash placement invariant routes it straight to the owning shard.
+// Lookup returns the indexed trajectory with the given ID, or nil (also
+// nil for IDs a partitioned engine does not own). The hash placement
+// invariant routes it straight to the owning shard.
 func (e *Engine) Lookup(id int) *traj.Trajectory {
-	shards := e.sets[0].shards
-	return shards[shardIndex(id, len(shards))].lookup(id)
+	s := e.place.localShard(id)
+	if s < 0 {
+		return nil
+	}
+	return e.sets[0].shards[s].lookup(id)
 }
 
 // Search executes one Query against the index of the metric it names
@@ -727,6 +769,12 @@ func (e *Engine) Insert(tr *traj.Trajectory) error {
 	if err := tr.Validate(); err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
+	if e.place.localShard(tr.ID) < 0 {
+		// Replay has no reject path, so a mutation the apply side would
+		// refuse must never reach the log.
+		return fmt.Errorf("server: trajectory ID %d hashes to global shard %d: %w",
+			tr.ID, shardIndex(tr.ID, e.place.total), ErrNotOwned)
+	}
 	e.mutMu.Lock()
 	if e.Lookup(tr.ID) != nil || (e.buffer != nil && e.buffer.Has(tr.ID)) {
 		e.mutMu.Unlock()
@@ -756,9 +804,15 @@ func (e *Engine) Insert(tr *traj.Trajectory) error {
 // the in-memory half of an insert, shared by the live path and WAL
 // replay (which must not touch the log or the public counters).
 func (e *Engine) applyInsert(tr *traj.Trajectory) error {
+	local := 0
+	if tr != nil {
+		if local = e.place.localShard(tr.ID); local < 0 {
+			return fmt.Errorf("server: trajectory ID %d hashes to global shard %d: %w",
+				tr.ID, shardIndex(tr.ID, e.place.total), ErrNotOwned)
+		}
+	}
 	for _, ms := range e.sets {
-		s := ms.shards[shardIndex(tr.ID, len(ms.shards))]
-		if err := s.insert(tr, &e.gen); err != nil {
+		if err := ms.shards[local].insert(tr, &e.gen); err != nil {
 			return fmt.Errorf("server: metric %q: %w", ms.name, err)
 		}
 	}
@@ -768,7 +822,7 @@ func (e *Engine) applyInsert(tr *traj.Trajectory) error {
 		// where the backends hold tr but the sketch does not merely means
 		// tr is not yet a candidate — the same per-shard atomicity a
 		// fanning-out query already tolerates.
-		e.sketches[shardIndex(tr.ID, len(e.sketches))].Insert(tr)
+		e.sketches[local].Insert(tr)
 	}
 	return nil
 }
@@ -820,10 +874,13 @@ func (e *Engine) Delete(id int) bool {
 // is dropped from the buffer instead, along with any top-k watch
 // answer entries it earned.
 func (e *Engine) applyDelete(id int) bool {
+	local := e.place.localShard(id)
+	if local < 0 {
+		return false // a foreign ID is never present here
+	}
 	present := false
 	for _, ms := range e.sets {
-		s := ms.shards[shardIndex(id, len(ms.shards))]
-		ok, err := s.delete(id, &e.gen)
+		ok, err := ms.shards[local].delete(id, &e.gen)
 		if err != nil {
 			return false
 		}
@@ -846,7 +903,7 @@ func (e *Engine) applyDelete(id int) bool {
 		// After this the deleted ID can never be a candidate again;
 		// during the window between backend delete and here a stale
 		// candidate is skipped by presence verification.
-		e.sketches[shardIndex(id, len(e.sketches))].Delete(id)
+		e.sketches[local].Delete(id)
 	}
 	return true
 }
@@ -926,18 +983,23 @@ type MetricStats struct {
 // Stats is a point-in-time snapshot of the engine's counters and index
 // shape, the payload of GET /stats.
 type Stats struct {
-	Size      int      `json:"size"`
-	Height    int      `json:"height"`
-	Shards    int      `json:"shards"`
-	Metrics   []string `json:"metrics"`
-	Queries   uint64   `json:"queries"`
-	CacheHits uint64   `json:"cache_hits"`
-	CacheLen  int      `json:"cache_len"`
-	Inserts   uint64   `json:"inserts"`
-	Deletes   uint64   `json:"deletes"`
-	Rebuilds  uint64   `json:"rebuilds"`
-	Snapshots uint64   `json:"snapshots"`
-	Workers   int      `json:"workers"`
+	Size   int `json:"size"`
+	Height int `json:"height"`
+	Shards int `json:"shards"`
+	// ClusterShards and OwnedShards appear on partitioned engines only:
+	// the global hash modulus and the owned global indices (Shards then
+	// counts the owned subset).
+	ClusterShards int      `json:"cluster_shards,omitempty"`
+	OwnedShards   []int    `json:"owned_shards,omitempty"`
+	Metrics       []string `json:"metrics"`
+	Queries       uint64   `json:"queries"`
+	CacheHits     uint64   `json:"cache_hits"`
+	CacheLen      int      `json:"cache_len"`
+	Inserts       uint64   `json:"inserts"`
+	Deletes       uint64   `json:"deletes"`
+	Rebuilds      uint64   `json:"rebuilds"`
+	Snapshots     uint64   `json:"snapshots"`
+	Workers       int      `json:"workers"`
 
 	// PerShard breaks the default metric's index shape down by shard;
 	// Size is their sum and Height their max.
@@ -996,10 +1058,14 @@ func (e *Engine) Stats() Stats {
 		PrefilterCandidates: e.prefilterCandidates.Load(),
 		PrefilterSkipped:    e.prefilterSkipped.Load(),
 	}
+	if e.place.partitioned() {
+		st.ClusterShards = e.place.total
+		st.OwnedShards = e.place.ownedShards()
+	}
 	st.PerShard = make([]ShardStats, len(e.sets[0].shards))
 	for i, s := range e.sets[0].shards {
 		size, h := s.size(), s.height()
-		st.PerShard[i] = ShardStats{Shard: i, Size: size, Height: h, Mem: s.memStats()}
+		st.PerShard[i] = ShardStats{Shard: e.place.globalOf(i), Size: size, Height: h, Mem: s.memStats()}
 		st.Size += size
 		if h > st.Height {
 			st.Height = h

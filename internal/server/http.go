@@ -97,10 +97,16 @@ type WireAnswer struct {
 	Stats     *WireStats `json:"stats,omitempty"`
 	Cached    bool       `json:"cached,omitempty"`
 	Truncated bool       `json:"truncated,omitempty"`
+	// Degraded marks a partial cluster answer (some shard group was
+	// unreachable); see Answer.Degraded.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
-func toWireAnswer(a Answer, withStats bool) WireAnswer {
-	w := WireAnswer{Results: toNeighbors(a.Results), Cached: a.Cached, Truncated: a.Truncated}
+// ToWireAnswer converts an Answer to its wire form, attaching the stats
+// copy only when the request asked for it. Exported for the cluster
+// router, whose answers must take exactly the shape of the engine's.
+func ToWireAnswer(a Answer, withStats bool) WireAnswer {
+	w := WireAnswer{Results: toNeighbors(a.Results), Cached: a.Cached, Truncated: a.Truncated, Degraded: a.Degraded}
 	if withStats {
 		st := toWireStats(a.Stats)
 		w.Stats = &st
@@ -217,6 +223,8 @@ const (
 	CodeNotFound           = "not_found"
 	CodeMethodNotAllowed   = "method_not_allowed"
 	CodePreconditionFailed = "precondition_failed"
+	CodeNotOwned           = "not_owned"
+	CodeUnavailable        = "unavailable"
 	CodeInternal           = "internal"
 )
 
@@ -238,6 +246,9 @@ type HandlerOptions struct {
 	// "deadline_exceeded". Updates (insert/delete/rebuild/snapshot) are
 	// not bounded — aborting them midway would be worse than finishing.
 	QueryTimeout time.Duration
+	// Version, when non-nil, is what GET /v1/version reports; nil
+	// derives a standalone-role payload from the engine and build info.
+	Version *VersionInfo
 }
 
 // NewAPIHandler returns the versioned HTTP surface over e:
@@ -256,6 +267,7 @@ type HandlerOptions struct {
 //	POST /v1/unwatch   {"watch": 3}
 //	GET  /v1/events    ?since=N&max=M&wait_ms=T (or ?sse=1 for SSE)
 //	GET  /v1/stats
+//	GET  /v1/version
 //	GET  /v1/healthz
 //
 // Every non-2xx answer is the JSON envelope {"error": ..., "code": ...}.
@@ -282,6 +294,7 @@ func NewAPIHandler(e *Engine, opt HandlerOptions) http.Handler {
 		"/v1/unwatch":  {http.MethodPost, h.unwatch},
 		"/v1/events":   {http.MethodGet, h.events},
 		"/v1/stats":    {http.MethodGet, h.stats},
+		"/v1/version":  {http.MethodGet, h.version},
 		"/v1/healthz":  {http.MethodGet, h.healthz},
 	}
 	for path, ep := range v1 {
@@ -422,7 +435,7 @@ func (h *api) search(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, SearchResponse{
-			WireAnswer: toWireAnswer(ans, req.WithStats),
+			WireAnswer: ToWireAnswer(ans, req.WithStats),
 			TookMS:     msSince(t0),
 		})
 		return
@@ -444,7 +457,7 @@ func (h *api) search(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]WireAnswer, len(answers))
 	for i, a := range answers {
-		out[i] = toWireAnswer(a, req.WithStats)
+		out[i] = ToWireAnswer(a, req.WithStats)
 	}
 	writeJSON(w, http.StatusOK, SearchBatchResponse{Answers: out, TookMS: msSince(t0)})
 }
@@ -568,7 +581,12 @@ func (h *api) insert(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			// Earlier trajectories stay inserted; report how far we got.
-			writeError(w, http.StatusBadRequest, CodeBadRequest,
+			status, code := http.StatusBadRequest, CodeBadRequest
+			if errors.Is(err, ErrNotOwned) {
+				// A misrouted cluster mutation, not a bad payload.
+				status, code = http.StatusMisdirectedRequest, CodeNotOwned
+			}
+			writeError(w, status, code,
 				fmt.Sprintf("trajectory %d: %v (inserted %d before failure)", i, err, inserted))
 			return
 		}
@@ -643,6 +661,15 @@ func (h *api) snapshot(w http.ResponseWriter, r *http.Request) {
 
 func (h *api) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.e.Stats())
+}
+
+func (h *api) version(w http.ResponseWriter, r *http.Request) {
+	v := h.opt.Version
+	if v == nil {
+		vi := NewVersionInfo(RoleStandalone, h.e)
+		v = &vi
+	}
+	writeJSON(w, http.StatusOK, *v)
 }
 
 func (h *api) healthz(w http.ResponseWriter, r *http.Request) {

@@ -120,13 +120,16 @@ func (e *Engine) Metrics() []string {
 
 // buildMetricSets hash-partitions db once and builds every spec's shards
 // over the same partition, shard-parallel per set. Placement is a pure
-// function of (ID, shard count), shared by all sets, so Lookup and
-// Delete route identically whatever the metric.
-func buildMetricSets(db []*traj.Trajectory, specs []backend.Spec, opt Options) ([]*metricSet, error) {
+// function of (ID, global shard count), shared by all sets, so Lookup
+// and Delete route identically whatever the metric; a partitioned
+// placement silently drops foreign trajectories, leaving each local
+// shard holding exactly what the matching global shard of a full engine
+// would hold.
+func buildMetricSets(db []*traj.Trajectory, specs []backend.Spec, place placement, opt Options) ([]*metricSet, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("server: no metric backends specified")
 	}
-	groups := partitionByShard(db, opt.Shards, func(t *traj.Trajectory) int { return t.ID })
+	groups := partitionOwned(db, place, func(t *traj.Trajectory) int { return t.ID })
 	sets := make([]*metricSet, 0, len(specs))
 	seen := map[string]bool{}
 	for _, spec := range specs {

@@ -34,10 +34,10 @@ func resolveSketchParams(db []*traj.Trajectory, p sketch.Params) (sketch.Params,
 	return p, nil
 }
 
-// buildSketches builds one sketch index per hash-placed shard of db
-// under already-resolved parameters.
-func buildSketches(db []*traj.Trajectory, shards int, p sketch.Params) ([]*sketch.Index, error) {
-	groups := partitionByShard(db, shards, func(t *traj.Trajectory) int { return t.ID })
+// buildSketches builds one sketch index per owned hash-placed shard of
+// db under already-resolved parameters.
+func buildSketches(db []*traj.Trajectory, place placement, p sketch.Params) ([]*sketch.Index, error) {
+	groups := partitionOwned(db, place, func(t *traj.Trajectory) int { return t.ID })
 	out := make([]*sketch.Index, len(groups))
 	for i, g := range groups {
 		ix, err := sketch.Build(g, p)
@@ -56,7 +56,7 @@ func (e *Engine) enablePrefilter(db []*traj.Trajectory, p sketch.Params) error {
 	if err != nil {
 		return err
 	}
-	sketches, err := buildSketches(db, len(e.sets[0].shards), rp)
+	sketches, err := buildSketches(db, e.place, rp)
 	if err != nil {
 		return err
 	}

@@ -147,4 +147,9 @@ type Answer struct {
 	// Truncated reports that the MaxEvals budget ran out: Results holds
 	// the neighbours confirmed so far and is no longer guaranteed exact.
 	Truncated bool
+	// Degraded reports a partial cluster answer: at least one shard
+	// group's nodes were all unreachable, so Results covers the reachable
+	// shards only. Always false for single-process engines — only the
+	// cluster router (internal/cluster) sets it.
+	Degraded bool
 }

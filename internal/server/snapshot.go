@@ -58,6 +58,12 @@ const snapshotVersion = 2
 // manifestName is the manifest file inside a snapshot directory.
 const manifestName = "MANIFEST.json"
 
+// SnapshotManifestName is the manifest's file name inside every
+// snapshot directory, exported for the cluster snapshot-shipping
+// client, which must fetch it first (for coverage) and commit it last
+// (writing it is the transaction's commit point).
+const SnapshotManifestName = manifestName
+
 // snapCRC is the CRC32C (Castagnoli) table shared by the manifest
 // envelope and the per-shard stream checksums.
 var snapCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -136,8 +142,18 @@ func verifyShardFile(fsys faultfs.FS, path string, index int) (count int, sum ui
 }
 
 type snapshotManifest struct {
-	Version     int              `json:"version"`
-	Shards      int              `json:"shards"`
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+	// Owned, when present, marks a partial snapshot written by a
+	// partitioned shard-node engine: the global shard indices the
+	// directory holds files for, ascending. The per-shard arrays (Sizes,
+	// Checksums, ArenaChecksums) then carry one entry per owned shard in
+	// this order, and the shard files keep their global names
+	// (shard-0003.tree for global shard 3) with headers recording the
+	// global count — byte-identical to the same shard's file in a full
+	// snapshot, which is what makes snapshot shipping between deployment
+	// shapes possible. Absent means the directory covers every shard.
+	Owned       []int            `json:"owned,omitempty"`
 	TreeOptions trajtree.Options `json:"tree_options"`
 	Sizes       []int            `json:"sizes"`
 	// Checksums holds one CRC32C per shard stream, over the file's
@@ -192,6 +208,37 @@ func (m snapshotManifest) persistedMetrics() []string {
 		return []string{trajtree.MetricName}
 	}
 	return m.Metrics
+}
+
+// coveredShards returns the global shard indices the manifest's
+// per-shard arrays describe, ascending: Owned for a partial snapshot,
+// all of 0..Shards-1 otherwise.
+func (m snapshotManifest) coveredShards() []int {
+	if len(m.Owned) > 0 {
+		return m.Owned
+	}
+	out := make([]int, m.Shards)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// coveredPos returns the per-shard array position of global shard g, or
+// -1 when the manifest does not cover it.
+func (m snapshotManifest) coveredPos(g int) int {
+	if len(m.Owned) == 0 {
+		if g < 0 || g >= m.Shards {
+			return -1
+		}
+		return g
+	}
+	for j, o := range m.Owned {
+		if o == g {
+			return j
+		}
+	}
+	return -1
 }
 
 // manifestChecksum is the canonical checksum of a manifest: CRC32C over
@@ -308,13 +355,16 @@ func (e *Engine) SaveSnapshot(dir string) error {
 	shards := ms.shards
 	man := snapshotManifest{
 		Version:        snapshotVersion,
-		Shards:         len(shards),
+		Shards:         e.place.total,
 		TreeOptions:    shards[0].options(),
 		Sizes:          make([]int, len(shards)),
 		Checksums:      make([]uint32, len(shards)),
 		ArenaChecksums: make([]uint32, len(shards)),
 		Metrics:        []string{ms.name},
 		SavedAt:        time.Now().UTC(),
+	}
+	if e.place.partitioned() {
+		man.Owned = e.place.ownedShards()
 	}
 	if e.sketches != nil {
 		p := e.sketchParams
@@ -334,7 +384,8 @@ func (e *Engine) SaveSnapshot(dir string) error {
 		}
 	}
 	err := par.ForErr(e.opt.Workers, len(shards), func(i int) error {
-		tmp := filepath.Join(dir, shardFileName(i)+".tmp")
+		g := e.place.globalOf(i) // files carry global names and headers
+		tmp := filepath.Join(dir, shardFileName(g)+".tmp")
 		f, err := e.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
 			return err
@@ -344,7 +395,7 @@ func (e *Engine) SaveSnapshot(dir string) error {
 		// receives (header included, trailer excluded).
 		h := crc32.New(snapCRC)
 		bw := bufio.NewWriterSize(io.MultiWriter(f, h), 1<<20)
-		if _, err := bw.Write(shardHeader(len(shards), i)); err != nil {
+		if _, err := bw.Write(shardHeader(e.place.total, g)); err != nil {
 			f.Close()
 			return err
 		}
@@ -378,7 +429,7 @@ func (e *Engine) SaveSnapshot(dir string) error {
 		// encoding, written with the same write-fsync-rename discipline.
 		// Its content checksum is the file's own trailer (the last four
 		// bytes), captured here for the manifest.
-		atmp := filepath.Join(dir, arenaFileName(i)+".tmp")
+		atmp := filepath.Join(dir, arenaFileName(g)+".tmp")
 		af, err := e.fs.OpenFile(atmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
 			return err
@@ -419,12 +470,13 @@ func (e *Engine) SaveSnapshot(dir string) error {
 	// (or, with a WAL, salvage it — the arena files just fall back to
 	// the gob streams on their own checksum mismatch).
 	for i := range shards {
-		if err := e.fs.Rename(tmps[2*i], filepath.Join(dir, shardFileName(i))); err != nil {
+		g := e.place.globalOf(i)
+		if err := e.fs.Rename(tmps[2*i], filepath.Join(dir, shardFileName(g))); err != nil {
 			cleanup()
 			return fmt.Errorf("server: snapshot: %w", err)
 		}
 		tmps[2*i] = ""
-		if err := e.fs.Rename(tmps[2*i+1], filepath.Join(dir, arenaFileName(i))); err != nil {
+		if err := e.fs.Rename(tmps[2*i+1], filepath.Join(dir, arenaFileName(g))); err != nil {
 			cleanup()
 			return fmt.Errorf("server: snapshot: %w", err)
 		}
@@ -452,7 +504,7 @@ func (e *Engine) SaveSnapshot(dir string) error {
 	// The manifest rename commits the snapshot. What follows is
 	// housekeeping: sweep stale files, make the renames durable, drop
 	// the WAL segments the snapshot subsumes.
-	if err := e.cleanStaleShardFiles(dir, len(shards)); err != nil {
+	if err := e.cleanStaleShardFiles(dir, man.coveredShards()); err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
 	if err := e.fs.SyncDir(dir); err != nil {
@@ -519,12 +571,16 @@ func writeFileSync(fsys faultfs.FS, name string, data []byte) error {
 	return f.Close()
 }
 
-// cleanStaleShardFiles removes shard files beyond the just-written
-// count, plus any temp litter from interrupted saves. Without it, a
-// save with fewer shards than its predecessor would leave orphan
-// shard-NNNN.tree files that a human (or a future layout) could mistake
-// for live data.
-func (e *Engine) cleanStaleShardFiles(dir string, count int) error {
+// cleanStaleShardFiles removes shard files outside the just-written
+// covered set, plus any temp litter from interrupted saves. Without it,
+// a save with fewer shards (or a narrower owned set) than its
+// predecessor would leave orphan shard-NNNN.tree files that a human (or
+// a future layout) could mistake for live data.
+func (e *Engine) cleanStaleShardFiles(dir string, covered []int) error {
+	keep := make(map[int]bool, len(covered))
+	for _, g := range covered {
+		keep[g] = true
+	}
 	entries, err := e.fs.ReadDir(dir)
 	if err != nil {
 		return err
@@ -532,10 +588,10 @@ func (e *Engine) cleanStaleShardFiles(dir string, count int) error {
 	for _, ent := range entries {
 		name := ent.Name()
 		stale := strings.HasSuffix(name, ".tmp")
-		if idx, ok := parseShardFileName(name); ok && idx >= count {
+		if idx, ok := parseShardFileName(name); ok && !keep[idx] {
 			stale = true
 		}
-		if idx, ok := parseArenaFileName(name); ok && idx >= count {
+		if idx, ok := parseArenaFileName(name); ok && !keep[idx] {
 			stale = true
 		}
 		if !stale {
@@ -600,15 +656,27 @@ func readManifest(fsys faultfs.FS, dir string) (snapshotManifest, error) {
 	if man.Shards < 1 {
 		return snapshotManifest{}, fmt.Errorf("manifest: invalid shard count %d", man.Shards)
 	}
+	// A partial manifest's Owned list must be well-formed before the
+	// covered-count checks can mean anything: strictly ascending (the
+	// writer sorts), in range, and a strict subset.
+	for j, g := range man.Owned {
+		if g < 0 || g >= man.Shards {
+			return snapshotManifest{}, fmt.Errorf("manifest: owned shard %d out of range [0,%d)", g, man.Shards)
+		}
+		if j > 0 && g <= man.Owned[j-1] {
+			return snapshotManifest{}, fmt.Errorf("manifest: owned shards not strictly ascending at %d", g)
+		}
+	}
 	// The sizes and checksums arrays are the cross-check that catches
 	// mixed-epoch directories (a crash between shard renames and the
-	// manifest rename); a manifest that cannot vouch for every shard is
-	// rejected rather than partially verified.
-	if len(man.Sizes) != man.Shards {
-		return snapshotManifest{}, fmt.Errorf("manifest: records %d sizes for %d shards", len(man.Sizes), man.Shards)
+	// manifest rename); a manifest that cannot vouch for every covered
+	// shard is rejected rather than partially verified.
+	covered := len(man.coveredShards())
+	if len(man.Sizes) != covered {
+		return snapshotManifest{}, fmt.Errorf("manifest: records %d sizes for %d covered shards", len(man.Sizes), covered)
 	}
-	if len(man.Checksums) != man.Shards {
-		return snapshotManifest{}, fmt.Errorf("manifest: records %d checksums for %d shards", len(man.Checksums), man.Shards)
+	if len(man.Checksums) != covered {
+		return snapshotManifest{}, fmt.Errorf("manifest: records %d checksums for %d covered shards", len(man.Checksums), covered)
 	}
 	return man, nil
 }
@@ -647,28 +715,55 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 		return nil, fmt.Errorf("server: load snapshot: unsupported persisted metrics %v (only %q streams are readable)",
 			persisted, trajtree.MetricName)
 	}
+	// The manifest's global shard count is the hash placement; a caller
+	// Partition must agree with it, and an unpartitioned caller loading a
+	// partial directory has no way to serve the missing shards.
+	if opt.Partition != nil && opt.Partition.Total != man.Shards {
+		return nil, fmt.Errorf("server: load snapshot: partition total %d does not match manifest shard count %d",
+			opt.Partition.Total, man.Shards)
+	}
 	opt.Shards = man.Shards
-	treeShards := make([]*shard, man.Shards)
-	err = par.ForErr(opt.Workers, man.Shards, func(i int) error {
+	place, err := resolvePlacement(opt)
+	if err != nil {
+		return nil, fmt.Errorf("server: load snapshot: %w", err)
+	}
+	opt.Shards = place.numLocal()
+	if len(man.Owned) > 0 && !place.partitioned() {
+		return nil, fmt.Errorf("server: load snapshot: partial snapshot (covers shards %v of %d); boot with a matching Options.Partition",
+			man.Owned, man.Shards)
+	}
+	// Every requested shard must be covered; pos maps local slot to its
+	// position in the manifest's per-shard arrays.
+	pos := make([]int, place.numLocal())
+	for i := range pos {
+		g := place.globalOf(i)
+		if pos[i] = man.coveredPos(g); pos[i] < 0 {
+			return nil, fmt.Errorf("server: load snapshot: shard %d not covered (snapshot covers %v)",
+				g, man.coveredShards())
+		}
+	}
+	treeShards := make([]*shard, place.numLocal())
+	err = par.ForErr(opt.Workers, place.numLocal(), func(i int) error {
+		g, j := place.globalOf(i), pos[i]
 		// Fast path: with Mmap requested and a manifest that vouches for
 		// the arena files, boot this shard straight from its mapping.
 		// Failure of any kind — missing file, wrong epoch, corruption,
 		// option or size disagreement — is not an error: the gob stream
 		// below is the authoritative fallback and loads identical state.
-		if opt.Mmap && i < len(man.ArenaChecksums) {
-			if tree, ok := loadArenaShard(dir, i, man); ok {
+		if opt.Mmap && j < len(man.ArenaChecksums) {
+			if tree, ok := loadArenaShard(dir, g, j, man); ok {
 				treeShards[i] = &shard{be: tree}
 				return nil
 			}
 		}
-		path := filepath.Join(dir, shardFileName(i))
+		path := filepath.Join(dir, shardFileName(g))
 		// Pass 1: verify the container's own trailer checksum end to end
 		// before handing a single byte to the decoder — gob must never
 		// see corrupt input. A file that fails its own checksum is bit
 		// rot (or a torn write) and is always a hard error.
-		count, sum, err := verifyShardFile(fsys, path, i)
+		count, sum, err := verifyShardFile(fsys, path, g)
 		if err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+			return fmt.Errorf("shard %d: %w", g, err)
 		}
 		// The file vouches for itself; now compare against the manifest.
 		// A mismatch here means the file is intact but from a different
@@ -677,15 +772,15 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 		// (replay reconciles the epochs), provided the file was written
 		// under the same shard count (same hash placement). Without a
 		// WAL there is nothing to reconcile with: reject.
-		epochMatch := sum == man.Checksums[i]
+		epochMatch := sum == man.Checksums[j]
 		if !epochMatch {
 			if opt.WALDir == "" {
 				return fmt.Errorf("shard %d: checksum mismatch (manifest %08x, file %08x) and no WAL is configured to reconcile epochs: snapshot corrupt",
-					i, man.Checksums[i], sum)
+					g, man.Checksums[j], sum)
 			}
 			if count != man.Shards {
 				return fmt.Errorf("shard %d: file written under %d shards, manifest records %d: resharding crash is unrecoverable, snapshot corrupt",
-					i, count, man.Shards)
+					g, count, man.Shards)
 			}
 		}
 		// Pass 2: decode the verified stream (skipping the container
@@ -696,22 +791,22 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 		}
 		defer f.Close()
 		if _, err := io.CopyN(io.Discard, f, shardHeaderLen); err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+			return fmt.Errorf("shard %d: %w", g, err)
 		}
 		tree, err := trajtree.Load(bufio.NewReaderSize(f, 1<<20))
 		if err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+			return fmt.Errorf("shard %d: %w", g, err)
 		}
 		// The manifest's size only describes its own epoch's file.
-		if epochMatch && tree.Size() != man.Sizes[i] {
-			return fmt.Errorf("shard %d: size %d does not match manifest %d", i, tree.Size(), man.Sizes[i])
+		if epochMatch && tree.Size() != man.Sizes[j] {
+			return fmt.Errorf("shard %d: size %d does not match manifest %d", g, tree.Size(), man.Sizes[j])
 		}
 		// Each stream carries its own (normalised) tree options; they
 		// must agree with the manifest, or the directory mixes shard
 		// files from differently configured engines.
 		if tree.Options() != man.TreeOptions.WithDefaults() {
 			return fmt.Errorf("shard %d: tree options %+v do not match manifest %+v",
-				i, tree.Options(), man.TreeOptions.WithDefaults())
+				g, tree.Options(), man.TreeOptions.WithDefaults())
 		}
 		treeShards[i] = &shard{be: tree}
 		return nil
@@ -731,7 +826,7 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 	}
 	if makeSpecs == nil {
 		set := &metricSet{name: trajtree.MetricName, shards: treeShards}
-		e := newEngine([]*metricSet{set}, opt)
+		e := newEngine([]*metricSet{set}, place, opt)
 		if man.Sketch != nil || opt.Prefilter {
 			if err := e.restorePrefilter(man, opt, collectCorpus()); err != nil {
 				return nil, fmt.Errorf("server: load snapshot: %w", err)
@@ -746,7 +841,7 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 	// members: the loaded placement already is the hash placement, so
 	// each extra backend builds over exactly its shard's slice of the
 	// corpus.
-	groups := make([][]*traj.Trajectory, man.Shards)
+	groups := make([][]*traj.Trajectory, len(treeShards))
 	var all []*traj.Trajectory
 	for i, s := range treeShards {
 		groups[i] = s.all()
@@ -776,7 +871,7 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 		}
 		sets = append(sets, &metricSet{name: spec.Name, shards: shards})
 	}
-	e := newEngine(sets, opt)
+	e := newEngine(sets, place, opt)
 	if man.Sketch != nil || opt.Prefilter {
 		if err := e.restorePrefilter(man, opt, all); err != nil {
 			return nil, fmt.Errorf("server: load snapshot: %w", err)
@@ -788,14 +883,15 @@ func LoadSnapshotSpecs(dir string, makeSpecs func(db []*traj.Trajectory) ([]back
 	return e, nil
 }
 
-// loadArenaShard attempts the mmap boot of one shard: the arena file's
-// trailer (its content CRC32C) must match the manifest — proving file
-// and manifest come from the same save — and the mapped tree must carry
-// the manifest's options and size. The file is read through package os,
-// not the engine's faultfs: mappings cannot be fault-injected anyway,
-// and the gob fallback keeps full injection coverage.
-func loadArenaShard(dir string, i int, man snapshotManifest) (*trajtree.Tree, bool) {
-	path := filepath.Join(dir, arenaFileName(i))
+// loadArenaShard attempts the mmap boot of one shard (global index g,
+// manifest array position j): the arena file's trailer (its content
+// CRC32C) must match the manifest — proving file and manifest come from
+// the same save — and the mapped tree must carry the manifest's options
+// and size. The file is read through package os, not the engine's
+// faultfs: mappings cannot be fault-injected anyway, and the gob
+// fallback keeps full injection coverage.
+func loadArenaShard(dir string, g, j int, man snapshotManifest) (*trajtree.Tree, bool) {
+	path := filepath.Join(dir, arenaFileName(g))
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, false
@@ -808,17 +904,79 @@ func loadArenaShard(dir string, i int, man snapshotManifest) (*trajtree.Tree, bo
 	var trailer [4]byte
 	_, err = f.ReadAt(trailer[:], fi.Size()-4)
 	f.Close()
-	if err != nil || binary.LittleEndian.Uint32(trailer[:]) != man.ArenaChecksums[i] {
+	if err != nil || binary.LittleEndian.Uint32(trailer[:]) != man.ArenaChecksums[j] {
 		return nil, false
 	}
 	tree, err := trajtree.LoadArena(path)
 	if err != nil {
 		return nil, false
 	}
-	if tree.Size() != man.Sizes[i] || tree.Options() != man.TreeOptions.WithDefaults() {
+	if tree.Size() != man.Sizes[j] || tree.Options() != man.TreeOptions.WithDefaults() {
 		return nil, false
 	}
 	return tree, true
+}
+
+// SnapshotInfo is the externally visible shape of a snapshot directory,
+// the metadata the cluster snapshot-shipping layer needs to decide what
+// to fetch: the global shard count (the hash placement), the covered
+// global shard indices, and when the snapshot was taken. The per-file
+// integrity story stays inside the files themselves — every shard file
+// carries a self-vouching trailer CRC and the manifest an envelope CRC,
+// so a fetched replica directory re-verifies end to end at load time.
+type SnapshotInfo struct {
+	Shards  int       `json:"shards"`
+	Covered []int     `json:"covered"`
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// ReadSnapshotInfo reads and verifies dir's manifest and reports its
+// placement metadata.
+func ReadSnapshotInfo(dir string) (SnapshotInfo, error) {
+	man, err := readManifest(faultfs.OS{}, dir)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("server: snapshot info: %w", err)
+	}
+	return SnapshotInfo{Shards: man.Shards, Covered: man.coveredShards(), SavedAt: man.SavedAt}, nil
+}
+
+// SnapshotFiles lists the file names a replica must fetch to boot the
+// given global shards from a snapshot directory: the manifest plus each
+// shard's tree stream and arena twin. Unknown coverage is the caller's
+// problem — pair with ReadSnapshotInfo.
+func SnapshotFiles(shards []int) []string {
+	out := []string{manifestName}
+	for _, g := range shards {
+		out = append(out, shardFileName(g), arenaFileName(g))
+	}
+	return out
+}
+
+// IsSnapshotFileName reports whether name is a file a snapshot
+// directory legitimately serves (the manifest or a shard/arena file) —
+// the allowlist the cluster snapshot-serving endpoint checks before
+// touching the filesystem, so a crafted request can never escape the
+// snapshot directory.
+func IsSnapshotFileName(name string) bool {
+	if name == manifestName {
+		return true
+	}
+	if _, ok := parseShardFileName(name); ok {
+		return true
+	}
+	_, ok := parseArenaFileName(name)
+	return ok
+}
+
+// VerifySnapshotShardFile checks the self-vouching trailer checksum of
+// one shard tree file (global index g) — what a replica runs on each
+// fetched section before committing the directory, so a truncated or
+// corrupted transfer is caught at fetch time rather than at boot.
+func VerifySnapshotShardFile(path string, g int) error {
+	if _, _, err := verifyShardFile(faultfs.OS{}, path, g); err != nil {
+		return fmt.Errorf("server: snapshot shard %d: %w", g, err)
+	}
+	return nil
 }
 
 // restorePrefilter reattaches the candidate prefilter after a snapshot
@@ -837,7 +995,7 @@ func (e *Engine) restorePrefilter(man snapshotManifest, opt Options, db []*traj.
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("manifest sketch parameters: %w", err)
 	}
-	sketches, err := buildSketches(db, len(e.sets[0].shards), p)
+	sketches, err := buildSketches(db, e.place, p)
 	if err != nil {
 		return err
 	}

@@ -96,6 +96,13 @@ func (e *Engine) Append(id, label int, pts []traj.Point) (int, error) {
 	if e.buffer == nil {
 		return 0, fmt.Errorf("server: engine built without streaming state")
 	}
+	// Streaming is single-node for now: a shard node serving a partition
+	// rejects live ingest outright (the router has no append fan-out yet)
+	// rather than accept tracks whose eventual seal could land on a
+	// foreign shard.
+	if e.place.partitioned() {
+		return 0, fmt.Errorf("server: streaming ingest on a partitioned shard node: %w", backend.ErrNotSupported)
+	}
 	e.mutMu.Lock()
 	if e.Lookup(id) != nil {
 		e.mutMu.Unlock()
@@ -266,6 +273,9 @@ func (e *Engine) stopSealer() {
 func (e *Engine) Watch(pattern *traj.Trajectory, metric string, threshold float64, k int, exact bool) (int, error) {
 	if e.watches == nil {
 		return 0, fmt.Errorf("server: engine built without streaming state")
+	}
+	if e.place.partitioned() {
+		return 0, fmt.Errorf("server: standing queries on a partitioned shard node: %w", backend.ErrNotSupported)
 	}
 	if pattern == nil {
 		return 0, fmt.Errorf("%w: nil watch pattern", ErrInvalidQuery)

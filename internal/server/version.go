@@ -1,0 +1,63 @@
+package server
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Role names a trajserve process's place in a deployment, reported by
+// GET /v1/version so an operator probing a port can tell which of the
+// cluster's processes answered.
+const (
+	RoleStandalone = "standalone"
+	RoleShard      = "shard"
+	RoleRouter     = "router"
+)
+
+// VersionInfo is the payload of GET /v1/version and trajserve -version:
+// build identity (module, version, Go toolchain) plus the process's
+// role and shard map. Single-process deployments never needed this;
+// with a router and N shard nodes on N ports, "which build and which
+// shards is this process serving" is the first debugging question.
+type VersionInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Role      string `json:"role"`
+	// ClusterShards is the global hash modulus; OwnedShards the global
+	// shard indices this process serves (all of them for a standalone
+	// engine, none for a stateless router).
+	ClusterShards int   `json:"cluster_shards,omitempty"`
+	OwnedShards   []int `json:"owned_shards,omitempty"`
+	// Nodes lists a router's configured shard-node endpoints.
+	Nodes []string `json:"nodes,omitempty"`
+}
+
+// BuildVersion reads the binary's embedded build info: the main module
+// path and its version ("devel" when built from a working tree, as `go
+// build` in a checkout stamps no version).
+func BuildVersion() (module, version string) {
+	module, version = "trajmatch", "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			module = bi.Main.Path
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+	}
+	return module, version
+}
+
+// NewVersionInfo assembles the standard version payload for a process
+// serving the given role over e (nil for a stateless router, which owns
+// no local shards).
+func NewVersionInfo(role string, e *Engine) VersionInfo {
+	mod, ver := BuildVersion()
+	v := VersionInfo{Module: mod, Version: ver, GoVersion: runtime.Version(), Role: role}
+	if e != nil {
+		v.ClusterShards = e.ClusterShards()
+		v.OwnedShards = e.OwnedShards()
+	}
+	return v
+}

@@ -23,12 +23,14 @@
 package trajmatch
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"net/http"
 
 	"trajmatch/internal/backend"
 	"trajmatch/internal/baseline"
+	"trajmatch/internal/cluster"
 	"trajmatch/internal/core"
 	"trajmatch/internal/dataio"
 	"trajmatch/internal/dtwindex"
@@ -359,6 +361,80 @@ func LoadEngineSnapshotMetrics(dir string, metricNames []string, eopt EngineOpti
 // and bulk-building from a database file.
 func EngineSnapshotExists(dir string) bool {
 	return server.SnapshotExists(dir)
+}
+
+// EnginePartition declares that an engine owns only a subset of a
+// wider cluster's hash placement (EngineOptions.Partition): trajectories
+// hash into Total global shards exactly as a single-process Total-shard
+// engine places them, but this engine builds, serves and persists only
+// the Owned global shard indices. A shard node of a trajserve cluster
+// is an ordinary Engine with a Partition set.
+type EnginePartition = server.Partition
+
+// VersionInfo is the payload of GET /v1/version and trajserve -version:
+// build identity plus the process's role and shard map.
+type VersionInfo = server.VersionInfo
+
+// The deployment roles VersionInfo reports.
+const (
+	RoleStandalone = server.RoleStandalone
+	RoleShard      = server.RoleShard
+	RoleRouter     = server.RoleRouter
+)
+
+// NewVersionInfo assembles the standard version payload for a process
+// serving the given role over e (nil for a stateless router).
+func NewVersionInfo(role string, e *Engine) VersionInfo {
+	return server.NewVersionInfo(role, e)
+}
+
+// ClusterConfig configures a cluster router: the shard nodes' base
+// URLs, the per-request timeout, and the sequential (bound-shipping in
+// shard order) versus concurrent fan-out choice.
+type ClusterConfig = cluster.Config
+
+// ClusterRouter is the stateless fan-out front of a trajserve cluster:
+// it discovers each node's owned shards, routes mutations by hash
+// placement, fans searches out to every replica group with its running
+// k-th-best bound shipped as the seed limit, and merges the per-group
+// answers by (distance, ID) — byte-identical to a single-process engine
+// over the union corpus when every group answers, Answer.Degraded
+// otherwise.
+type ClusterRouter = cluster.Router
+
+// ClusterStats is the router's /v1/stats payload: placement, traffic
+// and per-node health.
+type ClusterStats = cluster.Stats
+
+// NewClusterRouter probes every node's placement and assembles the
+// router, verifying the nodes tile the global shard space.
+func NewClusterRouter(ctx context.Context, cfg ClusterConfig) (*ClusterRouter, error) {
+	return cluster.New(ctx, cfg)
+}
+
+// NewClusterNodeHandler wraps the engine's /v1 API with the cluster
+// endpoints a shard node serves: placement discovery and snapshot
+// shipping.
+func NewClusterNodeHandler(e *Engine, opt HandlerOptions) http.Handler {
+	return cluster.NodeHandler(e, opt)
+}
+
+// NewClusterRouterHandler serves the public /v1 surface over a router —
+// the same wire formats as a standalone trajserve.
+func NewClusterRouterHandler(rt *ClusterRouter) http.Handler {
+	return cluster.RouterHandler(rt)
+}
+
+// EngineSnapshotInfo describes a snapshot directory's placement: the
+// global shard count and the global shards it covers.
+type EngineSnapshotInfo = server.SnapshotInfo
+
+// FetchEngineSnapshot ships a snapshot from src (a node base URL or a
+// filesystem path) into dstDir so a replica can warm-boot instead of
+// rebuilding; nil shards fetches everything src covers. Fetched shard
+// sections are checksum-verified and the manifest is committed last.
+func FetchEngineSnapshot(ctx context.Context, src, dstDir string, shards []int, client *http.Client) (EngineSnapshotInfo, error) {
+	return cluster.FetchSnapshot(ctx, src, dstDir, shards, client)
 }
 
 // EDRIndex answers exact k-NN queries under EDR; it is the indexed
